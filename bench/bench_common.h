@@ -1,0 +1,60 @@
+#ifndef GANNS_BENCH_BENCH_COMMON_H_
+#define GANNS_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/cpu_nsw.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace bench {
+
+/// Experiment scale knobs, read once from the environment:
+///   GANNS_SCALE   — base points for a 1M-row Table I dataset (default 10000);
+///                   other datasets scale by their size_millions ratio.
+///   GANNS_QUERIES — queries per dataset (default 200; the paper uses 2000).
+///   GANNS_SEED    — workload seed (default 1).
+struct BenchConfig {
+  std::size_t scale = 10000;
+  std::size_t queries = 200;
+  std::uint64_t seed = 1;
+
+  static BenchConfig FromEnv();
+
+  /// Number of base points for `spec` at this scale (proportional to the
+  /// paper's corpus sizes, min 1000).
+  std::size_t PointsFor(const data::DatasetSpec& spec) const;
+};
+
+/// A ready-to-search workload: corpus, queries and exact ground truth.
+struct Workload {
+  data::DatasetSpec spec;
+  data::Dataset base;
+  data::Dataset queries;
+  data::GroundTruth truth;
+};
+
+/// Generates (deterministically) the workload for one Table I dataset.
+Workload MakeWorkload(const std::string& dataset, const BenchConfig& config,
+                      std::size_t k);
+
+/// Returns the CPU-built NSW graph for a workload, memoized on disk under
+/// ./ganns_cache so repeated bench runs skip construction. The cache key
+/// covers every input that affects the graph.
+graph::ProximityGraph CachedNswGraph(const Workload& workload,
+                                     const graph::NswParams& params,
+                                     const BenchConfig& config);
+
+/// Prints the standard bench header (config echo) to stdout.
+void PrintHeader(const std::string& bench_name, const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace ganns
+
+#endif  // GANNS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Figure 7: execution-time breakdown of GANNS (left) and SONG (right) at
+// recall ~= 0.8, k = 10, across the Table I datasets. The paper reports that
+// 50-90% of SONG's time on NSW graphs goes to data-structure operations
+// while GANNS's data-maintenance share is small.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/sweep.h"
+
+namespace {
+
+constexpr std::size_t kK = 10;
+constexpr double kTargetRecall = 0.8;
+
+}  // namespace
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Figure 7: execution time breakdown at recall~0.8 (k=10)",
+                     config);
+  std::printf("%-10s %-6s %-14s %8s %10s %10s %10s\n", "dataset", "algo",
+              "setting", "recall", "dist%", "ds-ops%", "other%");
+
+  for (const data::DatasetSpec& spec : data::PaperDatasets()) {
+    const bench::Workload workload =
+        bench::MakeWorkload(spec.name, config, kK);
+    const graph::ProximityGraph nsw =
+        bench::CachedNswGraph(workload, {}, config);
+    gpusim::Device device;
+
+    const auto report = [&](const bench::SweepPoint& point) {
+      std::printf("%-10s %-6s %-14s %8.3f %9.1f%% %9.1f%% %9.1f%%\n",
+                  spec.name.c_str(), point.algorithm.c_str(),
+                  point.setting.c_str(), point.recall,
+                  100 * point.distance_fraction, 100 * point.ds_fraction,
+                  100 * (1 - point.distance_fraction - point.ds_fraction));
+    };
+    report(bench::ClosestToRecall(
+        bench::SweepGanns(device, nsw, workload, kK), kTargetRecall));
+    report(bench::ClosestToRecall(
+        bench::SweepSong(device, nsw, workload, kK), kTargetRecall));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8: throughput vs. the number k of returned neighbors (1..100) at
+// recall ~= 0.8, on SIFT1M and GIST. The paper: the GANNS/SONG speedup is
+// stable in k (~5x on SIFT1M, 1.5-2x on GIST).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/sweep.h"
+
+namespace {
+
+constexpr double kTargetRecall = 0.8;
+constexpr std::size_t kValues[] = {1, 5, 10, 20, 50, 100};
+
+}  // namespace
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Figure 8: throughput vs k at recall~0.8", config);
+  std::printf("%-10s %5s %12s %12s %9s %9s %9s\n", "dataset", "k",
+              "GANNS_QPS", "SONG_QPS", "speedup", "r_GANNS", "r_SONG");
+
+  for (const char* dataset : {"SIFT1M", "GIST"}) {
+    const bench::Workload workload =
+        bench::MakeWorkload(dataset, config, 100);
+    const graph::ProximityGraph nsw =
+        bench::CachedNswGraph(workload, {}, config);
+    gpusim::Device device;
+
+    for (std::size_t k : kValues) {
+      // Re-target recall ~0.8 independently per (algorithm, k): pick each
+      // algorithm's operating point from its own ladder, as the paper does.
+      std::vector<bench::SweepPoint> ganns_points;
+      for (const core::GannsParams& params : bench::DefaultGannsLadder(k)) {
+        ganns_points.push_back(
+            bench::MeasureGanns(device, nsw, workload, params, k));
+      }
+      std::vector<bench::SweepPoint> song_points;
+      for (const song::SongParams& params : bench::DefaultSongLadder(k)) {
+        song_points.push_back(
+            bench::MeasureSong(device, nsw, workload, params, k));
+      }
+      const auto& g = bench::ClosestToRecall(ganns_points, kTargetRecall);
+      const auto& s = bench::ClosestToRecall(song_points, kTargetRecall);
+      std::printf("%-10s %5zu %12.0f %12.0f %8.2fx %9.3f %9.3f\n", dataset, k,
+                  g.qps, s.qps, s.qps > 0 ? g.qps / s.qps : 0.0, g.recall,
+                  s.recall);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9: effect of dimensionality. GIST is truncated from 960 down to 60
+// dimensions (k = 10, recall ~= 0.8). The paper: both algorithms speed up
+// as n_d falls, and the GANNS/SONG gap *widens* (1.5x at 960 -> ~6x at 60)
+// because SONG's serial data-structure cost does not shrink with n_d.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/sweep.h"
+
+namespace {
+
+constexpr std::size_t kK = 10;
+constexpr double kTargetRecall = 0.8;
+constexpr std::size_t kDims[] = {960, 480, 240, 120, 60};
+
+}  // namespace
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Figure 9: effect of n_d (GIST truncations, k=10)",
+                     config);
+  std::printf("%6s %12s %12s %9s %9s %9s\n", "n_d", "GANNS_QPS", "SONG_QPS",
+              "speedup", "r_GANNS", "r_SONG");
+
+  const bench::Workload full = bench::MakeWorkload("GIST", config, kK);
+
+  for (std::size_t dim : kDims) {
+    // Truncate base and queries, recompute exact ground truth in the
+    // truncated space (nearest neighbors change with the metric space).
+    bench::Workload workload{full.spec,
+                             full.base.TruncateDims(dim),
+                             full.queries.TruncateDims(dim),
+                             {}};
+    workload.truth = data::BruteForceKnn(workload.base, workload.queries, kK);
+
+    const graph::ProximityGraph nsw =
+        bench::CachedNswGraph(workload, {}, config);
+    gpusim::Device device;
+    const auto ganns_points = bench::SweepGanns(device, nsw, workload, kK);
+    const auto song_points = bench::SweepSong(device, nsw, workload, kK);
+    const auto& g = bench::ClosestToRecall(ganns_points, kTargetRecall);
+    const auto& s = bench::ClosestToRecall(song_points, kTargetRecall);
+    std::printf("%6zu %12.0f %12.0f %8.2fx %9.3f %9.3f\n", dim, g.qps, s.qps,
+                s.qps > 0 ? g.qps / s.qps : 0.0, g.recall, s.recall);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 10: effect of the number of threads per block (n_t: 4 -> 32) on
+// SIFT1M. Reports average distance-computation time and data-structure
+// operation time per batch for both algorithms. The paper: distance time
+// drops for both (~4x); GANNS's data-structure time also drops (~6x) while
+// SONG's stays flat (its host thread cannot use the extra lanes).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/sweep.h"
+
+namespace {
+
+constexpr std::size_t kK = 10;
+constexpr int kLaneCounts[] = {4, 8, 16, 32};
+
+}  // namespace
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Figure 10: effect of n_t on SIFT1M (k=10)", config);
+  std::printf("%-6s %5s %16s %16s\n", "algo", "n_t", "dist_time(ms)",
+              "ds_time(ms)");
+
+  const bench::Workload workload = bench::MakeWorkload("SIFT1M", config, kK);
+  const graph::ProximityGraph nsw =
+      bench::CachedNswGraph(workload, {}, config);
+
+  core::GannsParams ganns_params;
+  ganns_params.k = kK;
+  ganns_params.l_n = 64;
+  song::SongParams song_params;
+  song_params.k = kK;
+  song_params.queue_size = 64;
+
+  gpusim::Device device;
+  for (int lanes : kLaneCounts) {
+    const auto batch = core::GannsSearchBatch(device, nsw, workload.base,
+                                              workload.queries, ganns_params,
+                                              lanes);
+    // Work cycles per slot ~ time contribution of each category.
+    const double scale =
+        1e3 / (device.spec().clock_ghz * 1e9) /
+        std::min<double>(device.spec().concurrent_blocks,
+                         static_cast<double>(workload.queries.size()));
+    std::printf("%-6s %5d %16.3f %16.3f\n", "GANNS", lanes,
+                batch.kernel.work_cycles[static_cast<int>(
+                    gpusim::CostCategory::kDistance)] *
+                    scale,
+                batch.kernel.work_cycles[static_cast<int>(
+                    gpusim::CostCategory::kDataStructure)] *
+                    scale);
+  }
+  for (int lanes : kLaneCounts) {
+    const auto batch = song::SongSearchBatch(device, nsw, workload.base,
+                                             workload.queries, song_params,
+                                             lanes);
+    const double scale =
+        1e3 / (device.spec().clock_ghz * 1e9) /
+        std::min<double>(device.spec().concurrent_blocks,
+                         static_cast<double>(workload.queries.size()));
+    std::printf("%-6s %5d %16.3f %16.3f\n", "SONG", lanes,
+                batch.kernel.work_cycles[static_cast<int>(
+                    gpusim::CostCategory::kDistance)] *
+                    scale,
+                batch.kernel.work_cycles[static_cast<int>(
+                    gpusim::CostCategory::kDataStructure)] *
+                    scale);
+  }
+  return 0;
+}

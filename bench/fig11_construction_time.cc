@@ -1,0 +1,54 @@
+// Figure 11: NSW graph construction time of the GPU schemes across the
+// Table I datasets (d_max=32, d_min=16): GGraphCon_GANNS, GGraphCon_SONG,
+// GNaiveParallel (and GSerial, reported in the paper's text only — run with
+// GANNS_RUN_GSERIAL=1 to include it; it is deliberately slow).
+//
+// Paper findings: GNaiveParallel only slightly outperforms GGraphCon_SONG
+// (the divide-and-conquer overhead is minor); GGraphCon_GANNS is 1.4-3.3x
+// faster than GGraphCon_SONG; GSerial is orders of magnitude slower.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_common.h"
+#include "core/ggraphcon.h"
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Figure 11: NSW construction time (d_max=32, d_min=16)", config);
+  const bool run_gserial = std::getenv("GANNS_RUN_GSERIAL") != nullptr;
+  std::printf("%-10s %8s %16s %16s %16s %s\n", "dataset", "points",
+              "GGC_GANNS(s)", "GGC_SONG(s)", "GNaivePar(s)",
+              run_gserial ? "GSerial(s)" : "");
+
+  for (const data::DatasetSpec& spec : data::PaperDatasets()) {
+    const std::size_t n = config.PointsFor(spec);
+    const data::Dataset base = data::GenerateBase(spec, n, config.seed);
+
+    core::GpuBuildParams params;
+    params.num_groups = 64;
+
+    gpusim::Device device;
+    params.kernel = core::SearchKernel::kGanns;
+    const auto ganns_build = core::BuildNswGGraphCon(device, base, params);
+
+    params.kernel = core::SearchKernel::kSong;
+    const auto song_build = core::BuildNswGGraphCon(device, base, params);
+    const auto naive_build = core::BuildNswGNaiveParallel(device, base, params);
+
+    if (run_gserial) {
+      const auto serial_build = core::BuildNswGSerial(device, base, params);
+      std::printf("%-10s %8zu %16.4f %16.4f %16.4f %16.4f\n",
+                  spec.name.c_str(), n, ganns_build.sim_seconds,
+                  song_build.sim_seconds, naive_build.sim_seconds,
+                  serial_build.sim_seconds);
+    } else {
+      std::printf("%-10s %8zu %16.4f %16.4f %16.4f\n", spec.name.c_str(), n,
+                  ganns_build.sim_seconds, song_build.sim_seconds,
+                  naive_build.sim_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 13: GGraphCon construction time scaling with the degree bound
+// d_max (32 -> 128, with d_min = d_max / 2), on GloVe200 and UKBench.
+// Paper finding: construction time grows gently and almost linearly in
+// d_max for both embedded search kernels.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ggraphcon.h"
+
+namespace {
+
+constexpr std::size_t kDmaxValues[] = {32, 64, 128};
+
+}  // namespace
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader(
+      "Figure 13: construction time vs d_max (d_min = d_max/2)", config);
+  std::printf("%-10s %6s %6s %16s %16s\n", "dataset", "d_max", "d_min",
+              "GGC_GANNS(s)", "GGC_SONG(s)");
+
+  for (const char* dataset : {"GloVe200", "UKBench"}) {
+    const data::DatasetSpec& spec = data::PaperDataset(dataset);
+    const std::size_t n = config.PointsFor(spec);
+    const data::Dataset base = data::GenerateBase(spec, n, config.seed);
+
+    for (std::size_t d_max : kDmaxValues) {
+      core::GpuBuildParams params;
+      params.num_groups = 64;
+      params.nsw.d_max = d_max;
+      params.nsw.d_min = d_max / 2;
+      params.nsw.ef_construction = d_max;
+
+      gpusim::Device device;
+      params.kernel = core::SearchKernel::kGanns;
+      const auto ganns_build = core::BuildNswGGraphCon(device, base, params);
+      params.kernel = core::SearchKernel::kSong;
+      const auto song_build = core::BuildNswGGraphCon(device, base, params);
+      std::printf("%-10s %6zu %6zu %16.4f %16.4f\n", dataset, d_max,
+                  d_max / 2, ganns_build.sim_seconds, song_build.sim_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 14: GGraphCon scaling with the number of thread blocks (= point
+// groups) on SIFT1M, d_max=32, d_min=16, 32 threads/block. Reports the
+// distance-computation and data-structure work of both embedded kernels.
+// Paper finding: ~10-13x speedup growing the grid from 50 to 800 blocks
+// (16x theoretical).
+//
+// Scale note: the speedup range depends on corpus size: phase 1 is
+// (n / groups) sequential insertions per block while the merge phase grows
+// linearly with the group count, so time(g) ~ A n/g + B g and the paper's
+// 10-13x needs n/50 >> 800, i.e. the paper's n = 1M. To keep the experiment
+// affordable in simulation this bench runs on the 32-dimensional SIFT10M
+// surrogate at 10x GANNS_SCALE points (same block-structure physics, ~1/4
+// the distance cost of SIFT1M); see EXPERIMENTS.md for the scale study.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ggraphcon.h"
+
+namespace {
+
+constexpr int kBlockCounts[] = {50, 100, 200, 400, 800};
+
+}  // namespace
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Figure 14: construction scaling vs thread blocks "
+                     "(SIFT10M surrogate, d_max=32, d_min=16)",
+                     config);
+  std::printf("%-10s %7s %14s %14s %14s %9s\n", "kernel", "blocks",
+              "total(s)", "dist_work(s)", "ds_work(s)", "speedup");
+
+  const data::DatasetSpec& spec = data::PaperDataset("SIFT10M");
+  const std::size_t n = config.PointsFor(spec);
+  const data::Dataset base = data::GenerateBase(spec, n, config.seed);
+
+  for (const core::SearchKernel kernel :
+       {core::SearchKernel::kGanns, core::SearchKernel::kSong}) {
+    double baseline = 0;
+    for (int blocks : kBlockCounts) {
+      core::GpuBuildParams params;
+      params.num_groups = blocks;
+      params.kernel = kernel;
+      gpusim::Device device;
+      const auto built = core::BuildNswGGraphCon(device, base, params);
+      if (baseline == 0) baseline = built.sim_seconds;
+      const double to_seconds = 1.0 / (device.spec().clock_ghz * 1e9);
+      std::printf("%-10s %7d %14.4f %14.4f %14.4f %8.2fx\n",
+                  core::SearchKernelName(kernel), blocks, built.sim_seconds,
+                  built.distance_work_cycles * to_seconds,
+                  built.ds_work_cycles * to_seconds,
+                  baseline / built.sim_seconds);
+    }
+  }
+  return 0;
+}

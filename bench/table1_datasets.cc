@@ -1,0 +1,35 @@
+// Table I: the evaluated datasets, plus the hardness statistics behind the
+// paper's commentary that NYTimes/GloVe200 (skewed) and GIST (960-d) are
+// the hard cases. Lower relative contrast and higher intrinsic
+// dimensionality (LID) = harder graph search; the synthetic surrogates must
+// rank the same way the real corpora do for the other experiments' shapes
+// to transfer.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "data/statistics.h"
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Table I: datasets and hardness statistics", config);
+  std::printf("%-10s %6s %9s %8s %12s %12s %8s\n", "dataset", "dim",
+              "metric", "points", "contrast", "LID", "type");
+
+  for (const data::DatasetSpec& spec : data::PaperDatasets()) {
+    const std::size_t n = config.PointsFor(spec);
+    const data::Dataset base = data::GenerateBase(spec, n, config.seed);
+    const data::DatasetStats stats =
+        data::ComputeStats(base, /*sample=*/100, /*k=*/20, config.seed);
+    std::printf("%-10s %6zu %9s %8zu %12.2f %12.1f %8s\n", spec.name.c_str(),
+                spec.dim, spec.metric == data::Metric::kL2 ? "L2" : "cosine",
+                n, stats.relative_contrast, stats.lid_estimate,
+                spec.zipf_s > 0 ? "skewed" : "uniform");
+  }
+  std::printf("# contrast = mean random-pair distance / mean NN distance "
+              "(lower = harder)\n");
+  std::printf("# LID = Levina-Bickel intrinsic dimensionality over 20-NN "
+              "(higher = harder)\n");
+  return 0;
+}

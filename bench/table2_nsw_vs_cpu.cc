@@ -1,0 +1,41 @@
+// Table II: NSW construction — single-thread CPU GraphCon_NSW vs the GPU
+// builders GGraphCon_GANNS and GGraphCon_SONG, with speedups. The paper
+// reports 29-83x for GGC_GANNS (40-50x on most datasets) and 12-35x for
+// GGC_SONG.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ggraphcon.h"
+#include "graph/cpu_nsw.h"
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Table II: NSW construction vs CPU baseline", config);
+  std::printf("%-10s %8s %14s %20s %20s\n", "dataset", "points",
+              "GraphCon_NSW", "GGC_GANNS", "GGC_SONG");
+
+  for (const data::DatasetSpec& spec : data::PaperDatasets()) {
+    const std::size_t n = config.PointsFor(spec);
+    const data::Dataset base = data::GenerateBase(spec, n, config.seed);
+
+    const graph::CpuBuildResult cpu = graph::BuildNswCpu(base, {});
+
+    core::GpuBuildParams params;
+    params.num_groups = 64;
+    gpusim::Device device;
+    params.kernel = core::SearchKernel::kGanns;
+    const auto ganns_build = core::BuildNswGGraphCon(device, base, params);
+    params.kernel = core::SearchKernel::kSong;
+    const auto song_build = core::BuildNswGGraphCon(device, base, params);
+
+    std::printf("%-10s %8zu %13.3fs %12.3fs (%5.1fx) %12.3fs (%5.1fx)\n",
+                spec.name.c_str(), n, cpu.sim_seconds,
+                ganns_build.sim_seconds,
+                cpu.sim_seconds / ganns_build.sim_seconds,
+                song_build.sim_seconds,
+                cpu.sim_seconds / song_build.sim_seconds);
+  }
+  return 0;
+}

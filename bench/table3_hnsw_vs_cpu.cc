@@ -1,0 +1,44 @@
+// Table III: HNSW construction (d_max=32, d_min=16) — single-thread CPU
+// GraphCon_HNSW vs the level-by-level GPU builders GGC_GANNS and GGC_SONG.
+// The paper reports 26-309x speedups for GGC_GANNS and 7.7-101x for
+// GGC_SONG, consistent with Table II.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/hnsw_gpu.h"
+#include "graph/hnsw.h"
+
+int main() {
+  using namespace ganns;
+  const bench::BenchConfig config = bench::BenchConfig::FromEnv();
+  bench::PrintHeader("Table III: HNSW construction vs CPU baseline", config);
+  std::printf("%-10s %8s %15s %20s %20s\n", "dataset", "points",
+              "GraphCon_HNSW", "GGC_GANNS", "GGC_SONG");
+
+  for (const data::DatasetSpec& spec : data::PaperDatasets()) {
+    const std::size_t n = config.PointsFor(spec);
+    const data::Dataset base = data::GenerateBase(spec, n, config.seed);
+
+    const graph::HnswParams hnsw;
+    const graph::CpuHnswBuildResult cpu = graph::BuildHnswCpu(base, hnsw);
+
+    core::GpuBuildParams params;
+    params.num_groups = 64;
+    gpusim::Device device;
+    params.kernel = core::SearchKernel::kGanns;
+    const auto ganns_build =
+        core::BuildHnswGGraphCon(device, base, hnsw, params);
+    params.kernel = core::SearchKernel::kSong;
+    const auto song_build =
+        core::BuildHnswGGraphCon(device, base, hnsw, params);
+
+    std::printf("%-10s %8zu %14.3fs %12.3fs (%5.1fx) %12.3fs (%5.1fx)\n",
+                spec.name.c_str(), n, cpu.sim_seconds,
+                ganns_build.sim_seconds,
+                cpu.sim_seconds / ganns_build.sim_seconds,
+                song_build.sim_seconds,
+                cpu.sim_seconds / song_build.sim_seconds);
+  }
+  return 0;
+}

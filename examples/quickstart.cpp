@@ -1,0 +1,42 @@
+// Quickstart: build a GANNS index over a small synthetic corpus and answer
+// a few k-NN queries.
+//
+//   ./build/examples/quickstart
+//
+// This is the smallest end-to-end use of the public API: generate (or load)
+// a dataset, GannsIndex::Build, GannsIndex::Search.
+
+#include <cstdio>
+
+#include "core/ganns_index.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ganns;
+
+  // 1. A corpus: 5000 SIFT-like 128-dimensional image descriptors.
+  //    (Real data: load it with data::ReadFvecs instead.)
+  const data::DatasetSpec& spec = data::PaperDataset("SIFT1M");
+  data::Dataset corpus = data::GenerateBase(spec, 5000, /*seed=*/42);
+  data::Dataset queries = data::GenerateQueries(spec, 5, 5000, /*seed=*/42);
+
+  // 2. Build the index: GGraphCon constructs an NSW graph on the simulated
+  //    GPU (d_max=32, d_min=16 defaults).
+  core::GannsIndex index = core::GannsIndex::Build(std::move(corpus));
+  std::printf("built NSW index over %zu points in %.3f simulated GPU ms\n",
+              index.base().size(), index.timing().build_seconds * 1e3);
+
+  // 3. Search: one thread block per query, k = 5.
+  const auto results = index.Search(queries, /*k=*/5);
+  std::printf("searched %zu queries at %.0f simulated QPS\n\n", queries.size(),
+              index.timing().last_search_qps);
+
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    std::printf("query %zu nearest neighbors:", q);
+    for (const auto& neighbor : results[q]) {
+      std::printf("  #%u (dist %.3f)", neighbor.id, neighbor.dist);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/bin/bash
+# Regenerates bench_output.txt: one experiment binary per paper table/figure
+# plus ablations and microbenchmarks.
+#
+# The search experiments run at GANNS_SCALE=10000; the construction
+# experiments (which also simulate the single-thread CPU baselines
+# faithfully) run at GANNS_SCALE=4000 to stay tractable on one core. Every
+# section header echoes its scale. Raise the scales on bigger machines —
+# construction speedups grow with corpus size (see EXPERIMENTS.md).
+cd "$(dirname "$0")"
+exec > bench_output.txt 2>&1
+
+export GANNS_QUERIES=200
+export GANNS_SCALE=10000
+for b in table1_datasets fig06_throughput_recall fig07_time_breakdown \
+         fig08_vary_k fig09_vary_dim fig10_vary_threads \
+         fig11_construction_time; do
+  echo "===== bench/$b ====="
+  ./build/bench/$b
+  echo
+done
+
+export GANNS_SCALE=4000
+for b in table2_nsw_vs_cpu fig12_graph_quality fig13_vary_dmax \
+         fig14_vary_blocks table3_hnsw_vs_cpu ablation_lazy \
+         ablation_structures ablation_visited remark_transfer \
+         micro_structures; do
+  echo "===== bench/$b ====="
+  ./build/bench/$b
+  echo
+done
+echo "ALL_BENCHES_DONE"

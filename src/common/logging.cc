@@ -1,0 +1,16 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ganns {
+namespace internal_logging {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[ganns fatal] %s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace ganns

@@ -1,0 +1,39 @@
+#ifndef GANNS_COMMON_LOGGING_H_
+#define GANNS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ganns {
+namespace internal_logging {
+
+/// Terminates the process after printing `message` with source location.
+/// Out-of-line so the check macros stay cheap at the call site.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+}  // namespace internal_logging
+}  // namespace ganns
+
+/// Fatal assertion used for programming errors and invariant violations.
+/// Always on (benchmarks rely on the invariants it guards).
+#define GANNS_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::ganns::internal_logging::CheckFailed(__FILE__, __LINE__,           \
+                                             "Check failed: " #cond);      \
+    }                                                                      \
+  } while (false)
+
+/// Fatal assertion with a streamed message:
+///   GANNS_CHECK_MSG(a == b, "a=" << a << " b=" << b);
+#define GANNS_CHECK_MSG(cond, stream_expr)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ganns_check_oss_;                                 \
+      ganns_check_oss_ << "Check failed: " #cond ": " << stream_expr;      \
+      ::ganns::internal_logging::CheckFailed(__FILE__, __LINE__,           \
+                                             ganns_check_oss_.str());      \
+    }                                                                      \
+  } while (false)
+
+#endif  // GANNS_COMMON_LOGGING_H_

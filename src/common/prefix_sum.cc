@@ -1,0 +1,30 @@
+#include "common/prefix_sum.h"
+
+#include "common/logging.h"
+
+namespace ganns {
+
+std::uint32_t ExclusivePrefixSum(std::span<const std::uint32_t> in,
+                                 std::span<std::uint32_t> out) {
+  GANNS_CHECK(out.size() >= in.size());
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::uint32_t value = in[i];
+    out[i] = running;
+    running += value;
+  }
+  return running;
+}
+
+std::uint32_t InclusivePrefixSum(std::span<const std::uint32_t> in,
+                                 std::span<std::uint32_t> out) {
+  GANNS_CHECK(out.size() >= in.size());
+  std::uint32_t running = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    running += in[i];
+    out[i] = running;
+  }
+  return running;
+}
+
+}  // namespace ganns

@@ -1,0 +1,22 @@
+#ifndef GANNS_COMMON_PREFIX_SUM_H_
+#define GANNS_COMMON_PREFIX_SUM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ganns {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i). Returns the total sum.
+/// Reference (serial) implementation; the GPU-style work-efficient scan lives
+/// in gpusim and is validated against this in tests.
+std::uint32_t ExclusivePrefixSum(std::span<const std::uint32_t> in,
+                                 std::span<std::uint32_t> out);
+
+/// Inclusive prefix sum: out[i] = sum of in[0..i]. Returns the total sum.
+std::uint32_t InclusivePrefixSum(std::span<const std::uint32_t> in,
+                                 std::span<std::uint32_t> out);
+
+}  // namespace ganns
+
+#endif  // GANNS_COMMON_PREFIX_SUM_H_

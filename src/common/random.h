@@ -1,0 +1,85 @@
+#ifndef GANNS_COMMON_RANDOM_H_
+#define GANNS_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ganns {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Every randomized component in this library (dataset generators, HNSW level
+/// sampling, NN-Descent initialization) takes an explicit seed so whole
+/// experiments replay bit-for-bit. We avoid <random> engines because their
+/// distributions are not portable across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Requires bound > 0. The modulo bias is
+  /// negligible for bound << 2^64; determinism is what we care about.
+  std::uint64_t NextBounded(std::uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller; generates values in pairs and caches the
+  /// second one.
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    const double u2 = NextDouble();
+    while (u1 <= 1e-12) u1 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ganns
+
+#endif  // GANNS_COMMON_RANDOM_H_

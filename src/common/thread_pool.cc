@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace ganns {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_shards =
+      std::min<std::size_t>(threads_.size(), n);
+  if (num_shards <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{num_shards};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t chunk = (n + num_shards - 1) / num_shards;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t shard = 0; shard < num_shards; ++shard) {
+      const std::size_t begin = shard * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      tasks_.push([&, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  task_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+}  // namespace ganns

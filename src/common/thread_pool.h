@@ -1,0 +1,51 @@
+#ifndef GANNS_COMMON_THREAD_POOL_H_
+#define GANNS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ganns {
+
+/// Fixed-size worker pool used to execute independent simulator blocks (and
+/// brute-force ground-truth shards) concurrently on the host.
+///
+/// Determinism note: callers must make tasks independent and aggregate results
+/// by task index, never by completion order. All code in this repository
+/// follows that rule, so results are identical for any pool size (including
+/// the single-core machines this reproduction was developed on).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool sized to hardware concurrency.
+  static ThreadPool& Global();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous shards across the
+  /// workers, and blocks until all calls return.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ganns
+
+#endif  // GANNS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef GANNS_COMMON_TIMER_H_
+#define GANNS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ganns {
+
+/// Monotonic wall-clock stopwatch. Used by benchmarks to report host time
+/// alongside the simulated device time (see gpusim::CostModel).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ganns
+
+#endif  // GANNS_COMMON_TIMER_H_

@@ -1,0 +1,28 @@
+#ifndef GANNS_COMMON_TYPES_H_
+#define GANNS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ganns {
+
+/// Vertex / point identifier. Points and graph vertices share the same id
+/// space (Definition 2 in the paper: V = P).
+using VertexId = std::uint32_t;
+
+/// Distance value. All metrics in this library produce non-negative floats
+/// ("smaller is closer"); cosine similarity is exposed as the distance
+/// 1 - cos(u, v) so the search code never branches on the metric.
+using Dist = float;
+
+/// Sentinel id marking an empty slot in a fixed-size adjacency list or in the
+/// GANNS result arrays N / T.
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel distance for empty slots; compares greater than every real
+/// distance, so sorted structures keep empty slots at the tail.
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::infinity();
+
+}  // namespace ganns
+
+#endif  // GANNS_COMMON_TYPES_H_

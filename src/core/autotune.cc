@@ -1,0 +1,97 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gpusim/bitonic.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+struct Measured {
+  GannsParams params;
+  double recall = 0;
+  double qps = 0;
+};
+
+Measured Measure(gpusim::Device& device, const graph::ProximityGraph& graph,
+                 const data::Dataset& base, const data::Dataset& queries,
+                 const data::GroundTruth& truth, std::size_t k,
+                 const GannsParams& params, int block_lanes) {
+  const graph::BatchSearchResult batch =
+      GannsSearchBatch(device, graph, base, queries, params, block_lanes);
+  return Measured{params, data::MeanRecall(batch.results, truth, k),
+                  batch.qps};
+}
+
+}  // namespace
+
+AutotuneResult TuneForRecall(gpusim::Device& device,
+                             const graph::ProximityGraph& graph,
+                             const data::Dataset& base,
+                             const data::Dataset& validation_queries,
+                             const data::GroundTruth& truth, std::size_t k,
+                             double target_recall, int block_lanes) {
+  GANNS_CHECK(validation_queries.size() > 0);
+  GANNS_CHECK(truth.neighbors.size() == validation_queries.size());
+
+  // Ladder pass: the Figure 6 sweep settings in ascending accuracy.
+  static constexpr struct {
+    std::size_t l_n;
+    std::size_t e;
+  } kLadder[] = {{32, 8},   {32, 16},  {32, 32},   {64, 16},
+                 {64, 32},  {64, 64},  {128, 32},  {128, 64},
+                 {128, 128}, {256, 128}, {256, 256}};
+
+  std::vector<Measured> points;
+  for (const auto& step : kLadder) {
+    if (step.l_n < k) continue;
+    GannsParams params;
+    params.k = k;
+    params.l_n = step.l_n;
+    params.e = step.e;
+    points.push_back(Measure(device, graph, base, validation_queries, truth,
+                             k, params, block_lanes));
+  }
+  GANNS_CHECK(!points.empty());
+
+  const Measured* best_meeting = nullptr;
+  const Measured* best_recall = &points[0];
+  for (const Measured& p : points) {
+    if (p.recall > best_recall->recall) best_recall = &p;
+    if (p.recall >= target_recall &&
+        (best_meeting == nullptr || p.qps > best_meeting->qps)) {
+      best_meeting = &p;
+    }
+  }
+
+  if (best_meeting == nullptr) {
+    // Nothing reaches the target: report the most accurate setting.
+    return AutotuneResult{best_recall->params, best_recall->recall,
+                          best_recall->qps, false};
+  }
+
+  // e-refinement: shrink e below the winner while the target still holds
+  // (e is the fine-grained knob; smaller e = strictly less exploration).
+  Measured winner = *best_meeting;
+  std::size_t lo = 1;
+  std::size_t hi = winner.params.EffectiveE();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    GannsParams candidate = winner.params;
+    candidate.e = mid;
+    const Measured m = Measure(device, graph, base, validation_queries,
+                               truth, k, candidate, block_lanes);
+    if (m.recall >= target_recall) {
+      hi = mid;
+      if (m.qps > winner.qps) winner = m;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return AutotuneResult{winner.params, winner.recall, winner.qps, true};
+}
+
+}  // namespace core
+}  // namespace ganns

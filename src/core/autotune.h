@@ -1,0 +1,38 @@
+#ifndef GANNS_CORE_AUTOTUNE_H_
+#define GANNS_CORE_AUTOTUNE_H_
+
+#include <vector>
+
+#include "core/ganns_search.h"
+#include "data/ground_truth.h"
+#include "gpusim/device.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace core {
+
+/// Outcome of parameter auto-tuning.
+struct AutotuneResult {
+  GannsParams params;
+  double recall = 0;   ///< recall achieved on the validation queries
+  double qps = 0;      ///< simulated throughput at that setting
+  bool target_met = false;
+};
+
+/// Picks the fastest (l_n, e) setting whose recall on the validation set
+/// reaches `target_recall` — the operating-point selection a production
+/// deployment performs once per index. Evaluates a fixed ladder of settings
+/// (the same one the Figure 6 sweep uses) plus an e-refinement around the
+/// winner; returns the best-recall setting when no candidate reaches the
+/// target.
+AutotuneResult TuneForRecall(gpusim::Device& device,
+                             const graph::ProximityGraph& graph,
+                             const data::Dataset& base,
+                             const data::Dataset& validation_queries,
+                             const data::GroundTruth& truth, std::size_t k,
+                             double target_recall, int block_lanes = 32);
+
+}  // namespace core
+}  // namespace ganns
+
+#endif  // GANNS_CORE_AUTOTUNE_H_

@@ -1,0 +1,57 @@
+#ifndef GANNS_CORE_EDGE_UPDATE_H_
+#define GANNS_CORE_EDGE_UPDATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "gpusim/device.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace core {
+
+/// One backward edge emitted by a construction search: `from` gains the
+/// neighbor `to` at distance `dist` (Algorithm 2, line 17). Invalid entries
+/// (`from == kInvalidVertex`) pad fixed-stride slots of the global edge
+/// list E and are sorted to the tail by GatherScatter.
+struct BackwardEdge {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  Dist dist = kInfDist;
+};
+
+/// Result of the gather step: edges sorted by (from, dist, to) and the CSR
+/// offsets array I (Algorithm 2, step 2 of the merge phase).
+struct GatheredEdges {
+  std::vector<BackwardEdge> edges;  ///< valid edges only, sorted
+  std::vector<std::uint32_t> offsets;  ///< offsets[i] = first edge of i-th start
+  std::size_t num_starts = 0;          ///< number of distinct `from` vertices
+};
+
+/// Step 2 of the merge phase: organizes the backward-edge list in CSR form,
+/// fully executed on the simulated device:
+/// (1) cross-block bitonic sort of E by starting vertex, ties broken by
+///     distance (gpusim::GlobalBitonicSort),
+/// (2) indicator array I marking each starting vertex's first edge,
+/// (3) work-efficient parallel prefix sum of I (gpusim::GlobalExclusiveScan)
+///     and a scatter of the resulting CSR offsets.
+GatheredEdges GatherScatter(gpusim::Device& device,
+                            std::vector<BackwardEdge> edges,
+                            int block_lanes);
+
+/// Step 3 of the merge phase: one block per starting vertex loads that
+/// vertex's current adjacency row and its gathered edges into shared memory,
+/// bitonic-merges them, and keeps the first d_max entries as the new row.
+/// Incoming duplicates (same target proposed twice, or a target already in
+/// the row) are filtered by a lazy-check-style parallel binary search before
+/// the merge. Returns the number of rows whose adjacency actually changed
+/// (the convergence signal of NN-Descent, §IV-D).
+std::size_t ApplyBackwardEdges(gpusim::Device& device,
+                               const GatheredEdges& gathered,
+                               graph::ProximityGraph& graph, int block_lanes);
+
+}  // namespace core
+}  // namespace ganns
+
+#endif  // GANNS_CORE_EDGE_UPDATE_H_

@@ -1,0 +1,182 @@
+#include "core/ganns_index.h"
+
+#include <cstdio>
+
+#include "gpusim/bitonic.h"
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+constexpr std::uint64_t kIndexMagic = 0x53584449534e4e47ULL;  // "GNNSIDXS"
+constexpr std::uint64_t kIndexVersion = 1;
+
+}  // namespace
+
+GannsIndex::GannsIndex(data::Dataset base, const Options& options)
+    : base_(std::move(base)),
+      options_(options),
+      device_(std::make_unique<gpusim::Device>(options.device)) {}
+
+GannsIndex GannsIndex::Build(data::Dataset base, const Options& options) {
+  GANNS_CHECK_MSG(base.size() >= 1, "cannot index an empty corpus");
+  GannsIndex index(std::move(base), options);
+
+  GpuBuildParams build;
+  build.nsw = options.nsw;
+  build.num_groups = options.num_groups;
+  build.kernel = options.construction_kernel;
+  build.block_lanes = options.block_lanes;
+
+  if (options.kind == GraphKind::kNsw) {
+    GpuBuildResult result =
+        BuildNswGGraphCon(*index.device_, index.base_, build);
+    index.timing_.build_seconds = result.sim_seconds;
+    index.nsw_ =
+        std::make_unique<graph::ProximityGraph>(std::move(result.graph));
+  } else {
+    graph::HnswParams hnsw = options.hnsw;
+    hnsw.nsw = options.nsw;
+    GpuHnswBuildResult result =
+        BuildHnswGGraphCon(*index.device_, index.base_, hnsw, build);
+    index.timing_.build_seconds = result.sim_seconds;
+    index.hnsw_ = std::make_unique<graph::HnswGraph>(std::move(result.graph));
+  }
+  return index;
+}
+
+const graph::ProximityGraph& GannsIndex::bottom_graph() const {
+  if (nsw_ != nullptr) return *nsw_;
+  GANNS_CHECK(hnsw_ != nullptr);
+  return hnsw_->layer(0);
+}
+
+std::vector<std::vector<graph::Neighbor>> GannsIndex::Search(
+    const data::Dataset& queries, std::size_t k, GannsParams params) {
+  GANNS_CHECK(queries.dim() == base_.dim());
+  params.k = k;
+  if (params.l_n < k) params.l_n = gpusim::NextPow2(4 * k);
+
+  std::vector<std::vector<graph::Neighbor>> out(queries.size());
+  const graph::ProximityGraph& bottom = bottom_graph();
+
+  device_->ResetTimeline();
+  device_->Launch(
+      static_cast<int>(queries.size()), options_.block_lanes,
+      [&](gpusim::BlockContext& block) {
+        const VertexId q = static_cast<VertexId>(block.block_id());
+        // HNSW: the hierarchical zoom-in picks a per-query entry vertex;
+        // flat NSW enters at the first inserted point.
+        const VertexId entry =
+            hnsw_ != nullptr
+                ? hnsw_->DescendToLayer0(base_, queries.Point(q))
+                : 0;
+        out[q] = GannsSearchOne(block, bottom, base_, queries.Point(q),
+                                params, entry);
+      });
+  timing_.last_search_seconds = device_->timeline_seconds();
+  timing_.last_search_qps =
+      timing_.last_search_seconds > 0
+          ? static_cast<double>(queries.size()) / timing_.last_search_seconds
+          : 0;
+  return out;
+}
+
+std::vector<graph::Neighbor> GannsIndex::SearchOne(
+    std::span<const float> query, std::size_t k, GannsParams params) {
+  data::Dataset single("query", base_.dim(), base_.metric());
+  single.Append(query);
+  return Search(single, k, params)[0];
+}
+
+bool GannsIndex::Save(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::uint64_t kind = options_.kind == GraphKind::kNsw ? 0 : 1;
+  const std::uint64_t num_layers =
+      hnsw_ != nullptr ? static_cast<std::uint64_t>(hnsw_->max_level()) + 1
+                       : 1;
+  const std::uint64_t header[5] = {kIndexMagic, kIndexVersion, kind,
+                                   num_layers,
+                                   hnsw_ != nullptr ? hnsw_->entry() : 0};
+  const bool header_ok = std::fwrite(header, sizeof(header), 1, file) == 1;
+  std::fclose(file);
+  if (!header_ok) return false;
+
+  if (nsw_ != nullptr) return nsw_->SaveTo(path + ".layer0");
+  // HNSW: one graph file per layer plus the level array.
+  for (int l = 0; l <= hnsw_->max_level(); ++l) {
+    if (!hnsw_->layer(l).SaveTo(path + ".layer" + std::to_string(l))) {
+      return false;
+    }
+  }
+  std::FILE* levels_file = std::fopen((path + ".levels").c_str(), "wb");
+  if (levels_file == nullptr) return false;
+  std::vector<std::uint8_t> levels(base_.size());
+  for (std::size_t v = 0; v < base_.size(); ++v) {
+    levels[v] = static_cast<std::uint8_t>(
+        hnsw_->level(static_cast<VertexId>(v)));
+  }
+  const bool ok = std::fwrite(levels.data(), 1, levels.size(), levels_file) ==
+                  levels.size();
+  std::fclose(levels_file);
+  return ok;
+}
+
+std::optional<GannsIndex> GannsIndex::Load(const std::string& path,
+                                           data::Dataset base,
+                                           const Options& options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::uint64_t header[5] = {};
+  const bool header_ok = std::fread(header, sizeof(header), 1, file) == 1;
+  std::fclose(file);
+  if (!header_ok || header[0] != kIndexMagic || header[1] != kIndexVersion) {
+    return std::nullopt;
+  }
+
+  Options adjusted = options;
+  adjusted.kind = header[2] == 0 ? GraphKind::kNsw : GraphKind::kHnsw;
+  GannsIndex index(std::move(base), adjusted);
+
+  if (adjusted.kind == GraphKind::kNsw) {
+    auto graph = graph::ProximityGraph::LoadFrom(path + ".layer0");
+    if (!graph.has_value() || graph->num_vertices() != index.base_.size()) {
+      return std::nullopt;
+    }
+    index.nsw_ =
+        std::make_unique<graph::ProximityGraph>(*std::move(graph));
+    return index;
+  }
+
+  std::FILE* levels_file = std::fopen((path + ".levels").c_str(), "rb");
+  if (levels_file == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> levels(index.base_.size());
+  const bool levels_ok =
+      std::fread(levels.data(), 1, levels.size(), levels_file) ==
+      levels.size();
+  std::fclose(levels_file);
+  if (!levels_ok) return std::nullopt;
+
+  index.hnsw_ = std::make_unique<graph::HnswGraph>(
+      index.base_.size(), adjusted.nsw.d_max, std::move(levels));
+  if (index.hnsw_->max_level() + 1 != static_cast<int>(header[3])) {
+    return std::nullopt;
+  }
+  for (int l = 0; l <= index.hnsw_->max_level(); ++l) {
+    auto layer = graph::ProximityGraph::LoadFrom(path + ".layer" +
+                                                 std::to_string(l));
+    if (!layer.has_value() ||
+        layer->num_vertices() != index.base_.size()) {
+      return std::nullopt;
+    }
+    index.hnsw_->layer(l) = *std::move(layer);
+  }
+  index.hnsw_->set_entry(static_cast<VertexId>(header[4]));
+  return index;
+}
+
+}  // namespace core
+}  // namespace ganns

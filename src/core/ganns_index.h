@@ -1,0 +1,117 @@
+#ifndef GANNS_CORE_GANNS_INDEX_H_
+#define GANNS_CORE_GANNS_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ganns_search.h"
+#include "core/ggraphcon.h"
+#include "core/hnsw_gpu.h"
+#include "data/dataset.h"
+#include "gpusim/device.h"
+#include "graph/hnsw.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace core {
+
+/// The high-level entry point of this library: builds a proximity-graph
+/// index on the (simulated) GPU with GGraphCon and answers batched ANN
+/// queries with the GANNS search kernel.
+///
+/// Typical use:
+///
+///   ganns::core::GannsIndex::Options options;
+///   auto index = ganns::core::GannsIndex::Build(std::move(corpus), options);
+///   auto results = index.Search(queries, /*k=*/10);
+///
+/// The index owns the corpus, the graph(s) and the simulated device; all
+/// methods are deterministic for fixed inputs and seeds.
+/// Graph family backing a GannsIndex.
+enum class GraphKind {
+  kNsw,   ///< flat navigable-small-world graph (the paper's default)
+  kHnsw,  ///< hierarchical NSW: greedy descent picks the layer-0 entry
+};
+
+/// Build-time configuration of a GannsIndex.
+struct IndexOptions {
+  GraphKind kind = GraphKind::kNsw;
+  /// Degree bounds and construction beam width.
+  graph::NswParams nsw;
+  /// HNSW level sampling (used when kind == kHnsw).
+  graph::HnswParams hnsw;
+  /// GGraphCon grouping and the embedded construction search kernel.
+  int num_groups = 64;
+  SearchKernel construction_kernel = SearchKernel::kGanns;
+  int block_lanes = 32;
+  /// Simulated device the index builds and searches on.
+  gpusim::DeviceSpec device;
+};
+
+class GannsIndex {
+ public:
+  using GraphKind = core::GraphKind;
+  using Options = IndexOptions;
+
+  /// Timing of the most recent Build / Search call, in simulated device
+  /// seconds.
+  struct Timing {
+    double build_seconds = 0;
+    double last_search_seconds = 0;
+    double last_search_qps = 0;
+  };
+
+  /// Builds an index over `base` (GGraphCon on the simulated GPU).
+  static GannsIndex Build(data::Dataset base, const Options& options = Options());
+
+  GannsIndex(GannsIndex&&) = default;
+  GannsIndex& operator=(GannsIndex&&) = default;
+
+  /// Batched k-NN search. `params.k` is overridden by `k`; leave `params`
+  /// default for the standard setting (l_n = 64). Returns one ascending
+  /// (dist, id) row per query.
+  std::vector<std::vector<graph::Neighbor>> Search(
+      const data::Dataset& queries, std::size_t k,
+      GannsParams params = GannsParams());
+
+  /// Convenience single-query search.
+  std::vector<graph::Neighbor> SearchOne(std::span<const float> query,
+                                         std::size_t k,
+                                         GannsParams params = GannsParams());
+
+  /// Persists the graph structure (not the corpus) to `path`. Returns false
+  /// on IO failure. Load with the same corpus to reconstruct the index.
+  bool Save(const std::string& path) const;
+
+  /// Restores an index previously written by Save. The caller supplies the
+  /// same corpus the index was built from. Returns std::nullopt on IO or
+  /// format errors.
+  static std::optional<GannsIndex> Load(const std::string& path,
+                                        data::Dataset base,
+                                        const Options& options = Options());
+
+  const data::Dataset& base() const { return base_; }
+  const Options& options() const { return options_; }
+  const Timing& timing() const { return timing_; }
+  GraphKind kind() const { return options_.kind; }
+
+  /// The flat graph (NSW kind) or the bottom layer (HNSW kind).
+  const graph::ProximityGraph& bottom_graph() const;
+
+ private:
+  GannsIndex(data::Dataset base, const Options& options);
+
+  data::Dataset base_;
+  Options options_;
+  Timing timing_;
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<graph::ProximityGraph> nsw_;  // kNsw
+  std::unique_ptr<graph::HnswGraph> hnsw_;      // kHnsw
+};
+
+}  // namespace core
+}  // namespace ganns
+
+#endif  // GANNS_CORE_GANNS_INDEX_H_

@@ -1,0 +1,191 @@
+#include "core/ganns_search.h"
+
+#include <bit>
+
+#include "common/logging.h"
+#include "gpusim/bitonic.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+/// One element of the fixed-length arrays N and T: distance to the query,
+/// vertex id, and the explored flag of §III-B. Sentinel slots carry
+/// (kInfDist, kInvalidVertex, explored=true) so they sort to the tail and
+/// are never selected for exploration.
+struct Slot {
+  Dist dist = kInfDist;
+  VertexId id = kInvalidVertex;
+  bool explored = true;
+};
+
+constexpr Slot kSentinelSlot{};
+
+/// Strict weak order by (dist, id) — the sort key of phases (5)/(6), with
+/// ties broken by vertex id as the paper specifies.
+bool SlotLess(const Slot& a, const Slot& b) {
+  if (a.dist != b.dist) return a.dist < b.dist;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::vector<graph::Neighbor> GannsSearchOne(
+    gpusim::BlockContext& block, const graph::ProximityGraph& graph,
+    const data::Dataset& base, std::span<const float> query,
+    const GannsParams& params, VertexId entry, GannsSearchStats* stats) {
+  GANNS_CHECK(params.k >= 1);
+  GANNS_CHECK(params.l_n >= params.k);
+  GANNS_CHECK_MSG((params.l_n & (params.l_n - 1)) == 0,
+                  "l_n must be a power of two, got " << params.l_n);
+  GANNS_CHECK(entry < graph.num_vertices());
+  gpusim::Warp& warp = block.warp();
+  GannsSearchStats local;
+
+  const std::size_t l_n = params.l_n;
+  const std::size_t l_t = gpusim::NextPow2(graph.d_max());
+  const std::size_t e = params.EffectiveE();
+
+  // Shared-memory arrays (§III-B "Data Structures and Memory Allocation"):
+  // N holds the top results and potential exploring vertices, T the visiting
+  // vertices of the current iteration.
+  std::span<Slot> result_array = block.AllocShared<Slot>(l_n);    // N
+  std::span<Slot> visiting = block.AllocShared<Slot>(l_t);        // T
+  std::span<Slot> merge_scratch = block.AllocShared<Slot>(
+      2 * gpusim::NextPow2(l_n > l_t ? l_n : l_t));
+
+  const auto compute_distance = [&](VertexId v) {
+    warp.ChargeDistance(base.dim());
+    ++local.distance_computations;
+    return data::ExactDistance(base.metric(), base.Point(v), query);
+  };
+
+  result_array[0] = Slot{compute_distance(entry), entry, false};
+
+  // Safety bound: every iteration explores one unexplored slot of N and a
+  // vertex can only be re-explored when the ablation disables the lazy
+  // check, so l_n * 64 is far beyond any legitimate run.
+  const std::size_t max_iterations = l_n * 64;
+  while (local.iterations < max_iterations) {
+    // Phase (1): candidate locating. Warp-wide ballot over the explored
+    // flags of N[0..e), __ffs picks the first unexplored vertex.
+    std::size_t explore_pos = e;
+    for (std::size_t chunk = 0; chunk < e; chunk += gpusim::kWarpSize) {
+      const int n = static_cast<int>(
+          chunk + gpusim::kWarpSize <= e ? gpusim::kWarpSize : e - chunk);
+      const std::uint32_t mask = warp.BallotSync(n, [&](int lane) {
+        const Slot& slot = result_array[chunk + lane];
+        return slot.id != kInvalidVertex && !slot.explored;
+      });
+      if (mask != 0) {
+        explore_pos = chunk + static_cast<std::size_t>(gpusim::Warp::Ffs(mask));
+        break;
+      }
+    }
+    if (explore_pos == e) break;  // all candidates explored: terminate
+    ++local.iterations;
+
+    // Phase (2): neighborhood exploration. Load the adjacency row of the
+    // exploring vertex into T cooperatively; mark it explored.
+    const VertexId exploring = result_array[explore_pos].id;
+    result_array[explore_pos].explored = true;
+    warp.ChargeGlobalLoad(graph.d_max(), gpusim::CostCategory::kDataStructure);
+    const auto neighbor_ids = graph.Neighbors(exploring);
+    const std::size_t degree = graph.Degree(exploring);
+    warp.ParallelFor(l_t, gpusim::CostCategory::kDataStructure,
+                     warp.params().shared_access, [&](std::size_t i) {
+                       visiting[i] = i < degree
+                                         ? Slot{0.0f, neighbor_ids[i], false}
+                                         : kSentinelSlot;
+                     });
+
+    // Phase (3): bulk distance computation, one vertex of T at a time with
+    // every lane of the warp cooperating (sub-vector per lane +
+    // __shfl_down_sync reduction).
+    for (std::size_t i = 0; i < degree; ++i) {
+      visiting[i].dist = compute_distance(visiting[i].id);
+    }
+
+    // Phase (4): lazy check. Parallel binary search of each visiting vertex
+    // in the sorted array N; a hit means its distance was re-computed
+    // redundantly, and the slot is neutralized so the duplicate cannot
+    // propagate (it is marked explored and pushed to the tail by the sort).
+    if (!params.disable_lazy_check) {
+      warp.ChargeBinarySearch(degree, l_n,
+                              gpusim::CostCategory::kDataStructure);
+      for (std::size_t i = 0; i < degree; ++i) {
+        const Slot& probe = visiting[i];
+        std::size_t lo = 0;
+        std::size_t hi = l_n;
+        while (lo < hi) {
+          const std::size_t mid = (lo + hi) / 2;
+          if (SlotLess(result_array[mid], probe)) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        if (lo < l_n && result_array[lo].id == probe.id &&
+            result_array[lo].dist == probe.dist) {
+          ++local.redundant_distances;
+          visiting[i] = kSentinelSlot;
+        }
+      }
+    }
+
+    // Phase (5): bitonic sort of T by (dist, id); sentinel slots sink to the
+    // tail because they carry infinite distance.
+    gpusim::BitonicSort(warp, visiting, SlotLess,
+                        gpusim::CostCategory::kDataStructure);
+
+    // Phase (6): candidate update. Bitonic merge keeps the l_n closest
+    // vertices of T ∪ N in N. A vertex that was explored and later discarded
+    // from N can never re-enter: the l_n-th distance of N only decreases.
+    gpusim::MergeSortedKeepFirst(
+        warp, result_array, std::span<const Slot>(visiting), merge_scratch,
+        kSentinelSlot, SlotLess, gpusim::CostCategory::kDataStructure);
+  }
+
+  // Result write-back: the first k valid entries of N (already sorted).
+  std::vector<graph::Neighbor> out;
+  out.reserve(params.k);
+  for (std::size_t i = 0; i < l_n && out.size() < params.k; ++i) {
+    if (result_array[i].id == kInvalidVertex) break;
+    out.push_back({result_array[i].dist, result_array[i].id});
+  }
+  warp.cost().Charge(gpusim::CostCategory::kOther,
+                     warp.StepsFor(params.k) * warp.params().global_transaction);
+  if (stats != nullptr) stats->Add(local);
+  return out;
+}
+
+graph::BatchSearchResult GannsSearchBatch(gpusim::Device& device,
+                                          const graph::ProximityGraph& graph,
+                                          const data::Dataset& base,
+                                          const data::Dataset& queries,
+                                          const GannsParams& params,
+                                          int block_lanes, VertexId entry) {
+  GANNS_CHECK(base.dim() == queries.dim());
+  graph::BatchSearchResult batch;
+  batch.results.resize(queries.size());
+
+  batch.kernel = device.Launch(
+      static_cast<int>(queries.size()), block_lanes,
+      [&](gpusim::BlockContext& block) {
+        const VertexId q = static_cast<VertexId>(block.block_id());
+        const std::vector<graph::Neighbor> found = GannsSearchOne(
+            block, graph, base, queries.Point(q), params, entry);
+        auto& out = batch.results[q];
+        out.reserve(found.size());
+        for (const graph::Neighbor& n : found) out.push_back(n.id);
+      });
+
+  batch.sim_seconds = device.CyclesToSeconds(batch.kernel.sim_cycles);
+  batch.qps = batch.sim_seconds > 0
+                  ? static_cast<double>(queries.size()) / batch.sim_seconds
+                  : 0;
+  return batch;
+}
+
+}  // namespace core
+}  // namespace ganns

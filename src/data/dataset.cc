@@ -1,0 +1,58 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace data {
+
+void Dataset::Append(std::span<const float> point) {
+  GANNS_CHECK_MSG(point.size() == dim_,
+                  "appending " << point.size() << "-dim point to " << dim_
+                               << "-dim dataset");
+  values_.insert(values_.end(), point.begin(), point.end());
+}
+
+void Dataset::NormalizeRows() {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = values_.data() + i * dim_;
+    double norm_sq = 0;
+    for (std::size_t d = 0; d < dim_; ++d) norm_sq += double{row[d]} * row[d];
+    if (norm_sq <= 0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (std::size_t d = 0; d < dim_; ++d) row[d] *= inv;
+  }
+}
+
+Dataset Dataset::TruncateDims(std::size_t new_dim) const {
+  GANNS_CHECK(new_dim >= 1 && new_dim <= dim_);
+  Dataset out(name_ + "-d" + std::to_string(new_dim), new_dim, metric_);
+  out.Reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.Append(Point(static_cast<VertexId>(i)).subspan(0, new_dim));
+  }
+  if (metric_ == Metric::kCosine) out.NormalizeRows();
+  return out;
+}
+
+Dist ExactDistance(Metric metric, std::span<const float> a,
+                   std::span<const float> b) {
+  GANNS_CHECK(a.size() == b.size());
+  const std::size_t dim = a.size();
+  if (metric == Metric::kL2) {
+    float sum = 0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float diff = a[d] - b[d];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+  float dot = 0;
+  for (std::size_t d = 0; d < dim; ++d) dot += a[d] * b[d];
+  return 1.0f - dot;
+}
+
+}  // namespace data
+}  // namespace ganns

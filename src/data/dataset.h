@@ -1,0 +1,80 @@
+#ifndef GANNS_DATA_DATASET_H_
+#define GANNS_DATA_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace ganns {
+namespace data {
+
+/// Distance metric attached to a dataset (Table I of the paper).
+enum class Metric {
+  /// Squared Euclidean distance. Monotone in Euclidean distance, so nearest
+  /// neighbors and recall are identical while saving the sqrt — the same
+  /// trick every production ANN system uses.
+  kL2,
+  /// Cosine distance 1 - cos(u, v). Dataset vectors are L2-normalized at
+  /// construction, after which 1 - <u, v> computes it with one dot product.
+  kCosine,
+};
+
+/// An in-memory collection of fixed-dimension float vectors plus its metric.
+/// Rows are stored contiguously (row-major), matching the "features in GPU
+/// global memory" layout the kernels index into.
+class Dataset {
+ public:
+  Dataset(std::string name, std::size_t dim, Metric metric)
+      : name_(std::move(name)), dim_(dim), metric_(metric) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
+  std::size_t size() const { return dim_ == 0 ? 0 : values_.size() / dim_; }
+
+  /// The i-th vector.
+  std::span<const float> Point(VertexId i) const {
+    GANNS_CHECK_MSG(std::size_t{i} < size(),
+                    "point " << i << " out of range (size " << size() << ")");
+    return std::span<const float>(values_.data() + std::size_t{i} * dim_, dim_);
+  }
+
+  /// Appends one vector; must have exactly dim() components.
+  void Append(std::span<const float> point);
+
+  /// Reserves storage for n points.
+  void Reserve(std::size_t n) { values_.reserve(n * dim_); }
+
+  /// L2-normalizes every vector in place (no-op for all-zero rows). Called by
+  /// generators for cosine datasets so that 1 - dot() is the cosine distance.
+  void NormalizeRows();
+
+  /// Keeps only the first `new_dim` coordinates of every vector (used by the
+  /// Figure 9 dimensionality experiment, which truncates GIST from 960 down
+  /// to 60 dims, and by SIFT10M which uses the first 32 SIFT dims).
+  Dataset TruncateDims(std::size_t new_dim) const;
+
+  /// Direct access to the row-major buffer.
+  std::span<const float> values() const { return values_; }
+
+ private:
+  std::string name_;
+  std::size_t dim_;
+  Metric metric_;
+  std::vector<float> values_;
+};
+
+/// Computes the dataset's metric between two equal-length vectors.
+/// For kL2 this is squared Euclidean; for kCosine it is 1 - <a, b> and
+/// assumes both vectors are unit-normalized.
+Dist ExactDistance(Metric metric, std::span<const float> a,
+                   std::span<const float> b);
+
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_DATASET_H_

@@ -1,0 +1,82 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace ganns {
+namespace data {
+
+GroundTruth BruteForceKnn(const Dataset& base, const Dataset& queries,
+                          std::size_t k) {
+  GANNS_CHECK(base.dim() == queries.dim());
+  GANNS_CHECK(k >= 1);
+  GANNS_CHECK_MSG(base.size() >= k, "need at least k base points");
+
+  GroundTruth truth;
+  truth.k = k;
+  truth.neighbors.resize(queries.size());
+
+  ThreadPool::Global().ParallelFor(queries.size(), [&](std::size_t q) {
+    const std::span<const float> query = queries.Point(static_cast<VertexId>(q));
+    // Bounded max-heap of the best k (dist, id) pairs seen so far.
+    std::vector<std::pair<Dist, VertexId>> heap;
+    heap.reserve(k);
+    const auto worse = [](const std::pair<Dist, VertexId>& a,
+                          const std::pair<Dist, VertexId>& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;  // larger id = worse on ties
+    };
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const VertexId id = static_cast<VertexId>(i);
+      const Dist dist = ExactDistance(base.metric(), base.Point(id), query);
+      const std::pair<Dist, VertexId> entry{dist, id};
+      if (heap.size() < k) {
+        heap.push_back(entry);
+        std::push_heap(heap.begin(), heap.end(), worse);
+      } else if (worse(entry, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.back() = entry;
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end(), worse);
+    auto& row = truth.neighbors[q];
+    row.reserve(k);
+    for (const auto& [dist, id] : heap) row.push_back(id);
+  });
+  return truth;
+}
+
+double RecallAtK(std::span<const VertexId> result,
+                 std::span<const VertexId> truth, std::size_t k) {
+  GANNS_CHECK(k >= 1);
+  GANNS_CHECK(truth.size() >= k);
+  std::size_t hits = 0;
+  const std::size_t considered = std::min(result.size(), k);
+  for (std::size_t i = 0; i < considered; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (result[i] == truth[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double MeanRecall(const std::vector<std::vector<VertexId>>& results,
+                  const GroundTruth& truth, std::size_t k) {
+  GANNS_CHECK(results.size() == truth.neighbors.size());
+  if (results.empty()) return 0.0;
+  double sum = 0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    sum += RecallAtK(results[q], truth.neighbors[q], k);
+  }
+  return sum / static_cast<double>(results.size());
+}
+
+}  // namespace data
+}  // namespace ganns

@@ -1,0 +1,40 @@
+#ifndef GANNS_DATA_GROUND_TRUTH_H_
+#define GANNS_DATA_GROUND_TRUTH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "data/dataset.h"
+
+namespace ganns {
+namespace data {
+
+/// Exact k-nearest-neighbor ids for a batch of queries, one row per query,
+/// sorted by increasing distance (ties broken by smaller id).
+struct GroundTruth {
+  std::size_t k = 0;
+  std::vector<std::vector<VertexId>> neighbors;
+};
+
+/// Brute-force exact KNN over the base corpus (the reference N(q) of
+/// Definition 1). O(|base| * |queries| * dim); parallelized over queries on
+/// the host pool. Deterministic: ties are broken by vertex id.
+GroundTruth BruteForceKnn(const Dataset& base, const Dataset& queries,
+                          std::size_t k);
+
+/// Recall of one result list against one truth row: |result ∩ truth| / k,
+/// the precision measure of §II-A (result may contain fewer than k entries;
+/// missing entries count as misses).
+double RecallAtK(std::span<const VertexId> result,
+                 std::span<const VertexId> truth, std::size_t k);
+
+/// Mean RecallAtK over a batch; `results[i]` is the answer for query i.
+double MeanRecall(const std::vector<std::vector<VertexId>>& results,
+                  const GroundTruth& truth, std::size_t k);
+
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_GROUND_TRUTH_H_

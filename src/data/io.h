@@ -1,0 +1,35 @@
+#ifndef GANNS_DATA_IO_H_
+#define GANNS_DATA_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ganns {
+namespace data {
+
+/// Reads a TexMex-format .fvecs file (the format SIFT1M/GIST are distributed
+/// in: per vector, an int32 dimension followed by that many float32 values).
+/// Returns std::nullopt on open failure or a malformed record.
+std::optional<Dataset> ReadFvecs(const std::string& path,
+                                 const std::string& name, Metric metric);
+
+/// Writes a dataset to .fvecs format. Returns false on IO failure.
+bool WriteFvecs(const std::string& path, const Dataset& dataset);
+
+/// Reads a TexMex-format .ivecs file (int32 dimension + int32 values per
+/// row; used for distributed ground-truth files).
+std::optional<std::vector<std::vector<std::int32_t>>> ReadIvecs(
+    const std::string& path);
+
+/// Writes rows of int32 values to .ivecs format. Returns false on failure.
+bool WriteIvecs(const std::string& path,
+                const std::vector<std::vector<std::int32_t>>& rows);
+
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_IO_H_

@@ -1,0 +1,96 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace ganns {
+namespace data {
+
+DatasetStats ComputeStats(const Dataset& dataset, std::size_t sample,
+                          std::size_t k, std::uint64_t seed) {
+  const std::size_t n = dataset.size();
+  GANNS_CHECK(n >= k + 2);
+  GANNS_CHECK(k >= 2);
+  sample = std::min(sample, n);
+
+  // Sampled point ids (without replacement would need a shuffle; for
+  // statistics, independent draws are fine and deterministic).
+  Rng rng(seed);
+  std::vector<VertexId> picks(sample);
+  for (auto& p : picks) p = static_cast<VertexId>(rng.NextBounded(n));
+
+  std::vector<double> nn_dist(sample, 0);
+  std::vector<double> pair_dist(sample, 0);
+  std::vector<double> lid(sample, 0);
+
+  ThreadPool::Global().ParallelFor(sample, [&](std::size_t s) {
+    const VertexId v = picks[s];
+    // Exact k nearest neighbors of v.
+    std::vector<float> dists;
+    dists.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == v) continue;
+      dists.push_back(ExactDistance(dataset.metric(), dataset.Point(v),
+                                    dataset.Point(static_cast<VertexId>(j))));
+    }
+    std::nth_element(dists.begin(), dists.begin() + k - 1, dists.end());
+    std::vector<float> knn(dists.begin(), dists.begin() + k);
+    std::sort(knn.begin(), knn.end());
+
+    // Distances are squared for L2; statistics use metric-space distances.
+    const auto to_metric = [&](double d) {
+      return dataset.metric() == Metric::kL2 ? std::sqrt(std::max(0.0, d))
+                                             : std::max(0.0, d);
+    };
+    nn_dist[s] = to_metric(knn[0]);
+
+    // Mean distance to a random point (one draw per sample keeps the cost
+    // linear; the estimator averages over the sample set).
+    Rng pair_rng(seed ^ (0x9e3779b97f4a7c15ULL * (s + 1)));
+    VertexId other = static_cast<VertexId>(pair_rng.NextBounded(n));
+    if (other == v) other = (other + 1) % n;
+    pair_dist[s] = to_metric(ExactDistance(dataset.metric(), dataset.Point(v),
+                                           dataset.Point(other)));
+
+    // Levina-Bickel MLE: LID = ((1/(k-1)) * sum ln(r_k / r_i))^-1 over the
+    // k-NN radii (in metric space).
+    const double r_k = to_metric(knn[k - 1]);
+    if (r_k > 0) {
+      double acc = 0;
+      std::size_t used = 0;
+      for (std::size_t i = 0; i + 1 < k; ++i) {
+        const double r_i = to_metric(knn[i]);
+        if (r_i <= 0) continue;
+        acc += std::log(r_k / r_i);
+        ++used;
+      }
+      if (used > 0 && acc > 0) {
+        lid[s] = static_cast<double>(used) / acc;
+      }
+    }
+  });
+
+  DatasetStats stats;
+  stats.sampled_points = sample;
+  for (std::size_t s = 0; s < sample; ++s) {
+    stats.mean_nn_distance += nn_dist[s];
+    stats.mean_pair_distance += pair_dist[s];
+    stats.lid_estimate += lid[s];
+  }
+  stats.mean_nn_distance /= static_cast<double>(sample);
+  stats.mean_pair_distance /= static_cast<double>(sample);
+  stats.lid_estimate /= static_cast<double>(sample);
+  stats.relative_contrast =
+      stats.mean_nn_distance > 0
+          ? stats.mean_pair_distance / stats.mean_nn_distance
+          : 0;
+  return stats;
+}
+
+}  // namespace data
+}  // namespace ganns

@@ -1,0 +1,37 @@
+#ifndef GANNS_DATA_STATISTICS_H_
+#define GANNS_DATA_STATISTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace ganns {
+namespace data {
+
+/// Hardness statistics of a corpus, underpinning Table I's commentary
+/// ("NYTimes and GloVe200 are heavily skewed while the dimension of GIST is
+/// relatively high. This makes them hard").
+struct DatasetStats {
+  std::size_t sampled_points = 0;
+  /// Mean distance from a sampled point to its nearest neighbor.
+  double mean_nn_distance = 0;
+  /// Mean distance between random point pairs.
+  double mean_pair_distance = 0;
+  /// Relative contrast: mean pair distance / mean NN distance. Low contrast
+  /// = hard dataset (neighbors barely closer than random points).
+  double relative_contrast = 0;
+  /// Maximum-likelihood estimate of the local intrinsic dimensionality
+  /// (Levina-Bickel over the k nearest neighbors); high LID = hard.
+  double lid_estimate = 0;
+};
+
+/// Computes hardness statistics from `sample` randomly chosen points (exact
+/// k-NN against the whole corpus per sampled point; O(sample * n * dim)).
+DatasetStats ComputeStats(const Dataset& dataset, std::size_t sample,
+                          std::size_t k, std::uint64_t seed);
+
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_STATISTICS_H_

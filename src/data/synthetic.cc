@@ -1,0 +1,138 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ganns {
+namespace data {
+namespace {
+
+// Table I of the paper, with generator knobs per dataset:
+//  - hard datasets (NYTimes, GloVe200) get strong Zipf skew and blurrier
+//    clusters; GIST is hard purely through its 960 dimensions;
+//  - UKBench models its groups-of-4 near-duplicate structure with many tiny,
+//    tight clusters, which is why recall approaches 1 there;
+//  - SIFT10M uses 32 dims (the paper keeps only the first 32 SIFT dims).
+constexpr int kNumDatasets = 10;
+const std::array<DatasetSpec, kNumDatasets>& AllSpecs() {
+  static const std::array<DatasetSpec, kNumDatasets>* specs =
+      new std::array<DatasetSpec, kNumDatasets>{{
+          {"SIFT1M", 128, Metric::kL2, 1.0, 100, 0.30, 0.0},
+          {"GIST", 960, Metric::kL2, 1.0, 100, 0.35, 0.0},
+          {"NYTimes", 256, Metric::kCosine, 0.29, 60, 0.45, 1.0},
+          {"GloVe200", 200, Metric::kCosine, 1.18, 60, 0.50, 1.0},
+          {"UQ_V", 256, Metric::kL2, 3.03, 120, 0.25, 0.0},
+          {"MSong", 420, Metric::kL2, 0.99, 100, 0.30, 0.0},
+          {"Notre", 128, Metric::kL2, 0.33, 100, 0.25, 0.0},
+          {"UKBench", 128, Metric::kL2, 1.1, 2500, 0.10, 0.0},
+          {"DEEP", 96, Metric::kL2, 8.0, 120, 0.28, 0.0},
+          {"SIFT10M", 32, Metric::kL2, 10.0, 120, 0.30, 0.0},
+      }};
+  return *specs;
+}
+
+// Stable 64-bit hash of the dataset name; seeds the cluster-center stream so
+// base corpus and query set share centers regardless of their point seeds.
+std::uint64_t NameSeed(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct ClusterMixture {
+  std::vector<float> centers;       // num_clusters x dim, row-major
+  std::vector<double> cum_weights;  // cumulative sampling distribution
+  std::size_t num_clusters = 0;
+};
+
+ClusterMixture BuildMixture(const DatasetSpec& spec, std::size_t num_points) {
+  ClusterMixture mix;
+  const double raw =
+      spec.clusters_per_10k * static_cast<double>(num_points) / 10000.0;
+  mix.num_clusters = std::max<std::size_t>(4, static_cast<std::size_t>(raw));
+  mix.num_clusters = std::min(mix.num_clusters, std::max<std::size_t>(4, num_points / 2));
+
+  Rng center_rng(NameSeed(spec.name));
+  mix.centers.resize(mix.num_clusters * spec.dim);
+  for (float& v : mix.centers) v = center_rng.NextUniform(-1.0f, 1.0f);
+
+  // Zipf-distributed cluster occupancy: weight(c) = 1 / (c + 1)^s.
+  mix.cum_weights.resize(mix.num_clusters);
+  double total = 0;
+  for (std::size_t c = 0; c < mix.num_clusters; ++c) {
+    total += 1.0 / std::pow(static_cast<double>(c + 1), spec.zipf_s);
+    mix.cum_weights[c] = total;
+  }
+  for (double& w : mix.cum_weights) w /= total;
+  return mix;
+}
+
+Dataset Generate(const DatasetSpec& spec, std::size_t num_points,
+                 std::size_t mixture_points, std::uint64_t seed) {
+  GANNS_CHECK(spec.dim >= 1);
+  GANNS_CHECK(num_points >= 1);
+  const ClusterMixture mix = BuildMixture(spec, mixture_points);
+
+  // Scale noise by the typical center spread so cluster_std is comparable
+  // across dimensions: uniform centers in [-1,1]^d sit ~sqrt(2d/3) apart.
+  const double noise_sigma =
+      spec.cluster_std * std::sqrt(2.0 * static_cast<double>(spec.dim) / 3.0) /
+      std::sqrt(static_cast<double>(spec.dim));
+
+  Dataset out(spec.name, spec.dim, spec.metric);
+  out.Reserve(num_points);
+  Rng rng(seed ^ NameSeed(spec.name));
+  std::vector<float> point(spec.dim);
+  for (std::size_t i = 0; i < num_points; ++i) {
+    const double u = rng.NextDouble();
+    const std::size_t cluster =
+        std::lower_bound(mix.cum_weights.begin(), mix.cum_weights.end(), u) -
+        mix.cum_weights.begin();
+    const float* center = mix.centers.data() + cluster * spec.dim;
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      point[d] = center[d] +
+                 static_cast<float>(rng.NextGaussian() * noise_sigma);
+    }
+    out.Append(point);
+  }
+  if (spec.metric == Metric::kCosine) out.NormalizeRows();
+  return out;
+}
+
+}  // namespace
+
+std::span<const DatasetSpec> PaperDatasets() {
+  return std::span<const DatasetSpec>(AllSpecs().data(), AllSpecs().size());
+}
+
+const DatasetSpec& PaperDataset(const std::string& name) {
+  for (const DatasetSpec& spec : AllSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  GANNS_CHECK_MSG(false, "unknown Table I dataset: " << name);
+  __builtin_unreachable();
+}
+
+Dataset GenerateBase(const DatasetSpec& spec, std::size_t num_points,
+                     std::uint64_t seed) {
+  return Generate(spec, num_points, num_points, seed * 2 + 1);
+}
+
+Dataset GenerateQueries(const DatasetSpec& spec, std::size_t num_queries,
+                        std::size_t base_points, std::uint64_t seed) {
+  // The mixture is rebuilt from the base-corpus size so queries sample the
+  // same clusters the base corpus populated (the center stream is a
+  // deterministic function of the dataset name).
+  return Generate(spec, num_queries, base_points, seed * 2);
+}
+
+}  // namespace data
+}  // namespace ganns

@@ -1,0 +1,62 @@
+#ifndef GANNS_DATA_SYNTHETIC_H_
+#define GANNS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ganns {
+namespace data {
+
+/// Generator parameters mimicking one of the paper's Table I datasets.
+///
+/// The paper's real corpora are not redistributable, so experiments run on
+/// seeded clustered-Gaussian surrogates that reproduce the properties that
+/// drive graph-ANN behaviour: dimensionality, metric, relative corpus size,
+/// and cluster skew (NYTimes and GloVe200 are called out as "heavily skewed"
+/// and behave as the hard datasets; UKBench, built from groups of 4 images of
+/// the same object, is the easy near-duplicate corpus). Real .fvecs data can
+/// be dropped in via data/io.h instead.
+struct DatasetSpec {
+  std::string name;
+  std::size_t dim = 0;
+  Metric metric = Metric::kL2;
+  /// Corpus size in millions (Table I); scaled by the experiment harness.
+  double size_millions = 1.0;
+  /// Number of Gaussian clusters per 10k generated points.
+  double clusters_per_10k = 100.0;
+  /// Cluster standard deviation relative to the typical inter-center
+  /// distance; larger values blur cluster structure and make search harder.
+  double cluster_std = 0.30;
+  /// Zipf exponent for cluster occupancy (0 = uniform; ~1 = heavily skewed).
+  double zipf_s = 0.0;
+};
+
+/// The ten Table I datasets, in the paper's order:
+/// SIFT1M, GIST, NYTimes, GloVe200, UQ_V, MSong, Notre, UKBench, DEEP,
+/// SIFT10M.
+std::span<const DatasetSpec> PaperDatasets();
+
+/// Looks up a Table I spec by name (fatal if unknown).
+const DatasetSpec& PaperDataset(const std::string& name);
+
+/// Generates the base corpus: `num_points` vectors drawn from the spec's
+/// cluster mixture. Deterministic in (spec.name, seed). Cosine datasets are
+/// returned row-normalized.
+Dataset GenerateBase(const DatasetSpec& spec, std::size_t num_points,
+                     std::uint64_t seed);
+
+/// Generates held-out query points from the same cluster mixture as a base
+/// corpus of `base_points` vectors (the paper's test sets contain 2000
+/// queries). Queries share the base's cluster centers but use disjoint
+/// noise, so they have genuine near neighbors in the base corpus without
+/// duplicating any base vector.
+Dataset GenerateQueries(const DatasetSpec& spec, std::size_t num_queries,
+                        std::size_t base_points, std::uint64_t seed);
+
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_SYNTHETIC_H_

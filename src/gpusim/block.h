@@ -1,0 +1,90 @@
+#ifndef GANNS_GPUSIM_BLOCK_H_
+#define GANNS_GPUSIM_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/warp.h"
+
+namespace ganns {
+namespace gpusim {
+
+/// Per-block execution context handed to the kernel body.
+///
+/// Models one CUDA thread block: a block id within the grid, `n_t` lanes
+/// executing in lock step (exposed through warp()), a bump-allocated shared
+/// memory arena with the hardware capacity limit, and the block's private
+/// cost accumulator. Blocks never communicate during a kernel (matching the
+/// paper's kernels, which synchronize only at launch boundaries).
+class BlockContext {
+ public:
+  BlockContext(int block_id, int num_lanes, std::size_t shared_limit_bytes,
+               const CostParams* params)
+      : block_id_(block_id),
+        shared_limit_(shared_limit_bytes),
+        warp_(num_lanes, &cost_) {
+    warp_.set_params(params);
+  }
+
+  BlockContext(const BlockContext&) = delete;
+  BlockContext& operator=(const BlockContext&) = delete;
+
+  int block_id() const { return block_id_; }
+  int num_lanes() const { return warp_.num_lanes(); }
+  Warp& warp() { return warp_; }
+  CostModel& cost() { return cost_; }
+
+  /// Allocates `count` default-initialized elements of T from the block's
+  /// shared-memory arena. Fails (fatally) if the 48 KB-class limit is
+  /// exceeded — the same constraint that forces the paper to keep l_n and
+  /// l_t small (§III-C "Memory Usage").
+  template <typename T>
+  std::span<T> AllocShared(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "shared memory holds trivially destructible types only");
+    const std::size_t bytes = count * sizeof(T);
+    const std::size_t aligned = (shared_used_ + alignof(T) - 1) &
+                                ~(alignof(T) - 1);
+    GANNS_CHECK_MSG(aligned + bytes <= shared_limit_,
+                    "shared memory overflow: need "
+                        << aligned + bytes << " bytes, limit " << shared_limit_);
+    arenas_.push_back(std::make_unique<std::byte[]>(bytes));
+    shared_used_ = aligned + bytes;
+    T* ptr = reinterpret_cast<T*>(arenas_.back().get());
+    for (std::size_t i = 0; i < count; ++i) new (ptr + i) T();
+    return std::span<T>(ptr, count);
+  }
+
+  /// Bytes of shared memory allocated so far.
+  std::size_t shared_used() const { return shared_used_; }
+
+  /// Releases every shared allocation (previously returned spans become
+  /// dangling). Long-running construction blocks call this between point
+  /// insertions, mirroring how a CUDA kernel reuses its static shared
+  /// buffers across loop iterations; the capacity check then applies to the
+  /// per-iteration working set, which is the quantity the hardware limits.
+  void ResetShared() {
+    arenas_.clear();
+    shared_used_ = 0;
+  }
+
+ private:
+  int block_id_;
+  std::size_t shared_limit_;
+  std::size_t shared_used_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> arenas_;
+  CostModel cost_;
+  Warp warp_;
+};
+
+}  // namespace gpusim
+}  // namespace ganns
+
+#endif  // GANNS_GPUSIM_BLOCK_H_

@@ -1,0 +1,72 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace ganns {
+namespace gpusim {
+
+Device::Device(const DeviceSpec& spec) : spec_(spec) {
+  GANNS_CHECK(spec_.num_sms >= 1);
+  GANNS_CHECK(spec_.concurrent_blocks >= 1);
+  GANNS_CHECK(spec_.clock_ghz > 0);
+}
+
+KernelStats Device::Launch(int grid_size, int block_lanes,
+                           const std::function<void(BlockContext&)>& body) {
+  GANNS_CHECK(grid_size >= 0);
+  if (grid_size == 0) return KernelStats{};
+  WallTimer timer;
+
+  std::vector<double> block_cycles(grid_size, 0.0);
+  std::vector<CostModel> block_costs(grid_size);
+
+  ThreadPool::Global().ParallelFor(
+      static_cast<std::size_t>(grid_size), [&](std::size_t b) {
+        BlockContext block(static_cast<int>(b), block_lanes,
+                           spec_.shared_memory_per_block, &spec_.cost);
+        body(block);
+        block_cycles[b] = block.cost().total_cycles();
+        block_costs[b] = block.cost();
+      });
+
+  CostModel work;
+  for (const CostModel& c : block_costs) work.Add(c);
+  return Finish(grid_size, std::move(block_cycles), work, timer.Seconds());
+}
+
+KernelStats Device::Finish(int grid_size, std::vector<double>&& block_cycles,
+                           const CostModel& work, double wall_seconds) {
+  // Round-robin the blocks over the device's execution slots; the kernel
+  // completes when the busiest slot drains. This captures both the
+  // load-imbalance ("max over units") effect and the saturation point where
+  // additional blocks queue behind resident ones.
+  const int slots = std::min(spec_.concurrent_blocks, grid_size);
+  std::vector<double> slot_cycles(slots, 0.0);
+  for (int b = 0; b < grid_size; ++b) {
+    slot_cycles[b % slots] += block_cycles[b];
+  }
+  KernelStats stats;
+  stats.grid_size = grid_size;
+  stats.sim_cycles = *std::max_element(slot_cycles.begin(), slot_cycles.end()) +
+                     spec_.cost.launch_overhead;
+  for (int i = 0; i < kNumCostCategories; ++i) {
+    stats.work_cycles[i] = work.cycles(static_cast<CostCategory>(i));
+    timeline_work_[i] += stats.work_cycles[i];
+  }
+  stats.wall_seconds = wall_seconds;
+  timeline_cycles_ += stats.sim_cycles;
+  return stats;
+}
+
+void Device::ResetTimeline() {
+  timeline_cycles_ = 0;
+  timeline_work_.fill(0.0);
+}
+
+}  // namespace gpusim
+}  // namespace ganns

@@ -1,0 +1,105 @@
+#include "gpusim/scan.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "gpusim/bitonic.h"
+
+namespace ganns {
+namespace gpusim {
+namespace {
+
+/// Elements scanned per block: one shared-memory tile. 512 words keeps the
+/// tile well inside the 48 KB shared budget alongside the scan tree.
+constexpr std::size_t kScanTile = 512;
+
+/// Exclusive Blelloch scan of one tile in shared memory. `tile` has
+/// power-of-two length; returns the tile's total. Charges the up-sweep and
+/// down-sweep passes: 2 * log2(T) lane-strided passes over up to T/2 nodes.
+std::uint32_t ScanTileInPlace(Warp& warp, std::span<std::uint32_t> tile,
+                              CostCategory category) {
+  const std::size_t len = tile.size();
+  GANNS_CHECK((len & (len - 1)) == 0);
+  const double per_node = warp.params().alu_step + 2 * warp.params().shared_access;
+  // Up-sweep (reduce).
+  for (std::size_t stride = 1; stride < len; stride <<= 1) {
+    for (std::size_t i = 2 * stride - 1; i < len; i += 2 * stride) {
+      tile[i] += tile[i - stride];
+    }
+    warp.cost().Charge(category,
+                       warp.StepsFor(len / (2 * stride)) * per_node);
+  }
+  const std::uint32_t total = tile[len - 1];
+  tile[len - 1] = 0;
+  // Down-sweep.
+  for (std::size_t stride = len / 2; stride >= 1; stride >>= 1) {
+    for (std::size_t i = 2 * stride - 1; i < len; i += 2 * stride) {
+      const std::uint32_t left = tile[i - stride];
+      tile[i - stride] = tile[i];
+      tile[i] += left;
+    }
+    warp.cost().Charge(category,
+                       warp.StepsFor(len / (2 * stride)) * per_node);
+    if (stride == 1) break;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint32_t GlobalExclusiveScan(Device& device,
+                                  std::span<const std::uint32_t> in,
+                                  std::span<std::uint32_t> out,
+                                  int block_lanes, CostCategory category) {
+  GANNS_CHECK(out.size() >= in.size());
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+
+  const std::size_t num_tiles = (n + kScanTile - 1) / kScanTile;
+  std::vector<std::uint32_t> tile_totals(num_tiles, 0);
+
+  // Kernel 1: scan each tile independently; record tile totals.
+  device.Launch(
+      static_cast<int>(num_tiles), block_lanes,
+      [&](BlockContext& block) {
+        Warp& warp = block.warp();
+        const std::size_t t = static_cast<std::size_t>(block.block_id());
+        const std::size_t begin = t * kScanTile;
+        const std::size_t end = begin + kScanTile < n ? begin + kScanTile : n;
+        auto tile = block.AllocShared<std::uint32_t>(kScanTile);
+        warp.ChargeGlobalLoad(end - begin, category);
+        for (std::size_t i = begin; i < end; ++i) tile[i - begin] = in[i];
+        // Slack beyond the input is zero (AllocShared zero-initializes).
+        tile_totals[t] = ScanTileInPlace(warp, tile, category);
+        warp.ChargeGlobalLoad(end - begin, category);  // store
+        for (std::size_t i = begin; i < end; ++i) out[i] = tile[i - begin];
+      });
+
+  if (num_tiles == 1) return tile_totals[0];
+
+  // Scan the tile totals (recursively; the recursion depth is
+  // log_512(n), i.e. 2 levels up to 256k elements).
+  std::vector<std::uint32_t> tile_offsets(num_tiles, 0);
+  const std::uint32_t total = GlobalExclusiveScan(
+      device, tile_totals, std::span<std::uint32_t>(tile_offsets),
+      block_lanes, category);
+
+  // Kernel 2: add each tile's base offset.
+  device.Launch(
+      static_cast<int>(num_tiles), block_lanes,
+      [&](BlockContext& block) {
+        Warp& warp = block.warp();
+        const std::size_t t = static_cast<std::size_t>(block.block_id());
+        if (tile_offsets[t] == 0) return;  // first tile(s): nothing to add
+        const std::size_t begin = t * kScanTile;
+        const std::size_t end = begin + kScanTile < n ? begin + kScanTile : n;
+        warp.ParallelFor(end - begin, category,
+                         warp.params().alu_step +
+                             2 * warp.params().global_transaction,
+                         [&](std::size_t i) { out[begin + i] += tile_offsets[t]; });
+      });
+  return total;
+}
+
+}  // namespace gpusim
+}  // namespace ganns

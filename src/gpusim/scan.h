@@ -1,0 +1,34 @@
+#ifndef GANNS_GPUSIM_SCAN_H_
+#define GANNS_GPUSIM_SCAN_H_
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/cost_model.h"
+#include "gpusim/device.h"
+
+namespace ganns {
+namespace gpusim {
+
+/// Work-efficient parallel prefix sum (Blelloch 1990) on the simulated
+/// device — the scan primitive of Algorithm 2's gather-scatter step
+/// ("the prefix sum of I is computed").
+///
+/// Execution is real, not just charged: the input is tiled across thread
+/// blocks, each block up-sweeps and down-sweeps its tile in shared memory,
+/// tile totals are scanned recursively, and a final kernel adds each tile's
+/// base offset. The result is validated against the serial reference in
+/// common/prefix_sum.h by the test suite.
+///
+/// Returns the total sum. `out[i]` = sum of `in[0..i)` (exclusive scan).
+/// `in` and `out` may alias exactly (in.data() == out.data()).
+std::uint32_t GlobalExclusiveScan(Device& device,
+                                  std::span<const std::uint32_t> in,
+                                  std::span<std::uint32_t> out,
+                                  int block_lanes,
+                                  CostCategory category);
+
+}  // namespace gpusim
+}  // namespace ganns
+
+#endif  // GANNS_GPUSIM_SCAN_H_

@@ -1,0 +1,39 @@
+#include "gpusim/transfer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace gpusim {
+
+double TransferSeconds(const PcieSpec& pcie, std::size_t bytes) {
+  GANNS_CHECK(pcie.bandwidth_gb_per_s > 0);
+  return pcie.latency_s +
+         static_cast<double>(bytes) / (pcie.bandwidth_gb_per_s * 1e9);
+}
+
+double SequentialMakespan(double upload_s, double kernel_s,
+                          double download_s) {
+  return upload_s + kernel_s + download_s;
+}
+
+double StreamedMakespan(double upload_s, double kernel_s, double download_s,
+                        int chunks) {
+  GANNS_CHECK(chunks >= 1);
+  const double u = upload_s / chunks;
+  const double k = kernel_s / chunks;
+  const double d = download_s / chunks;
+  double upload_done = 0;
+  double kernel_done = 0;
+  double download_done = 0;
+  for (int i = 0; i < chunks; ++i) {
+    upload_done += u;
+    kernel_done = std::max(kernel_done, upload_done) + k;
+    download_done = std::max(download_done, kernel_done) + d;
+  }
+  return download_done;
+}
+
+}  // namespace gpusim
+}  // namespace ganns

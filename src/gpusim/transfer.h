@@ -1,0 +1,35 @@
+#ifndef GANNS_GPUSIM_TRANSFER_H_
+#define GANNS_GPUSIM_TRANSFER_H_
+
+#include <cstddef>
+
+namespace ganns {
+namespace gpusim {
+
+/// Host-device interconnect model backing the paper's §III-B remark: query
+/// upload and result download over PCI Express 3.0 x16 (~10 GB/s effective)
+/// are negligible next to kernel time, and CUDA streams overlap transfers
+/// with compute when several batches pipeline.
+struct PcieSpec {
+  double bandwidth_gb_per_s = 10.0;  ///< effective host<->device bandwidth
+  double latency_s = 10e-6;          ///< per-transfer setup latency
+};
+
+/// Seconds to move `bytes` across the link.
+double TransferSeconds(const PcieSpec& pcie, std::size_t bytes);
+
+/// Makespan of upload -> kernel -> download executed strictly in sequence
+/// (no streams): the upper bound on transfer overhead.
+double SequentialMakespan(double upload_s, double kernel_s, double download_s);
+
+/// Makespan when the batch is split into `chunks` equal pieces issued on a
+/// CUDA stream: chunk i+1 uploads while chunk i computes and chunk i-1
+/// downloads. Exact three-stage pipeline schedule (upload and download share
+/// nothing; each stage processes chunks in order).
+double StreamedMakespan(double upload_s, double kernel_s, double download_s,
+                        int chunks);
+
+}  // namespace gpusim
+}  // namespace ganns
+
+#endif  // GANNS_GPUSIM_TRANSFER_H_

@@ -1,0 +1,9 @@
+#include "gpusim/warp.h"
+
+namespace ganns {
+namespace gpusim {
+
+const CostParams Warp::kDefaultParams = {};
+
+}  // namespace gpusim
+}  // namespace ganns

@@ -1,0 +1,56 @@
+#ifndef GANNS_GRAPH_CPU_COST_H_
+#define GANNS_GRAPH_CPU_COST_H_
+
+#include <cstddef>
+
+#include "graph/beam_search.h"
+#include "gpusim/cost_model.h"
+
+namespace ganns {
+namespace graph {
+
+/// Converts CPU-baseline operation counts into simulated seconds on the same
+/// cost basis as the GPU simulator (DESIGN.md §1): the CPU is modelled as a
+/// single execution lane running `speed_factor` times faster than one GPU
+/// lane at the device clock. This keeps CPU-vs-GPU speedups a pure function
+/// of parallelism and per-op work, exactly the quantity the paper's Table II
+/// / Table III compare.
+struct CpuCostModel {
+  /// Single-thread CPU speed relative to one GPU lane (a 2.2 GHz Xeon core
+  /// with superscalar issue vs. one 1.1 GHz CUDA lane).
+  double speed_factor = 5.0;
+  /// Device clock used as the common time base; must match DeviceSpec.
+  double clock_ghz = 1.0;
+
+  /// Per-operation CPU charges, in single-lane cycles.
+  double cycles_per_dim = 1.0;      ///< distance inner loop, per dimension
+  double cycles_per_heap_op = 8.0;  ///< one push/pop on a small binary heap
+  double cycles_per_hash_op = 4.0;  ///< one visited-set lookup/insert
+  double cycles_per_iteration = 4.0;///< loop overhead per search iteration
+  double cycles_per_adj_insert_slot = 1.0;  ///< adjacency shift, per slot
+
+  /// Cycles for a batch of beam searches of dimension `dim`.
+  double SearchCycles(const BeamSearchStats& stats, std::size_t dim) const {
+    return static_cast<double>(stats.distance_computations) *
+               static_cast<double>(dim) * cycles_per_dim +
+           static_cast<double>(stats.heap_ops) * cycles_per_heap_op +
+           static_cast<double>(stats.hash_ops) * cycles_per_hash_op +
+           static_cast<double>(stats.iterations) * cycles_per_iteration;
+  }
+
+  /// Cycles for `count` sorted adjacency insertions into d_max-slot rows.
+  double AdjacencyInsertCycles(std::size_t count, std::size_t d_max) const {
+    return static_cast<double>(count) * static_cast<double>(d_max) *
+           cycles_per_adj_insert_slot;
+  }
+
+  /// Converts single-lane CPU cycles to seconds on the common time base.
+  double Seconds(double cpu_cycles) const {
+    return cpu_cycles / (speed_factor * clock_ghz * 1e9);
+  }
+};
+
+}  // namespace graph
+}  // namespace ganns
+
+#endif  // GANNS_GRAPH_CPU_COST_H_

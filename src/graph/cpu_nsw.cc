@@ -1,0 +1,51 @@
+#include "graph/cpu_nsw.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ganns {
+namespace graph {
+
+CpuBuildResult BuildNswCpu(const data::Dataset& base, const NswParams& params,
+                           const CpuCostModel& cost) {
+  GANNS_CHECK(base.size() >= 1);
+  GANNS_CHECK(params.d_min >= 1 && params.d_min <= params.d_max);
+  WallTimer timer;
+
+  CpuBuildResult result{ProximityGraph(base.size(), params.d_max), 0.0, 0.0, {}};
+  BeamSearchStats stats;
+  std::size_t adjacency_inserts = 0;
+
+  for (std::size_t i = 1; i < base.size(); ++i) {
+    const VertexId v = static_cast<VertexId>(i);
+    // Search d_min nearest neighbors among already-inserted points; when the
+    // current graph holds fewer than d_min points the beam covers them all.
+    const std::vector<Neighbor> nearest =
+        BeamSearch(result.graph, base, base.Point(v), params.d_min,
+                   params.ef_construction, /*entry=*/0, &stats,
+                   /*restrict_to=*/v);
+    // Bidirectional linking (short-range links; earlier links that became
+    // long-range over time are the NSW small-world property, §II-B).
+    std::vector<ProximityGraph::Edge> forward;
+    forward.reserve(nearest.size());
+    for (const Neighbor& n : nearest) {
+      forward.push_back({n.id, n.dist});
+    }
+    result.graph.SetNeighbors(v, forward);
+    for (const Neighbor& n : nearest) {
+      result.graph.InsertNeighbor(n.id, v, n.dist);
+      ++adjacency_inserts;
+    }
+    adjacency_inserts += nearest.size();  // forward row writes
+  }
+
+  result.search_stats = stats;
+  result.sim_seconds =
+      cost.Seconds(cost.SearchCycles(stats, base.dim()) +
+                   cost.AdjacencyInsertCycles(adjacency_inserts, params.d_max));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace graph
+}  // namespace ganns

@@ -1,0 +1,46 @@
+#ifndef GANNS_GRAPH_CPU_NSW_H_
+#define GANNS_GRAPH_CPU_NSW_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "graph/beam_search.h"
+#include "graph/cpu_cost.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace graph {
+
+/// Parameters shared by every NSW-family builder in this repository.
+struct NswParams {
+  /// Lower degree bound: nearest neighbors linked per inserted point
+  /// (paper default 16).
+  std::size_t d_min = 16;
+  /// Upper degree bound: adjacency-row capacity (paper default 32).
+  std::size_t d_max = 32;
+  /// Beam width of construction-time searches. The paper's GANNS-based
+  /// builders use l_n = next_pow2(2 * d_min); the CPU baseline uses the same
+  /// budget for an apples-to-apples quality comparison.
+  std::size_t ef_construction = 32;
+};
+
+/// Result of a CPU graph build: the graph plus both time bases.
+struct CpuBuildResult {
+  ProximityGraph graph;
+  double sim_seconds = 0;   ///< simulated single-thread CPU time (CpuCostModel)
+  double wall_seconds = 0;  ///< host wall time, reference only
+  BeamSearchStats search_stats;
+};
+
+/// GraphCon_NSW — the paper's single-thread CPU baseline (Table II): strict
+/// sequential insertion. For each point v (in id order), searches d_min
+/// nearest neighbors among previously inserted points, links them as v's
+/// outgoing edges and back-links v into each neighbor's row, discarding the
+/// worst slot when a row exceeds d_max (§II-B).
+CpuBuildResult BuildNswCpu(const data::Dataset& base, const NswParams& params,
+                           const CpuCostModel& cost = CpuCostModel());
+
+}  // namespace graph
+}  // namespace ganns
+
+#endif  // GANNS_GRAPH_CPU_NSW_H_

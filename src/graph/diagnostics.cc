@@ -1,0 +1,58 @@
+#include "graph/diagnostics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace graph {
+
+GraphDiagnostics Diagnose(const ProximityGraph& graph, VertexId entry) {
+  const std::size_t n = graph.num_vertices();
+  GANNS_CHECK(entry < n);
+
+  GraphDiagnostics diag;
+  diag.num_vertices = n;
+  diag.min_out_degree = graph.d_max();
+
+  std::size_t total_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t degree = graph.Degree(static_cast<VertexId>(v));
+    total_degree += degree;
+    diag.min_out_degree = std::min(diag.min_out_degree, degree);
+    diag.max_out_degree = std::max(diag.max_out_degree, degree);
+    if (degree == 0) ++diag.sinks;
+  }
+  diag.num_edges = total_degree;
+  diag.mean_out_degree =
+      n > 0 ? static_cast<double>(total_degree) / static_cast<double>(n) : 0;
+
+  // Directed BFS from the entry.
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> frontier = {entry};
+  seen[entry] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    std::vector<VertexId> next;
+    for (const VertexId v : frontier) {
+      const auto neighbors = graph.Neighbors(v);
+      const std::size_t degree = graph.Degree(v);
+      for (std::size_t i = 0; i < degree; ++i) {
+        const VertexId u = neighbors[i];
+        if (!seen[u]) {
+          seen[u] = true;
+          ++reached;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  diag.reachable_fraction =
+      n > 0 ? static_cast<double>(reached) / static_cast<double>(n) : 0;
+  return diag;
+}
+
+}  // namespace graph
+}  // namespace ganns

@@ -1,0 +1,34 @@
+#ifndef GANNS_GRAPH_DIAGNOSTICS_H_
+#define GANNS_GRAPH_DIAGNOSTICS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace graph {
+
+/// Structural health report of a proximity graph. Search quality depends on
+/// the whole graph being reachable from the entry vertex; construction bugs
+/// typically show up here first.
+struct GraphDiagnostics {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  double mean_out_degree = 0;
+  std::size_t min_out_degree = 0;
+  std::size_t max_out_degree = 0;
+  /// Vertices reachable from the entry by directed BFS, as a fraction.
+  double reachable_fraction = 0;
+  /// Vertices with no outgoing edges (dead ends for the traversal).
+  std::size_t sinks = 0;
+};
+
+/// Runs a directed BFS from `entry` and collects degree statistics.
+/// O(V + E); intended for tests, tools and post-build validation.
+GraphDiagnostics Diagnose(const ProximityGraph& graph, VertexId entry);
+
+}  // namespace graph
+}  // namespace ganns
+
+#endif  // GANNS_GRAPH_DIAGNOSTICS_H_

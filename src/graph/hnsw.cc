@@ -1,0 +1,172 @@
+#include "graph/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace ganns {
+namespace graph {
+
+HnswGraph::HnswGraph(std::size_t num_vertices, std::size_t d_max,
+                     std::vector<std::uint8_t> levels)
+    : levels_(std::move(levels)) {
+  GANNS_CHECK(levels_.size() == num_vertices);
+  max_level_ = 0;
+  for (std::uint8_t l : levels_) max_level_ = std::max(max_level_, int{l});
+  layers_.reserve(max_level_ + 1);
+  for (int l = 0; l <= max_level_; ++l) {
+    layers_.emplace_back(num_vertices, d_max);
+  }
+}
+
+std::size_t HnswGraph::LayerSize(int l) const {
+  std::size_t count = 0;
+  for (std::uint8_t level : levels_) {
+    if (int{level} >= l) ++count;
+  }
+  return count;
+}
+
+VertexId HnswGraph::DescendToLayer0(const data::Dataset& base,
+                                    std::span<const float> query,
+                                    BeamSearchStats* stats) const {
+  VertexId current = entry_;
+  Dist current_dist =
+      data::ExactDistance(base.metric(), base.Point(current), query);
+  BeamSearchStats local;
+  ++local.distance_computations;
+  for (int l = max_level_; l >= 1; --l) {
+    // Greedy hill climbing on layer l.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      ++local.iterations;
+      const auto neighbors = layers_[l].Neighbors(current);
+      const std::size_t degree = layers_[l].Degree(current);
+      for (std::size_t i = 0; i < degree; ++i) {
+        const VertexId u = neighbors[i];
+        const Dist d = data::ExactDistance(base.metric(), base.Point(u), query);
+        ++local.distance_computations;
+        if (d < current_dist) {
+          current_dist = d;
+          current = u;
+          improved = true;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->Add(local);
+  return current;
+}
+
+std::vector<std::uint8_t> HnswGraph::SampleLevels(std::size_t num_vertices,
+                                                  const HnswParams& params) {
+  const double m_l = params.level_mult > 0
+                         ? params.level_mult
+                         : 1.0 / std::log(static_cast<double>(
+                               std::max<std::size_t>(2, params.nsw.d_min)));
+  std::vector<std::uint8_t> levels(num_vertices, 0);
+  Rng rng(params.seed);
+  constexpr int kMaxLevel = 24;
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    double u = rng.NextDouble();
+    if (u <= 0) u = 1e-18;
+    const int level =
+        std::min(kMaxLevel, static_cast<int>(-std::log(u) * m_l));
+    levels[v] = static_cast<std::uint8_t>(level);
+  }
+  return levels;
+}
+
+CpuHnswBuildResult BuildHnswCpu(const data::Dataset& base,
+                                const HnswParams& params,
+                                const CpuCostModel& cost) {
+  GANNS_CHECK(base.size() >= 1);
+  WallTimer timer;
+  const NswParams& nsw = params.nsw;
+
+  std::vector<std::uint8_t> levels =
+      HnswGraph::SampleLevels(base.size(), params);
+  CpuHnswBuildResult result{
+      HnswGraph(base.size(), nsw.d_max, std::move(levels)), 0.0, 0.0, {}};
+  HnswGraph& graph = result.graph;
+
+  BeamSearchStats stats;
+  std::size_t adjacency_inserts = 0;
+  int top_level = graph.level(0);
+  graph.set_entry(0);
+
+  for (std::size_t i = 1; i < base.size(); ++i) {
+    const VertexId v = static_cast<VertexId>(i);
+    const std::span<const float> point = base.Point(v);
+    const int v_level = graph.level(v);
+
+    // Greedy descent through layers above v's level.
+    VertexId ep = graph.entry();
+    Dist ep_dist = data::ExactDistance(base.metric(), base.Point(ep), point);
+    ++stats.distance_computations;
+    for (int l = top_level; l > v_level; --l) {
+      bool improved = true;
+      while (improved) {
+        improved = false;
+        ++stats.iterations;
+        const auto neighbors = graph.layer(l).Neighbors(ep);
+        const std::size_t degree = graph.layer(l).Degree(ep);
+        for (std::size_t j = 0; j < degree; ++j) {
+          const VertexId u = neighbors[j];
+          const Dist d =
+              data::ExactDistance(base.metric(), base.Point(u), point);
+          ++stats.distance_computations;
+          if (d < ep_dist) {
+            ep_dist = d;
+            ep = u;
+            improved = true;
+          }
+        }
+      }
+    }
+
+    // Beam search + bidirectional linking on layers [min(v_level, top)..0].
+    for (int l = std::min(v_level, top_level); l >= 0; --l) {
+      const std::vector<Neighbor> nearest =
+          BeamSearch(graph.layer(l), base, point, nsw.d_min,
+                     nsw.ef_construction, ep, &stats, /*restrict_to=*/v);
+      std::vector<ProximityGraph::Edge> forward;
+      forward.reserve(nearest.size());
+      for (const Neighbor& n : nearest) forward.push_back({n.id, n.dist});
+      graph.layer(l).SetNeighbors(v, forward);
+      for (const Neighbor& n : nearest) {
+        graph.layer(l).InsertNeighbor(n.id, v, n.dist);
+        ++adjacency_inserts;
+      }
+      adjacency_inserts += nearest.size();
+      if (!nearest.empty()) ep = nearest.front().id;
+    }
+
+    if (v_level > top_level) {
+      top_level = v_level;
+      graph.set_entry(v);
+    }
+  }
+
+  result.search_stats = stats;
+  result.sim_seconds =
+      cost.Seconds(cost.SearchCycles(stats, base.dim()) +
+                   cost.AdjacencyInsertCycles(adjacency_inserts, nsw.d_max));
+  result.wall_seconds = timer.Seconds();
+  return result;
+}
+
+std::vector<Neighbor> SearchHnsw(const HnswGraph& graph,
+                                 const data::Dataset& base,
+                                 std::span<const float> query, std::size_t k,
+                                 std::size_t ef, BeamSearchStats* stats) {
+  const VertexId entry = graph.DescendToLayer0(base, query, stats);
+  return BeamSearch(graph.layer(0), base, query, k, ef, entry, stats);
+}
+
+}  // namespace graph
+}  // namespace ganns

@@ -1,0 +1,104 @@
+#include "graph/parallel_cpu_nsw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace ganns {
+namespace graph {
+
+ParallelCpuBuildResult BuildNswParallelCpu(const data::Dataset& base,
+                                           const NswParams& params,
+                                           std::size_t num_groups) {
+  const std::size_t n = base.size();
+  GANNS_CHECK(n >= 1);
+  if (num_groups == 0) {
+    num_groups = 4 * std::max<std::size_t>(1, ThreadPool::Global().num_threads());
+  }
+  num_groups = std::max<std::size_t>(1, std::min(num_groups, (n + 1) / 2));
+  const std::size_t group_size = (n + num_groups - 1) / num_groups;
+  WallTimer timer;
+
+  ProximityGraph graph(n, params.d_max);
+  ProximityGraph local_nn(n, params.d_min);  // G': same-group predecessors
+
+  const auto group_begin = [&](std::size_t i) {
+    return std::min(n, i * group_size);
+  };
+
+  // Phase 1: each worker builds one group's local graph by sequential
+  // insertion (disjoint vertex ranges; no synchronization needed).
+  ThreadPool::Global().ParallelFor(num_groups, [&](std::size_t g) {
+    const std::size_t begin = group_begin(g);
+    const std::size_t end = group_begin(g + 1);
+    if (begin >= end) return;
+    const VertexId entry = static_cast<VertexId>(begin);
+    for (std::size_t p = begin + 1; p < end; ++p) {
+      const VertexId v = static_cast<VertexId>(p);
+      const std::vector<Neighbor> nearest =
+          BeamSearch(graph, base, base.Point(v), params.d_min,
+                     params.ef_construction, entry);
+      std::vector<ProximityGraph::Edge> edges;
+      edges.reserve(nearest.size());
+      for (const Neighbor& u : nearest) edges.push_back({u.id, u.dist});
+      graph.SetNeighbors(v, edges);
+      local_nn.SetNeighbors(v, edges);
+      for (const Neighbor& u : nearest) {
+        graph.InsertNeighbor(u.id, v, u.dist);
+      }
+    }
+  });
+
+  // Phase 2: merge groups 1..t into G_0.
+  for (std::size_t g = 1; g < num_groups; ++g) {
+    const std::size_t begin = group_begin(g);
+    const std::size_t end = group_begin(g + 1);
+    if (begin >= end) break;
+    const std::size_t m = end - begin;
+
+    // Re-search every group vertex against G_0 in parallel; stash forward
+    // rows and backward edges per vertex (deterministic by index).
+    std::vector<std::vector<ProximityGraph::Edge>> forward(m);
+    ThreadPool::Global().ParallelFor(m, [&](std::size_t j) {
+      const VertexId v = static_cast<VertexId>(begin + j);
+      std::vector<Neighbor> candidates =
+          BeamSearch(graph, base, base.Point(v), params.d_min,
+                     params.ef_construction, /*entry=*/0,
+                     /*stats=*/nullptr,
+                     /*restrict_to=*/static_cast<VertexId>(begin));
+      // Union with the saved local neighbors (disjoint id ranges), keep the
+      // d_min nearest.
+      const auto prior_ids = local_nn.Neighbors(v);
+      const auto prior_dists = local_nn.NeighborDists(v);
+      for (std::size_t s = 0; s < local_nn.Degree(v); ++s) {
+        candidates.push_back({prior_dists[s], prior_ids[s]});
+      }
+      std::sort(candidates.begin(), candidates.end());
+      if (candidates.size() > params.d_min) candidates.resize(params.d_min);
+      auto& row = forward[j];
+      row.reserve(candidates.size());
+      for (const Neighbor& u : candidates) row.push_back({u.id, u.dist});
+    });
+
+    // Apply forward rows, then backward edges, serially (deterministic; the
+    // GPU builder's gather-scatter kernels play this role there).
+    for (std::size_t j = 0; j < m; ++j) {
+      graph.SetNeighbors(static_cast<VertexId>(begin + j), forward[j]);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const VertexId v = static_cast<VertexId>(begin + j);
+      for (const ProximityGraph::Edge& edge : forward[j]) {
+        graph.InsertNeighbor(edge.id, v, edge.dist);
+      }
+    }
+  }
+
+  return ParallelCpuBuildResult{std::move(graph), timer.Seconds(),
+                                num_groups};
+}
+
+}  // namespace graph
+}  // namespace ganns

@@ -1,0 +1,87 @@
+#ifndef GANNS_GRAPH_PROXIMITY_GRAPH_H_
+#define GANNS_GRAPH_PROXIMITY_GRAPH_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ganns {
+namespace graph {
+
+/// Fixed-degree directed proximity graph (Definition 2 of the paper).
+///
+/// Each vertex owns exactly `d_max` adjacency slots stored contiguously and
+/// ordered by increasing distance, with `kInvalidVertex` / `kInfDist`
+/// sentinels padding unused slots. This is the GPU-friendly layout property
+/// (2) of §II-A: bounded, uniform out-degree, adjacency loadable with
+/// ceil(d_max / 32) coalesced transactions. Only outgoing neighbors are kept.
+///
+/// Concurrency: distinct vertices may be mutated from different threads
+/// concurrently (the construction kernels partition vertices across blocks);
+/// a single vertex's list is not thread-safe.
+class ProximityGraph {
+ public:
+  /// An adjacency slot: neighbor id plus the edge length delta(v, u).
+  struct Edge {
+    VertexId id = kInvalidVertex;
+    Dist dist = kInfDist;
+  };
+
+  ProximityGraph(std::size_t num_vertices, std::size_t d_max);
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t d_max() const { return d_max_; }
+
+  /// Neighbor ids of v: the full d_max-slot row including sentinel padding.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {ids_.data() + Row(v), d_max_};
+  }
+
+  /// Edge lengths aligned with Neighbors(v).
+  std::span<const Dist> NeighborDists(VertexId v) const {
+    return {dists_.data() + Row(v), d_max_};
+  }
+
+  /// Number of valid (non-sentinel) neighbors of v.
+  std::size_t Degree(VertexId v) const { return degrees_[v]; }
+
+  /// Inserts edge v -> u of length `dist` keeping the row sorted by distance
+  /// (ties by smaller id); when the row is full the worst slot is discarded
+  /// (Algorithm 2, local-construction Step 2). Duplicate targets are ignored.
+  void InsertNeighbor(VertexId v, VertexId u, Dist dist);
+
+  /// Replaces the adjacency list of v with `edges` (must be sorted ascending
+  /// by (dist, id) and contain at most d_max entries).
+  void SetNeighbors(VertexId v, std::span<const Edge> edges);
+
+  /// Removes all edges of v.
+  void ClearVertex(VertexId v);
+
+  /// Total number of valid edges in the graph.
+  std::size_t NumEdges() const;
+
+  /// Serializes to a binary file. Returns false on IO failure.
+  bool SaveTo(const std::string& path) const;
+
+  /// Deserializes a graph written by SaveTo. Returns std::nullopt on open
+  /// failure or format mismatch.
+  static std::optional<ProximityGraph> LoadFrom(const std::string& path);
+
+ private:
+  std::size_t Row(VertexId v) const { return std::size_t{v} * d_max_; }
+
+  std::size_t num_vertices_;
+  std::size_t d_max_;
+  std::vector<VertexId> ids_;
+  std::vector<Dist> dists_;
+  std::vector<std::uint32_t> degrees_;
+};
+
+}  // namespace graph
+}  // namespace ganns
+
+#endif  // GANNS_GRAPH_PROXIMITY_GRAPH_H_

@@ -1,0 +1,29 @@
+#ifndef GANNS_GRAPH_SEARCH_RESULT_H_
+#define GANNS_GRAPH_SEARCH_RESULT_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "gpusim/device.h"
+
+namespace ganns {
+namespace graph {
+
+/// Outcome of one batched GPU search (one thread block per query): per-query
+/// result ids plus the launch's simulated timing, from which the paper's
+/// "Queries Per Second" metric is derived.
+struct BatchSearchResult {
+  /// results[q] holds up to k neighbor ids of query q, ascending by distance.
+  std::vector<std::vector<VertexId>> results;
+  /// Stats of the single kernel launch that processed the batch.
+  gpusim::KernelStats kernel;
+  /// Simulated batch duration in seconds at the device clock.
+  double sim_seconds = 0;
+  /// Completed queries per simulated second (Figure 6's y-axis).
+  double qps = 0;
+};
+
+}  // namespace graph
+}  // namespace ganns
+
+#endif  // GANNS_GRAPH_SEARCH_RESULT_H_

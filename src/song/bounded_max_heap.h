@@ -1,0 +1,98 @@
+#ifndef GANNS_SONG_BOUNDED_MAX_HEAP_H_
+#define GANNS_SONG_BOUNDED_MAX_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/beam_search.h"
+
+namespace ganns {
+namespace song {
+
+/// Bounded binary max-heap over (dist, id) entries — SONG's result set N
+/// (the "top k result so far" of Algorithm 1). The worst kept entry sits at
+/// the root for the O(1) termination test of the candidates-locating stage.
+/// Comparisons and swaps are counted for host-lane cost charging.
+class BoundedMaxHeap {
+ public:
+  explicit BoundedMaxHeap(std::size_t capacity) : capacity_(capacity) {
+    GANNS_CHECK(capacity >= 1);
+    entries_.reserve(capacity);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() == capacity_; }
+  std::size_t ops() const { return ops_; }
+
+  /// Worst (largest) kept entry; undefined on empty heap.
+  const graph::Neighbor& Max() const {
+    GANNS_CHECK(!entries_.empty());
+    return entries_[0];
+  }
+
+  /// Inserts `x`, evicting the current worst when full. Returns false if `x`
+  /// was rejected (full and not better than the worst).
+  bool InsertBounded(const graph::Neighbor& x) {
+    if (full()) {
+      ++ops_;
+      if (!(x < entries_[0])) return false;
+      // Replace the root and sift down.
+      entries_[0] = x;
+      SiftDown(0);
+      return true;
+    }
+    entries_.push_back(x);
+    SiftUp(entries_.size() - 1);
+    return true;
+  }
+
+  /// All kept entries sorted ascending by (dist, id).
+  std::vector<graph::Neighbor> SortedAscending() const {
+    std::vector<graph::Neighbor> out = entries_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t p = (i - 1) / 2;
+      ++ops_;
+      if (!(entries_[p] < entries_[i])) break;
+      std::swap(entries_[i], entries_[p]);
+      ++ops_;
+      i = p;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    for (;;) {
+      std::size_t largest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < entries_.size()) {
+        ++ops_;
+        if (entries_[largest] < entries_[l]) largest = l;
+      }
+      if (r < entries_.size()) {
+        ++ops_;
+        if (entries_[largest] < entries_[r]) largest = r;
+      }
+      if (largest == i) return;
+      std::swap(entries_[i], entries_[largest]);
+      ++ops_;
+      i = largest;
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<graph::Neighbor> entries_;
+  std::size_t ops_ = 0;
+};
+
+}  // namespace song
+}  // namespace ganns
+
+#endif  // GANNS_SONG_BOUNDED_MAX_HEAP_H_

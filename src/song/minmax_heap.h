@@ -1,0 +1,185 @@
+#ifndef GANNS_SONG_MINMAX_HEAP_H_
+#define GANNS_SONG_MINMAX_HEAP_H_
+
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/beam_search.h"
+
+namespace ganns {
+namespace song {
+
+/// Bounded min-max heap (Atkinson et al. 1986) over (dist, id) entries — the
+/// candidate queue C of SONG (§II-D: "C is implemented in the form of a
+/// min-max heap with size k, which can save memory consumption without
+/// sacrificing performance"). Supports O(log n) PopMin / PopMax and bounded
+/// insertion that evicts the current maximum when full.
+///
+/// Every comparison and swap increments an operation counter; the SONG
+/// kernel converts counter deltas into host-lane charges, so the simulated
+/// data-structure cost is derived from the operations actually executed
+/// rather than an analytic estimate.
+class MinMaxHeap {
+ public:
+  explicit MinMaxHeap(std::size_t capacity) : capacity_(capacity) {
+    GANNS_CHECK(capacity >= 1);
+    entries_.reserve(capacity);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() == capacity_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Comparisons + swaps executed since construction.
+  std::size_t ops() const { return ops_; }
+
+  /// Smallest entry (undefined on empty heap).
+  const graph::Neighbor& Min() const {
+    GANNS_CHECK(!entries_.empty());
+    return entries_[0];
+  }
+
+  /// Largest entry (undefined on empty heap).
+  const graph::Neighbor& Max() const {
+    GANNS_CHECK(!entries_.empty());
+    return entries_[MaxIndex()];
+  }
+
+  /// Removes the smallest entry.
+  void PopMin() {
+    GANNS_CHECK(!entries_.empty());
+    RemoveAt(0);
+  }
+
+  /// Removes the largest entry.
+  void PopMax() {
+    GANNS_CHECK(!entries_.empty());
+    RemoveAt(MaxIndex());
+  }
+
+  /// Inserts `x` subject to the capacity bound: when full, `x` replaces the
+  /// current maximum if it is smaller, otherwise it is rejected. Returns
+  /// true iff `x` entered the heap.
+  bool InsertBounded(const graph::Neighbor& x) {
+    if (full()) {
+      ++ops_;
+      if (!Less(x, Max())) return false;
+      PopMax();
+    }
+    entries_.push_back(x);
+    BubbleUp(entries_.size() - 1);
+    return true;
+  }
+
+ private:
+  static bool OnMinLevel(std::size_t i) {
+    // Root (i = 0) is on a min level; levels alternate.
+    return (std::bit_width(i + 1) & 1) != 0;
+  }
+  static std::size_t Parent(std::size_t i) { return (i - 1) / 2; }
+  static bool HasGrandparent(std::size_t i) { return i >= 3; }
+  static std::size_t Grandparent(std::size_t i) { return (i - 3) / 4; }
+
+  bool Less(const graph::Neighbor& a, const graph::Neighbor& b) {
+    ++ops_;
+    return a < b;
+  }
+  void Swap(std::size_t i, std::size_t j) {
+    ++ops_;
+    std::swap(entries_[i], entries_[j]);
+  }
+
+  std::size_t MaxIndex() const {
+    if (entries_.size() == 1) return 0;
+    if (entries_.size() == 2) return 1;
+    return entries_[1] < entries_[2] ? 2 : 1;
+  }
+
+  void RemoveAt(std::size_t i) {
+    Swap(i, entries_.size() - 1);
+    entries_.pop_back();
+    if (i < entries_.size()) {
+      TrickleDown(i);
+      BubbleUp(i);  // the moved element may violate the level above
+    }
+  }
+
+  void BubbleUp(std::size_t i) {
+    if (i == 0) return;
+    const std::size_t p = Parent(i);
+    if (OnMinLevel(i)) {
+      if (Less(entries_[p], entries_[i])) {
+        Swap(i, p);
+        BubbleUpOnLevel(p, /*min_level=*/false);
+      } else {
+        BubbleUpOnLevel(i, /*min_level=*/true);
+      }
+    } else {
+      if (Less(entries_[i], entries_[p])) {
+        Swap(i, p);
+        BubbleUpOnLevel(p, /*min_level=*/true);
+      } else {
+        BubbleUpOnLevel(i, /*min_level=*/false);
+      }
+    }
+  }
+
+  void BubbleUpOnLevel(std::size_t i, bool min_level) {
+    while (HasGrandparent(i)) {
+      const std::size_t gp = Grandparent(i);
+      const bool out_of_order = min_level ? Less(entries_[i], entries_[gp])
+                                          : Less(entries_[gp], entries_[i]);
+      if (!out_of_order) break;
+      Swap(i, gp);
+      i = gp;
+    }
+  }
+
+  void TrickleDown(std::size_t i) {
+    const bool min_level = OnMinLevel(i);
+    for (;;) {
+      // Find the extreme element among children and grandchildren.
+      std::size_t best = i;
+      bool best_is_grandchild = false;
+      const std::size_t first_child = 2 * i + 1;
+      for (std::size_t c = first_child;
+           c < entries_.size() && c <= first_child + 1; ++c) {
+        if (min_level ? Less(entries_[c], entries_[best])
+                      : Less(entries_[best], entries_[c])) {
+          best = c;
+          best_is_grandchild = false;
+        }
+        const std::size_t first_gc = 2 * c + 1;
+        for (std::size_t g = first_gc;
+             g < entries_.size() && g <= first_gc + 1; ++g) {
+          if (min_level ? Less(entries_[g], entries_[best])
+                        : Less(entries_[best], entries_[g])) {
+            best = g;
+            best_is_grandchild = true;
+          }
+        }
+      }
+      if (best == i) return;
+      Swap(i, best);
+      if (!best_is_grandchild) return;
+      const std::size_t p = Parent(best);
+      if (min_level ? Less(entries_[p], entries_[best])
+                    : Less(entries_[best], entries_[p])) {
+        Swap(best, p);
+      }
+      i = best;
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<graph::Neighbor> entries_;
+  std::size_t ops_ = 0;
+};
+
+}  // namespace song
+}  // namespace ganns
+
+#endif  // GANNS_SONG_MINMAX_HEAP_H_

@@ -1,0 +1,167 @@
+#include "song/song_search.h"
+
+#include "common/logging.h"
+#include "song/bounded_max_heap.h"
+#include "song/minmax_heap.h"
+#include "song/open_hash.h"
+
+namespace ganns {
+namespace song {
+
+std::vector<graph::Neighbor> SongSearchOne(
+    gpusim::BlockContext& block, const graph::ProximityGraph& graph,
+    const data::Dataset& base, std::span<const float> query,
+    const SongParams& params, VertexId entry, SongSearchStats* stats) {
+  GANNS_CHECK(params.k >= 1);
+  GANNS_CHECK(params.queue_size >= params.k);
+  GANNS_CHECK(entry < graph.num_vertices());
+  gpusim::Warp& warp = block.warp();
+  SongSearchStats local;
+
+  MinMaxHeap candidates(params.queue_size);   // C
+  BoundedMaxHeap results(params.queue_size);  // N
+  // H, sized for N ∪ C under the default bounded-hash policy.
+  std::unique_ptr<VisitedSet> visited = MakeVisitedSet(
+      params.visited, params.queue_size * 2, graph.num_vertices(),
+      warp.params());
+  // cand / dist staging arrays live in shared memory (§II-D).
+  auto cand = block.AllocShared<VertexId>(graph.d_max());
+  auto cand_dist = block.AllocShared<Dist>(graph.d_max());
+
+  const auto compute_distance = [&](VertexId v) {
+    warp.ChargeDistance(base.dim());
+    ++local.distance_computations;
+    return data::ExactDistance(base.metric(), base.Point(v), query);
+  };
+  // Heap comparisons/swaps are host-lane ops; the visited structure prices
+  // its own probes by memory tier. Both are charged as deltas per stage.
+  std::size_t charged_heap_ops = 0;
+  double charged_visited_cycles = 0;
+  const auto charge_host_ops = [&] {
+    const std::size_t heap_total = candidates.ops() + results.ops();
+    if (heap_total > charged_heap_ops) {
+      warp.ChargeHostOps(static_cast<double>(heap_total - charged_heap_ops),
+                         gpusim::CostCategory::kDataStructure);
+      local.host_ops += heap_total - charged_heap_ops;
+      charged_heap_ops = heap_total;
+    }
+    const double visited_total = visited->cycles();
+    if (visited_total > charged_visited_cycles) {
+      warp.cost().Charge(gpusim::CostCategory::kDataStructure,
+                         visited_total - charged_visited_cycles);
+      charged_visited_cycles = visited_total;
+    }
+  };
+
+  const Dist entry_dist = compute_distance(entry);
+  candidates.InsertBounded({entry_dist, entry});
+  visited->Insert(entry);
+  charge_host_ops();
+
+  while (!candidates.empty()) {
+    ++local.iterations;
+
+    // Stage 1: candidates locating (host lane). Pop the closest candidate,
+    // test it against the current worst result, and gather its unvisited
+    // neighbors into the staging array.
+    const graph::Neighbor closest = candidates.Min();
+    candidates.PopMin();
+    if (results.full() && !(closest < results.Max())) {
+      charge_host_ops();
+      break;
+    }
+    // Insert v_c into N; if that evicts the old worst, SONG's visited
+    // deletion optimization drops the evictee from H (it is no longer in
+    // N ∪ C), accepting possible re-computation later.
+    if (results.full()) {
+      const graph::Neighbor evicted = results.Max();
+      results.InsertBounded(closest);
+      visited->Remove(evicted.id);
+    } else {
+      results.InsertBounded(closest);
+    }
+
+    warp.ChargeGlobalLoad(graph.d_max(),
+                          gpusim::CostCategory::kDataStructure);
+    const auto neighbor_ids = graph.Neighbors(closest.id);
+    const std::size_t degree = graph.Degree(closest.id);
+    std::size_t num_cand = 0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      const VertexId u = neighbor_ids[i];
+      // The host thread checks H "point by point" (§II-D).
+      if (visited->Insert(u)) {
+        cand[num_cand++] = u;
+      }
+    }
+    warp.ChargeHostOps(static_cast<double>(degree),
+                       gpusim::CostCategory::kDataStructure);
+    local.host_ops += degree;
+    charge_host_ops();
+
+    // Stage 2: bulk distance computation (all lanes cooperate per point;
+    // partial sums combine via __shfl_xor_sync).
+    for (std::size_t i = 0; i < num_cand; ++i) {
+      cand_dist[i] = compute_distance(cand[i]);
+    }
+
+    // Stage 3: data-structures updating (host lane): sequential bounded
+    // insertion of the staged candidates into C. Points that do not make it
+    // into C (rejected, or evicted later) leave H as well — H tracks exactly
+    // N ∪ C (§II-D), which keeps it at a fixed 2k-class size but means a
+    // dropped point can be revisited and its distance re-computed.
+    for (std::size_t i = 0; i < num_cand; ++i) {
+      if (candidates.full()) {
+        const graph::Neighbor worst = candidates.Max();
+        if (candidates.InsertBounded({cand_dist[i], cand[i]})) {
+          visited->Remove(worst.id);
+        } else {
+          visited->Remove(cand[i]);
+        }
+      } else {
+        candidates.InsertBounded({cand_dist[i], cand[i]});
+      }
+    }
+    charge_host_ops();
+  }
+
+  std::vector<graph::Neighbor> sorted = results.SortedAscending();
+  warp.ChargeHostOps(
+      static_cast<double>(sorted.size()) *
+          (sorted.empty() ? 0.0
+                          : static_cast<double>(std::bit_width(sorted.size()))),
+      gpusim::CostCategory::kOther);  // final heap drain / write-back
+  if (sorted.size() > params.k) sorted.resize(params.k);
+  if (stats != nullptr) stats->Add(local);
+  return sorted;
+}
+
+graph::BatchSearchResult SongSearchBatch(gpusim::Device& device,
+                                         const graph::ProximityGraph& graph,
+                                         const data::Dataset& base,
+                                         const data::Dataset& queries,
+                                         const SongParams& params,
+                                         int block_lanes, VertexId entry) {
+  GANNS_CHECK(base.dim() == queries.dim());
+  graph::BatchSearchResult batch;
+  batch.results.resize(queries.size());
+
+  batch.kernel = device.Launch(
+      static_cast<int>(queries.size()), block_lanes,
+      [&](gpusim::BlockContext& block) {
+        const VertexId q = static_cast<VertexId>(block.block_id());
+        const std::vector<graph::Neighbor> found = SongSearchOne(
+            block, graph, base, queries.Point(q), params, entry);
+        auto& out = batch.results[q];
+        out.reserve(found.size());
+        for (const graph::Neighbor& n : found) out.push_back(n.id);
+      });
+
+  batch.sim_seconds = device.CyclesToSeconds(batch.kernel.sim_cycles);
+  batch.qps = batch.sim_seconds > 0
+                  ? static_cast<double>(queries.size()) / batch.sim_seconds
+                  : 0;
+  return batch;
+}
+
+}  // namespace song
+}  // namespace ganns

@@ -1,0 +1,67 @@
+#ifndef GANNS_SONG_SONG_SEARCH_H_
+#define GANNS_SONG_SONG_SEARCH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gpusim/block.h"
+#include "gpusim/device.h"
+#include "graph/beam_search.h"
+#include "graph/proximity_graph.h"
+#include "graph/search_result.h"
+#include "song/visited.h"
+
+namespace ganns {
+namespace song {
+
+/// SONG search parameters. `queue_size` is the capacity of both the
+/// candidate min-max heap C and the result max-heap N; it is SONG's
+/// accuracy/throughput knob (the priority-queue budget swept in Figure 6).
+/// `visited` selects the visited-vertex structure (§III-A design space);
+/// the default is the one SONG ships.
+struct SongParams {
+  std::size_t k = 10;
+  std::size_t queue_size = 64;
+  VisitedKind visited = VisitedKind::kHashBounded;
+};
+
+/// Per-search counters (exposed for tests and the parallelism experiments).
+struct SongSearchStats {
+  std::size_t iterations = 0;
+  std::size_t distance_computations = 0;
+  std::size_t host_ops = 0;  ///< serial heap/hash operations on the host lane
+
+  void Add(const SongSearchStats& other) {
+    iterations += other.iterations;
+    distance_computations += other.distance_computations;
+    host_ops += other.host_ops;
+  }
+};
+
+/// Runs SONG's three-stage search (§II-D) for one query inside one simulated
+/// thread block: (1) candidates locating and data-structure maintenance on a
+/// single host lane, (2) warp-parallel bulk distance computation,
+/// (3) host-lane candidate-queue update. Returns up to k neighbors sorted
+/// ascending by (dist, id).
+std::vector<graph::Neighbor> SongSearchOne(
+    gpusim::BlockContext& block, const graph::ProximityGraph& graph,
+    const data::Dataset& base, std::span<const float> query,
+    const SongParams& params, VertexId entry,
+    SongSearchStats* stats = nullptr);
+
+/// Batched SONG search: one thread block per query (inter-block
+/// parallelism), `block_lanes` cooperating threads per block.
+graph::BatchSearchResult SongSearchBatch(gpusim::Device& device,
+                                         const graph::ProximityGraph& graph,
+                                         const data::Dataset& base,
+                                         const data::Dataset& queries,
+                                         const SongParams& params,
+                                         int block_lanes = 32,
+                                         VertexId entry = 0);
+
+}  // namespace song
+}  // namespace ganns
+
+#endif  // GANNS_SONG_SONG_SEARCH_H_

@@ -1,0 +1,155 @@
+#include "song/visited.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "gpusim/warp.h"
+#include "song/open_hash.h"
+
+namespace ganns {
+namespace song {
+namespace {
+
+/// kHashBounded / kHashUnbounded: OpenHashSet probes priced at host_op each
+/// (serial dependent loads from the block's local memory).
+class HashVisited : public VisitedSet {
+ public:
+  HashVisited(std::size_t expected, bool bounded,
+              const gpusim::CostParams& cost)
+      : set_(expected), bounded_(bounded), cost_(cost) {}
+
+  bool Insert(VertexId v) override { return set_.Insert(v); }
+
+  void Remove(VertexId v) override {
+    if (bounded_) set_.Remove(v);
+  }
+
+  double cycles() const override {
+    return static_cast<double>(set_.ops()) * cost_.host_op;
+  }
+
+ private:
+  OpenHashSet set_;
+  bool bounded_;
+  gpusim::CostParams cost_;
+};
+
+/// kBloom: blocked bloom filter with 4 hash probes per op via double
+/// hashing. Bits live in shared memory, so probes cost shared-latency host
+/// ops; there is no deletion and false positives silently drop vertices.
+class BloomVisited : public VisitedSet {
+ public:
+  BloomVisited(std::size_t expected, const gpusim::CostParams& cost)
+      : cost_(cost) {
+    std::size_t bits = 256;
+    while (bits < 16 * expected) bits <<= 1;
+    bits_.assign(bits / 64, 0);
+  }
+
+  bool Insert(VertexId v) override {
+    ops_ += kProbes;
+    const std::uint64_t h1 = Mix(v);
+    const std::uint64_t h2 = Mix(v ^ 0x5bf03635ULL) | 1;
+    bool was_present = true;
+    for (int i = 0; i < kProbes; ++i) {
+      const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) &
+                                (bits_.size() * 64 - 1);
+      std::uint64_t& word = bits_[bit >> 6];
+      const std::uint64_t mask = 1ULL << (bit & 63);
+      if ((word & mask) == 0) {
+        was_present = false;
+        word |= mask;
+      }
+    }
+    return !was_present;
+  }
+
+  double cycles() const override {
+    // Shared-memory probes: cheaper than the hash's local-memory chains.
+    return static_cast<double>(ops_) *
+           (cost_.shared_access + cost_.alu_step);
+  }
+
+ private:
+  static constexpr int kProbes = 4;
+
+  static std::uint64_t Mix(std::uint64_t x) {
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 32;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    return x ^ (x >> 29);
+  }
+
+  std::vector<std::uint64_t> bits_;
+  std::size_t ops_ = 0;
+  gpusim::CostParams cost_;
+};
+
+/// kBitmap: one exact bit per corpus vertex. The bitmap cannot fit in
+/// on-chip memory for realistic corpora, so every probe is one uncoalesced
+/// random global-memory access at full (un-amortized) transaction latency —
+/// the inefficiency §III-A cites.
+class BitmapVisited : public VisitedSet {
+ public:
+  BitmapVisited(std::size_t universe, const gpusim::CostParams& cost)
+      : bits_((universe + 63) / 64, 0), cost_(cost) {}
+
+  bool Insert(VertexId v) override {
+    ++ops_;
+    std::uint64_t& word = bits_[v >> 6];
+    const std::uint64_t mask = 1ULL << (v & 63);
+    const bool fresh = (word & mask) == 0;
+    word |= mask;
+    return fresh;
+  }
+
+  double cycles() const override {
+    // A single lane's random access cannot coalesce: it pays the full
+    // 32-lane transaction cost alone, serialized on the host lane.
+    return static_cast<double>(ops_) *
+           (cost_.global_transaction * gpusim::kWarpSize / 4.0 +
+            cost_.host_op);
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t ops_ = 0;
+  gpusim::CostParams cost_;
+};
+
+}  // namespace
+
+const char* VisitedKindName(VisitedKind kind) {
+  switch (kind) {
+    case VisitedKind::kHashBounded:
+      return "hash(N+C)";
+    case VisitedKind::kHashUnbounded:
+      return "hash(all)";
+    case VisitedKind::kBloom:
+      return "bloom";
+    case VisitedKind::kBitmap:
+      return "bitmap";
+  }
+  return "?";
+}
+
+std::unique_ptr<VisitedSet> MakeVisitedSet(VisitedKind kind,
+                                           std::size_t expected,
+                                           std::size_t universe,
+                                           const gpusim::CostParams& cost) {
+  switch (kind) {
+    case VisitedKind::kHashBounded:
+      return std::make_unique<HashVisited>(expected, /*bounded=*/true, cost);
+    case VisitedKind::kHashUnbounded:
+      return std::make_unique<HashVisited>(expected, /*bounded=*/false, cost);
+    case VisitedKind::kBloom:
+      return std::make_unique<BloomVisited>(expected, cost);
+    case VisitedKind::kBitmap:
+      return std::make_unique<BitmapVisited>(universe, cost);
+  }
+  GANNS_CHECK_MSG(false, "unknown visited kind");
+  __builtin_unreachable();
+}
+
+}  // namespace song
+}  // namespace ganns

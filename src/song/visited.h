@@ -1,0 +1,68 @@
+#ifndef GANNS_SONG_VISITED_H_
+#define GANNS_SONG_VISITED_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+#include "gpusim/cost_model.h"
+
+namespace ganns {
+namespace song {
+
+/// The visited-vertex structures §III-A weighs for GPU proximity-graph
+/// search. SONG ships the open-addressing hash bounded to N ∪ C; the
+/// alternatives exist here so the ablation bench can reproduce the paper's
+/// argument for rejecting them.
+enum class VisitedKind {
+  /// SONG's choice: open-addressing hash over N ∪ C with the visited
+  /// deletion optimization (fixed 2k-class memory; re-computation possible).
+  kHashBounded,
+  /// Open-addressing hash that never forgets (grows with the search; what a
+  /// CPU implementation would do).
+  kHashUnbounded,
+  /// Bloom filter: compact and deletion-free, but false positives make the
+  /// search skip genuinely unvisited vertices, costing recall.
+  kBloom,
+  /// Per-vertex bitmap over the whole corpus: exact and trivially
+  /// parallel, but it lives in global memory and every probe is an
+  /// uncoalesced random access — "not efficient on the GPU because of the
+  /// high latency of the random memory accesses involved in the warp
+  /// threads and the limited on-chip memory" (§III-A).
+  kBitmap,
+};
+
+/// Human-readable variant name for benchmark tables.
+const char* VisitedKindName(VisitedKind kind);
+
+/// A visited-set behind SONG's candidates-locating stage. Implementations
+/// accumulate their own simulated host-lane cost (`cycles()`), priced per
+/// operation according to where the structure lives in the memory
+/// hierarchy; the kernel charges the delta after each stage.
+class VisitedSet {
+ public:
+  virtual ~VisitedSet() = default;
+
+  /// Marks `v` visited. Returns true iff `v` was *not* already marked
+  /// (i.e. the caller should process it). Bloom filters may return false
+  /// for a never-seen vertex (false positive).
+  virtual bool Insert(VertexId v) = 0;
+
+  /// Forgets `v` (only meaningful for kHashBounded; a no-op elsewhere).
+  virtual void Remove(VertexId /*v*/) {}
+
+  /// Simulated cycles consumed so far.
+  virtual double cycles() const = 0;
+};
+
+/// Creates a visited set. `expected` is the working-set size hint (N ∪ C
+/// for the bounded hash), `universe` the corpus size (bitmap extent).
+std::unique_ptr<VisitedSet> MakeVisitedSet(VisitedKind kind,
+                                           std::size_t expected,
+                                           std::size_t universe,
+                                           const gpusim::CostParams& cost);
+
+}  // namespace song
+}  // namespace ganns
+
+#endif  // GANNS_SONG_VISITED_H_

@@ -1,0 +1,146 @@
+// Tests for the operating-point auto-tuner, the PCIe transfer/stream model
+// (§III-B remark), and the multi-core CPU GGraphCon (§IV-B remark).
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.h"
+#include "core/ganns_search.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/cpu_nsw.h"
+#include "graph/parallel_cpu_nsw.h"
+#include "gpusim/transfer.h"
+
+namespace ganns {
+namespace {
+
+TEST(TransferModelTest, TransferTimeIsLatencyPlusBandwidth) {
+  gpusim::PcieSpec pcie;
+  pcie.bandwidth_gb_per_s = 10.0;
+  pcie.latency_s = 10e-6;
+  // 1 MB at 10 GB/s = 100 us, plus 10 us latency.
+  EXPECT_NEAR(gpusim::TransferSeconds(pcie, 1'000'000), 110e-6, 1e-9);
+  EXPECT_NEAR(gpusim::TransferSeconds(pcie, 0), 10e-6, 1e-12);
+}
+
+TEST(TransferModelTest, StreamingOverlapsTransferWithCompute) {
+  // Kernel-dominated batch: streaming hides nearly all transfer time.
+  const double upload = 0.1e-3;
+  const double kernel = 20e-3;
+  const double download = 0.16e-3;
+  const double sequential =
+      gpusim::SequentialMakespan(upload, kernel, download);
+  const double streamed =
+      gpusim::StreamedMakespan(upload, kernel, download, 4);
+  EXPECT_GT(sequential, streamed);
+  EXPECT_LT(streamed - kernel, (upload + download) / 2);
+  // One chunk degenerates to the sequential schedule.
+  EXPECT_DOUBLE_EQ(gpusim::StreamedMakespan(upload, kernel, download, 1),
+                   sequential);
+}
+
+TEST(TransferModelTest, PaperExampleTransferIsNegligible) {
+  // The paper's arithmetic: 2000 queries, k = 100 -> ~1 MB of results vs
+  // PCIe 3.0 x16 ~10 GB/s. That is ~0.1 ms, tiny against a multi-ms batch.
+  gpusim::PcieSpec pcie;
+  const std::size_t result_bytes = 2000 * 100 * (4 + 4);
+  const double transfer = gpusim::TransferSeconds(pcie, result_bytes);
+  EXPECT_LT(transfer, 0.5e-3);
+}
+
+class AutotuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 1500, 9));
+    built_ = std::make_unique<graph::CpuBuildResult>(
+        graph::BuildNswCpu(*base_, {}));
+    queries_ = std::make_unique<data::Dataset>(
+        data::GenerateQueries(data::PaperDataset("SIFT1M"), 40, 1500, 9));
+    truth_ = std::make_unique<data::GroundTruth>(
+        data::BruteForceKnn(*base_, *queries_, 10));
+  }
+
+  gpusim::Device device_;
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<graph::CpuBuildResult> built_;
+  std::unique_ptr<data::Dataset> queries_;
+  std::unique_ptr<data::GroundTruth> truth_;
+};
+
+TEST_F(AutotuneTest, MeetsModestTargetAndReportsHonestRecall) {
+  const core::AutotuneResult tuned = core::TuneForRecall(
+      device_, built_->graph, *base_, *queries_, *truth_, 10, 0.8);
+  EXPECT_TRUE(tuned.target_met);
+  EXPECT_GE(tuned.recall, 0.8);
+  // The reported recall is reproducible with the returned params.
+  const auto batch = core::GannsSearchBatch(device_, built_->graph, *base_,
+                                            *queries_, tuned.params);
+  EXPECT_DOUBLE_EQ(data::MeanRecall(batch.results, *truth_, 10),
+                   tuned.recall);
+}
+
+TEST_F(AutotuneTest, HigherTargetCostsThroughput) {
+  const core::AutotuneResult loose = core::TuneForRecall(
+      device_, built_->graph, *base_, *queries_, *truth_, 10, 0.7);
+  const core::AutotuneResult tight = core::TuneForRecall(
+      device_, built_->graph, *base_, *queries_, *truth_, 10, 0.95);
+  if (loose.target_met && tight.target_met) {
+    EXPECT_GE(loose.qps, tight.qps);
+  }
+}
+
+TEST_F(AutotuneTest, ImpossibleTargetReportsBestEffort) {
+  const core::AutotuneResult tuned = core::TuneForRecall(
+      device_, built_->graph, *base_, *queries_, *truth_, 10, 1.01);
+  EXPECT_FALSE(tuned.target_met);
+  EXPECT_GT(tuned.recall, 0.9);  // still the best available setting
+}
+
+TEST(ParallelCpuNswTest, QualityMatchesSerialCpuBuilder) {
+  const data::Dataset base =
+      data::GenerateBase(data::PaperDataset("SIFT1M"), 1200, 10);
+  const data::Dataset queries =
+      data::GenerateQueries(data::PaperDataset("SIFT1M"), 30, 1200, 10);
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, 10);
+
+  const graph::CpuBuildResult serial = graph::BuildNswCpu(base, {});
+  const graph::ParallelCpuBuildResult parallel =
+      graph::BuildNswParallelCpu(base, {}, /*num_groups=*/8);
+  EXPECT_EQ(parallel.num_groups, 8u);
+
+  const auto recall_of = [&](const graph::ProximityGraph& graph) {
+    std::vector<std::vector<VertexId>> results(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (const auto& n :
+           graph::BeamSearch(graph, base, queries.Point(q), 10, 64, 0)) {
+        results[q].push_back(n.id);
+      }
+    }
+    return data::MeanRecall(results, truth, 10);
+  };
+  // §IV-B remark: the divide-and-conquer scheme is hardware-independent;
+  // on a CPU pool it yields the same quality class as sequential insertion.
+  EXPECT_GE(recall_of(parallel.graph), recall_of(serial.graph) - 0.03);
+}
+
+TEST(ParallelCpuNswTest, RespectsDegreeBoundsAndIsDeterministic) {
+  const data::Dataset base =
+      data::GenerateBase(data::PaperDataset("SIFT1M"), 800, 11);
+  graph::NswParams params;
+  params.d_min = 8;
+  params.d_max = 16;
+  const auto a = graph::BuildNswParallelCpu(base, params, 6);
+  const auto b = graph::BuildNswParallelCpu(base, params, 6);
+  for (std::size_t v = 0; v < base.size(); ++v) {
+    EXPECT_LE(a.graph.Degree(static_cast<VertexId>(v)), params.d_max);
+    const auto ids_a = a.graph.Neighbors(static_cast<VertexId>(v));
+    const auto ids_b = b.graph.Neighbors(static_cast<VertexId>(v));
+    for (std::size_t s = 0; s < params.d_max; ++s) {
+      ASSERT_EQ(ids_a[s], ids_b[s]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ganns

@@ -1,0 +1,129 @@
+// Unit tests for the common utilities: deterministic RNG, prefix sums, and
+// the host thread pool.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prefix_sum.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace ganns {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianHasRoughlyUnitMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(PrefixSumTest, ExclusiveMatchesDefinition) {
+  const std::vector<std::uint32_t> in = {3, 0, 1, 5, 2};
+  std::vector<std::uint32_t> out(in.size());
+  const std::uint32_t total =
+      ExclusivePrefixSum(std::span<const std::uint32_t>(in),
+                         std::span<std::uint32_t>(out));
+  EXPECT_EQ(total, 11u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 3, 3, 4, 9}));
+}
+
+TEST(PrefixSumTest, InclusiveMatchesDefinition) {
+  const std::vector<std::uint32_t> in = {3, 0, 1, 5, 2};
+  std::vector<std::uint32_t> out(in.size());
+  const std::uint32_t total =
+      InclusivePrefixSum(std::span<const std::uint32_t>(in),
+                         std::span<std::uint32_t>(out));
+  EXPECT_EQ(total, 11u);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{3, 3, 4, 9, 11}));
+}
+
+TEST(PrefixSumTest, EmptyInput) {
+  std::vector<std::uint32_t> out;
+  EXPECT_EQ(ExclusivePrefixSum({}, std::span<std::uint32_t>(out)), 0u);
+}
+
+TEST(PrefixSumTest, InPlaceAliasingWorks) {
+  std::vector<std::uint32_t> data = {1, 2, 3, 4};
+  InclusivePrefixSum(std::span<const std::uint32_t>(data),
+                     std::span<std::uint32_t>(data));
+  EXPECT_EQ(data, (std::vector<std::uint32_t>{1, 3, 6, 10}));
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, HandlesZeroAndSmallN) {
+  ThreadPool pool(8);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfPoolSize) {
+  // Aggregation by index must give the same result for 1 or many workers.
+  const std::size_t n = 500;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  ThreadPool single(1);
+  ThreadPool many(7);
+  single.ParallelFor(n, [&](std::size_t i) { a[i] = std::sqrt(i * 3.5); });
+  many.ParallelFor(n, [&](std::size_t i) { b[i] = std::sqrt(i * 3.5); });
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ganns

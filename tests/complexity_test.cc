@@ -1,0 +1,114 @@
+// Empirical validation of the paper's complexity analysis (§III-C): per
+// search, GANNS phase costs scale as O(work / n_t) in the threads-per-block
+// count, SONG's data-structure stage does not scale at all, and both
+// kernels' results are invariant to n_t (lane count changes the schedule,
+// never the answer).
+
+#include <gtest/gtest.h>
+
+#include "core/ganns_search.h"
+#include "data/synthetic.h"
+#include "graph/cpu_nsw.h"
+#include "song/song_search.h"
+
+namespace ganns {
+namespace {
+
+class ComplexityTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = new data::Dataset(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 900, 14));
+    built_ = new graph::CpuBuildResult(graph::BuildNswCpu(*base_, {}));
+    queries_ = new data::Dataset(
+        data::GenerateQueries(data::PaperDataset("SIFT1M"), 15, 900, 14));
+  }
+  static void TearDownTestSuite() {
+    delete queries_;
+    delete built_;
+    delete base_;
+    queries_ = nullptr;
+    built_ = nullptr;
+    base_ = nullptr;
+  }
+
+  static data::Dataset* base_;
+  static graph::CpuBuildResult* built_;
+  static data::Dataset* queries_;
+};
+
+data::Dataset* ComplexityTest::base_ = nullptr;
+graph::CpuBuildResult* ComplexityTest::built_ = nullptr;
+data::Dataset* ComplexityTest::queries_ = nullptr;
+
+TEST_P(ComplexityTest, GannsResultsInvariantToLaneCount) {
+  const int lanes = GetParam();
+  gpusim::Device device;
+  core::GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  const auto reference = core::GannsSearchBatch(device, built_->graph,
+                                                *base_, *queries_, params, 32);
+  const auto varied = core::GannsSearchBatch(device, built_->graph, *base_,
+                                             *queries_, params, lanes);
+  EXPECT_EQ(reference.results, varied.results);
+}
+
+TEST_P(ComplexityTest, SongResultsInvariantToLaneCount) {
+  const int lanes = GetParam();
+  gpusim::Device device;
+  song::SongParams params;
+  params.k = 10;
+  params.queue_size = 64;
+  const auto reference = song::SongSearchBatch(device, built_->graph, *base_,
+                                               *queries_, params, 32);
+  const auto varied = song::SongSearchBatch(device, built_->graph, *base_,
+                                            *queries_, params, lanes);
+  EXPECT_EQ(reference.results, varied.results);
+}
+
+TEST_P(ComplexityTest, GannsCostScalesInverselyWithLanes)
+{
+  const int lanes = GetParam();
+  if (lanes == 32) return;  // the reference point itself
+  gpusim::Device device;
+  core::GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  const auto wide = core::GannsSearchBatch(device, built_->graph, *base_,
+                                           *queries_, params, 32);
+  const auto narrow = core::GannsSearchBatch(device, built_->graph, *base_,
+                                             *queries_, params, lanes);
+  const double expected_ratio = 32.0 / lanes;
+  const double measured_ratio =
+      narrow.kernel.work_total() / wide.kernel.work_total();
+  // O(work / n_t) with an O(log n_t) reduction term: the measured ratio
+  // must track the ideal within 40%.
+  EXPECT_GT(measured_ratio, 0.6 * expected_ratio);
+  EXPECT_LT(measured_ratio, 1.2 * expected_ratio);
+}
+
+TEST_P(ComplexityTest, SongDataStructureCostIsLaneInvariant) {
+  const int lanes = GetParam();
+  gpusim::Device device;
+  song::SongParams params;
+  params.k = 10;
+  params.queue_size = 64;
+  const auto wide = song::SongSearchBatch(device, built_->graph, *base_,
+                                          *queries_, params, 32);
+  const auto varied = song::SongSearchBatch(device, built_->graph, *base_,
+                                            *queries_, params, lanes);
+  const auto ds = [](const graph::BatchSearchResult& b) {
+    return b.kernel.work_cycles[static_cast<int>(
+        gpusim::CostCategory::kDataStructure)];
+  };
+  // The host lane cannot use extra lanes: identical DS cost up to the
+  // adjacency-load share (±15%).
+  EXPECT_NEAR(ds(varied) / ds(wide), 1.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, ComplexityTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+}  // namespace
+}  // namespace ganns

@@ -1,0 +1,179 @@
+// Tests for the gather-scatter (CSR) edge machinery of Algorithm 2: sorting
+// and offset construction, duplicate filtering, bounded merges, and the
+// changed-row count used by NN-Descent convergence.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/edge_update.h"
+#include "gpusim/device.h"
+#include "graph/beam_search.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+TEST(GatherScatterTest, SortsByStartThenDistanceAndDropsInvalid) {
+  gpusim::Device device;
+  std::vector<BackwardEdge> edges = {
+      {2, 10, 3.0f}, {kInvalidVertex, 0, kInfDist}, {1, 11, 2.0f},
+      {2, 12, 1.0f}, {1, 13, 5.0f},                 {kInvalidVertex, 0, kInfDist},
+  };
+  const GatheredEdges out = GatherScatter(device, std::move(edges), 32);
+  ASSERT_EQ(out.edges.size(), 4u);
+  ASSERT_EQ(out.num_starts, 2u);
+  EXPECT_EQ(out.offsets, (std::vector<std::uint32_t>{0, 2, 4}));
+  EXPECT_EQ(out.edges[0].from, 1u);
+  EXPECT_EQ(out.edges[0].to, 11u);  // dist 2 before dist 5
+  EXPECT_EQ(out.edges[1].to, 13u);
+  EXPECT_EQ(out.edges[2].from, 2u);
+  EXPECT_EQ(out.edges[2].to, 12u);  // dist 1 before dist 3
+}
+
+TEST(GatherScatterTest, EmptyAndAllInvalidInputs) {
+  gpusim::Device device;
+  EXPECT_EQ(GatherScatter(device, {}, 32).num_starts, 0u);
+  std::vector<BackwardEdge> invalid(5);
+  EXPECT_EQ(GatherScatter(device, std::move(invalid), 32).num_starts, 0u);
+}
+
+TEST(GatherScatterTest, ChargesKernelTime) {
+  gpusim::Device device;
+  device.ResetTimeline();
+  std::vector<BackwardEdge> edges(128);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = {static_cast<VertexId>(i % 7), static_cast<VertexId>(i + 100),
+                static_cast<Dist>(i)};
+  }
+  GatherScatter(device, std::move(edges), 32);
+  EXPECT_GT(device.timeline_work(gpusim::CostCategory::kDataStructure), 0);
+}
+
+TEST(ApplyBackwardEdgesTest, MergesKeepingNearestDmax) {
+  gpusim::Device device;
+  graph::ProximityGraph g(20, 3);
+  g.InsertNeighbor(5, 1, 1.0f);
+  g.InsertNeighbor(5, 2, 4.0f);
+
+  std::vector<BackwardEdge> edges = {{5, 3, 2.0f}, {5, 4, 9.0f}};
+  const GatheredEdges gathered = GatherScatter(device, std::move(edges), 32);
+  const std::size_t changed = ApplyBackwardEdges(device, gathered, g, 32);
+  EXPECT_EQ(changed, 1u);
+  // Kept: dists 1, 2, 4; dropped: 9.
+  EXPECT_EQ(g.Degree(5), 3u);
+  EXPECT_EQ(g.Neighbors(5)[0], 1u);
+  EXPECT_EQ(g.Neighbors(5)[1], 3u);
+  EXPECT_EQ(g.Neighbors(5)[2], 2u);
+}
+
+TEST(ApplyBackwardEdgesTest, FiltersDuplicateProposalsAndExistingTargets) {
+  gpusim::Device device;
+  graph::ProximityGraph g(20, 4);
+  g.InsertNeighbor(5, 1, 1.0f);
+
+  std::vector<BackwardEdge> edges = {
+      {5, 1, 1.0f},  // already a neighbor: filtered
+      {5, 3, 2.0f},  // fresh
+      {5, 3, 2.0f},  // duplicate proposal: filtered
+  };
+  const GatheredEdges gathered = GatherScatter(device, std::move(edges), 32);
+  ApplyBackwardEdges(device, gathered, g, 32);
+  EXPECT_EQ(g.Degree(5), 2u);
+  EXPECT_EQ(g.Neighbors(5)[0], 1u);
+  EXPECT_EQ(g.Neighbors(5)[1], 3u);
+}
+
+TEST(ApplyBackwardEdgesTest, NoChangeWhenAllProposalsWorseOrPresent) {
+  gpusim::Device device;
+  graph::ProximityGraph g(20, 2);
+  g.InsertNeighbor(7, 1, 1.0f);
+  g.InsertNeighbor(7, 2, 2.0f);
+
+  std::vector<BackwardEdge> edges = {{7, 1, 1.0f}, {7, 3, 8.0f}};
+  const GatheredEdges gathered = GatherScatter(device, std::move(edges), 32);
+  const std::size_t changed = ApplyBackwardEdges(device, gathered, g, 32);
+  EXPECT_EQ(changed, 0u);
+  EXPECT_EQ(g.Degree(7), 2u);
+  EXPECT_EQ(g.Neighbors(7)[1], 2u);
+}
+
+// Property test: random edge batches against a reference implementation.
+struct EdgeCase {
+  std::uint64_t seed;
+  std::size_t num_vertices;
+  std::size_t num_edges;
+  std::size_t d_max;
+};
+
+class ApplyBackwardEdgesProperty : public ::testing::TestWithParam<EdgeCase> {
+};
+
+TEST_P(ApplyBackwardEdgesProperty, MatchesReferenceMerge) {
+  const auto [seed, num_vertices, num_edges, d_max] = GetParam();
+  Rng rng(seed);
+  gpusim::Device device;
+  graph::ProximityGraph g(num_vertices, d_max);
+
+  // Seed some existing adjacency. Distances are a deterministic function of
+  // (v, u) so duplicates carry consistent distances.
+  const auto dist_of = [&](VertexId v, VertexId u) {
+    return static_cast<Dist>(((std::uint64_t{v} * 31 + u) * 2654435761u) %
+                             1000);
+  };
+  std::map<VertexId, std::vector<graph::Neighbor>> reference;
+  for (std::size_t i = 0; i < num_edges / 2; ++i) {
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) u = (u + 1) % num_vertices;
+    g.InsertNeighbor(v, u, dist_of(v, u));
+  }
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    const auto ids = g.Neighbors(static_cast<VertexId>(v));
+    const auto dists = g.NeighborDists(static_cast<VertexId>(v));
+    for (std::size_t s = 0; s < g.Degree(static_cast<VertexId>(v)); ++s) {
+      reference[static_cast<VertexId>(v)].push_back({dists[s], ids[s]});
+    }
+  }
+
+  // Random proposal batch.
+  std::vector<BackwardEdge> edges;
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) u = (u + 1) % num_vertices;
+    edges.push_back({v, u, dist_of(v, u)});
+    auto& row = reference[v];
+    if (std::none_of(row.begin(), row.end(),
+                     [&, u = u](const graph::Neighbor& n) { return n.id == u; })) {
+      row.push_back({dist_of(v, u), u});
+    }
+  }
+
+  const GatheredEdges gathered =
+      GatherScatter(device, std::move(edges), 32);
+  ApplyBackwardEdges(device, gathered, g, 32);
+
+  for (auto& [v, row] : reference) {
+    std::sort(row.begin(), row.end());
+    if (row.size() > d_max) row.resize(d_max);
+    ASSERT_EQ(g.Degree(v), row.size()) << "vertex " << v;
+    const auto ids = g.Neighbors(v);
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      EXPECT_EQ(ids[s], row[s].id) << "vertex " << v << " slot " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBatches, ApplyBackwardEdgesProperty,
+    ::testing::Values(EdgeCase{1, 10, 40, 4}, EdgeCase{2, 50, 200, 8},
+                      EdgeCase{3, 20, 500, 3}, EdgeCase{4, 100, 1000, 16},
+                      EdgeCase{5, 5, 100, 2}));
+
+}  // namespace
+}  // namespace core
+}  // namespace ganns

@@ -1,0 +1,233 @@
+// Tests for the GANNS 6-phase search kernel: exactness on complete graphs,
+// result invariants, parameter effects (l_n, e), the lazy-check behaviour,
+// determinism, and the cost-model properties the paper's analysis predicts.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/ganns_search.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/cpu_nsw.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+class GannsSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 800, 4));
+    built_ = std::make_unique<graph::CpuBuildResult>(
+        graph::BuildNswCpu(*base_, {}));
+    queries_ = std::make_unique<data::Dataset>(data::GenerateQueries(
+        data::PaperDataset("SIFT1M"), 40, 800, 4));
+    truth_ = std::make_unique<data::GroundTruth>(
+        data::BruteForceKnn(*base_, *queries_, 10));
+  }
+
+  gpusim::BlockContext MakeBlock() {
+    return gpusim::BlockContext(0, 32, 48 * 1024, &device_.spec().cost);
+  }
+
+  gpusim::Device device_;
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<graph::CpuBuildResult> built_;
+  std::unique_ptr<data::Dataset> queries_;
+  std::unique_ptr<data::GroundTruth> truth_;
+};
+
+TEST_F(GannsSearchTest, ExactOnStarGraph) {
+  // Vertex 0 adjacent to all others: one exploration of the entry loads the
+  // entire corpus into T across iterations of the merge, so with l_n >= n
+  // the search is exhaustive and exact.
+  const std::size_t n = 48;
+  graph::ProximityGraph g(n, n - 1);
+  data::Dataset small("small", base_->dim(), base_->metric());
+  for (std::size_t i = 0; i < n; ++i) {
+    small.Append(base_->Point(static_cast<VertexId>(i)));
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    const Dist d = data::ExactDistance(small.metric(), small.Point(0),
+                                       small.Point(static_cast<VertexId>(v)));
+    g.InsertNeighbor(0, static_cast<VertexId>(v), d);
+    g.InsertNeighbor(static_cast<VertexId>(v), 0, d);
+  }
+
+  const data::Dataset queries = data::GenerateQueries(
+      data::PaperDataset("SIFT1M"), 1, n, 4);
+  const data::GroundTruth truth = data::BruteForceKnn(small, queries, 5);
+
+  GannsParams params;
+  params.k = 5;
+  params.l_n = 64;
+  auto block = MakeBlock();
+  const auto found =
+      GannsSearchOne(block, g, small, queries.Point(0), params, 0);
+  ASSERT_EQ(found.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(found[i].id, truth.neighbors[0][i]);
+  }
+}
+
+TEST_F(GannsSearchTest, ResultsSortedUniqueAndWithinCorpus) {
+  GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  const auto batch = GannsSearchBatch(device_, built_->graph, *base_,
+                                      *queries_, params);
+  for (const auto& row : batch.results) {
+    EXPECT_LE(row.size(), 10u);
+    std::set<VertexId> seen;
+    for (VertexId id : row) {
+      EXPECT_LT(id, base_->size());
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+}
+
+TEST_F(GannsSearchTest, RecallMatchesCpuBeamSearch) {
+  // The paper: "the ranges of recall achieved by GANNS and SONG are the
+  // same" — the parallelization does not change result quality.
+  GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  const auto batch = GannsSearchBatch(device_, built_->graph, *base_,
+                                      *queries_, params);
+
+  std::vector<std::vector<VertexId>> cpu_results(queries_->size());
+  for (std::size_t q = 0; q < queries_->size(); ++q) {
+    for (const auto& n : graph::BeamSearch(built_->graph, *base_,
+                                           queries_->Point(q), 10, 64, 0)) {
+      cpu_results[q].push_back(n.id);
+    }
+  }
+  EXPECT_NEAR(data::MeanRecall(batch.results, *truth_, 10),
+              data::MeanRecall(cpu_results, *truth_, 10), 0.05);
+}
+
+TEST_F(GannsSearchTest, LargerLnRaisesRecall) {
+  GannsParams narrow;
+  narrow.k = 10;
+  narrow.l_n = 16;
+  GannsParams wide;
+  wide.k = 10;
+  wide.l_n = 128;
+  const auto batch_narrow =
+      GannsSearchBatch(device_, built_->graph, *base_, *queries_, narrow);
+  const auto batch_wide =
+      GannsSearchBatch(device_, built_->graph, *base_, *queries_, wide);
+  EXPECT_GE(data::MeanRecall(batch_wide.results, *truth_, 10),
+            data::MeanRecall(batch_narrow.results, *truth_, 10));
+  EXPECT_GT(batch_wide.sim_seconds, batch_narrow.sim_seconds);
+}
+
+TEST_F(GannsSearchTest, SmallerEIsFasterAtSomeRecallCost) {
+  GannsParams full;
+  full.k = 10;
+  full.l_n = 64;
+  full.e = 64;
+  GannsParams pruned = full;
+  pruned.e = 8;
+  const auto batch_full =
+      GannsSearchBatch(device_, built_->graph, *base_, *queries_, full);
+  const auto batch_pruned =
+      GannsSearchBatch(device_, built_->graph, *base_, *queries_, pruned);
+  EXPECT_LT(batch_pruned.sim_seconds, batch_full.sim_seconds);
+  EXPECT_GE(data::MeanRecall(batch_full.results, *truth_, 10),
+            data::MeanRecall(batch_pruned.results, *truth_, 10) - 1e-9);
+}
+
+TEST_F(GannsSearchTest, LazyCheckDetectsRedundantComputation) {
+  // NSW edges are bidirectional, so neighbors of the exploring vertex are
+  // routinely already in N; the lazy check must catch some of them.
+  GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  GannsSearchStats stats;
+  auto block = MakeBlock();
+  GannsSearchOne(block, built_->graph, *base_, queries_->Point(0), params, 0,
+                 &stats);
+  EXPECT_GT(stats.redundant_distances, 0u);
+  EXPECT_GT(stats.distance_computations, stats.redundant_distances);
+}
+
+TEST_F(GannsSearchTest, DisablingLazyCheckHurtsResultQuality) {
+  // Without phase (4), duplicate copies of already-seen vertices enter N,
+  // crowding out genuine candidates and being re-explored — the
+  // "propagation of redundant computation" §III-A warns about. The net
+  // effect at a fixed budget is lower recall.
+  GannsParams checked;
+  checked.k = 10;
+  checked.l_n = 64;
+  GannsParams unchecked = checked;
+  unchecked.disable_lazy_check = true;
+
+  const auto batch_checked = GannsSearchBatch(device_, built_->graph, *base_,
+                                              *queries_, checked);
+  const auto batch_unchecked = GannsSearchBatch(device_, built_->graph,
+                                                *base_, *queries_, unchecked);
+  EXPECT_GT(data::MeanRecall(batch_checked.results, *truth_, 10),
+            data::MeanRecall(batch_unchecked.results, *truth_, 10));
+}
+
+TEST_F(GannsSearchTest, DeterministicAcrossRuns) {
+  GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  auto block_a = MakeBlock();
+  auto block_b = MakeBlock();
+  const auto a = GannsSearchOne(block_a, built_->graph, *base_,
+                                queries_->Point(3), params, 0);
+  const auto b = GannsSearchOne(block_b, built_->graph, *base_,
+                                queries_->Point(3), params, 0);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(block_a.cost().total_cycles(),
+                   block_b.cost().total_cycles());
+}
+
+TEST_F(GannsSearchTest, DataStructureShareShrinksWithMoreLanes) {
+  // §III-C: data-structure phases cost O(log l_n * (l_t + l_n) / n_t) — more
+  // lanes means proportionally less time, unlike SONG's host thread.
+  GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  const auto narrow = GannsSearchBatch(device_, built_->graph, *base_,
+                                       *queries_, params, /*block_lanes=*/4);
+  const auto wide = GannsSearchBatch(device_, built_->graph, *base_,
+                                     *queries_, params, /*block_lanes=*/32);
+  const auto ds = [](const graph::BatchSearchResult& b) {
+    return b.kernel.work_cycles[static_cast<int>(
+        gpusim::CostCategory::kDataStructure)];
+  };
+  EXPECT_GT(ds(narrow), 2 * ds(wide));
+}
+
+TEST_F(GannsSearchTest, EntryVertexIsHonored) {
+  GannsParams params;
+  params.k = 1;
+  params.l_n = 32;
+  // Searching for the entry point itself returns it at distance ~0.
+  auto block = MakeBlock();
+  const auto found = GannsSearchOne(block, built_->graph, *base_,
+                                    base_->Point(123), params, 123);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[0].id, 123u);
+  EXPECT_FLOAT_EQ(found[0].dist, 0.0f);
+}
+
+TEST_F(GannsSearchTest, RejectsInvalidParameters) {
+  GannsParams params;
+  params.k = 10;
+  params.l_n = 48;  // not a power of two
+  auto block = MakeBlock();
+  EXPECT_DEATH(GannsSearchOne(block, built_->graph, *base_,
+                              queries_->Point(0), params, 0),
+               "power of two");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ganns

@@ -1,0 +1,252 @@
+// Unit tests for the proximity-graph substrate: fixed-degree storage,
+// serialization, the CPU beam search (Algorithm 1), and the CPU builders.
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/beam_search.h"
+#include "graph/cpu_nsw.h"
+#include "graph/hnsw.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace graph {
+namespace {
+
+TEST(ProximityGraphTest, InsertKeepsRowSortedByDistance) {
+  ProximityGraph g(5, 3);
+  g.InsertNeighbor(0, 1, 5.0f);
+  g.InsertNeighbor(0, 2, 1.0f);
+  g.InsertNeighbor(0, 3, 3.0f);
+  EXPECT_EQ(g.Degree(0), 3u);
+  const auto ids = g.Neighbors(0);
+  EXPECT_EQ(ids[0], 2u);
+  EXPECT_EQ(ids[1], 3u);
+  EXPECT_EQ(ids[2], 1u);
+  const auto dists = g.NeighborDists(0);
+  EXPECT_FLOAT_EQ(dists[0], 1.0f);
+  EXPECT_FLOAT_EQ(dists[2], 5.0f);
+}
+
+TEST(ProximityGraphTest, FullRowEvictsWorstNeighbor) {
+  ProximityGraph g(5, 2);
+  g.InsertNeighbor(0, 1, 5.0f);
+  g.InsertNeighbor(0, 2, 3.0f);
+  g.InsertNeighbor(0, 3, 1.0f);  // evicts id 1 (dist 5)
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Neighbors(0)[0], 3u);
+  EXPECT_EQ(g.Neighbors(0)[1], 2u);
+  // Worse than every kept neighbor: rejected outright.
+  g.InsertNeighbor(0, 4, 9.0f);
+  EXPECT_EQ(g.Degree(0), 2u);
+}
+
+TEST(ProximityGraphTest, DuplicateTargetsIgnored) {
+  ProximityGraph g(5, 3);
+  g.InsertNeighbor(0, 1, 2.0f);
+  g.InsertNeighbor(0, 1, 2.0f);
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(ProximityGraphTest, TiesBrokenBySmallerId) {
+  ProximityGraph g(5, 3);
+  g.InsertNeighbor(0, 3, 1.0f);
+  g.InsertNeighbor(0, 1, 1.0f);
+  EXPECT_EQ(g.Neighbors(0)[0], 1u);
+  EXPECT_EQ(g.Neighbors(0)[1], 3u);
+}
+
+TEST(ProximityGraphTest, SetNeighborsAndClear) {
+  ProximityGraph g(5, 3);
+  const ProximityGraph::Edge edges[] = {{2, 1.0f}, {4, 2.0f}};
+  g.SetNeighbors(0, edges);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  g.ClearVertex(0);
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.Neighbors(0)[0], kInvalidVertex);
+}
+
+TEST(ProximityGraphDeathTest, UnsortedSetNeighborsIsFatal) {
+  ProximityGraph g(5, 3);
+  const ProximityGraph::Edge edges[] = {{2, 2.0f}, {4, 1.0f}};
+  EXPECT_DEATH(g.SetNeighbors(0, edges), "not sorted");
+}
+
+TEST(ProximityGraphTest, SaveLoadRoundtrip) {
+  ProximityGraph g(4, 2);
+  g.InsertNeighbor(0, 1, 1.5f);
+  g.InsertNeighbor(2, 3, 0.25f);
+  const std::string path = ::testing::TempDir() + "/graph.bin";
+  ASSERT_TRUE(g.SaveTo(path));
+
+  const auto loaded = ProximityGraph::LoadFrom(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), 4u);
+  EXPECT_EQ(loaded->d_max(), 2u);
+  EXPECT_EQ(loaded->Degree(0), 1u);
+  EXPECT_EQ(loaded->Neighbors(2)[0], 3u);
+  EXPECT_FLOAT_EQ(loaded->NeighborDists(2)[0], 0.25f);
+  std::remove(path.c_str());
+}
+
+TEST(ProximityGraphTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a graph", f);
+  std::fclose(f);
+  EXPECT_FALSE(ProximityGraph::LoadFrom(path).has_value());
+  EXPECT_FALSE(ProximityGraph::LoadFrom("/nonexistent/g.bin").has_value());
+  std::remove(path.c_str());
+}
+
+// A small deterministic workload shared by the search/builder tests.
+class GraphSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 600, 2));
+  }
+  std::unique_ptr<data::Dataset> base_;
+};
+
+TEST_F(GraphSearchTest, BeamSearchOnCompleteGraphIsExact) {
+  // Star + complete-ish graph: vertex 0 connected to everyone; with an
+  // unbounded row the first exploration sees all points, so beam search with
+  // ef >= k returns the exact k nearest neighbors.
+  const std::size_t n = 64;
+  ProximityGraph g(n, n - 1);
+  for (std::size_t v = 1; v < n; ++v) {
+    const Dist d = data::ExactDistance(base_->metric(), base_->Point(0),
+                                       base_->Point(static_cast<VertexId>(v)));
+    g.InsertNeighbor(0, static_cast<VertexId>(v), d);
+    g.InsertNeighbor(static_cast<VertexId>(v), 0, d);
+  }
+
+  data::Dataset queries("q", base_->dim(), base_->metric());
+  queries.Append(base_->Point(17));
+
+  // Restrict the corpus view to the first n points.
+  data::Dataset small("small", base_->dim(), base_->metric());
+  for (std::size_t i = 0; i < n; ++i) {
+    small.Append(base_->Point(static_cast<VertexId>(i)));
+  }
+  const data::GroundTruth truth = data::BruteForceKnn(small, queries, 5);
+
+  const auto found = BeamSearch(g, small, queries.Point(0), 5, n, 0);
+  ASSERT_EQ(found.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(found[i].id, truth.neighbors[0][i]);
+  }
+}
+
+TEST_F(GraphSearchTest, BeamSearchResultsSortedAndUnique) {
+  const CpuBuildResult built = BuildNswCpu(*base_, {});
+  const auto found = BeamSearch(built.graph, *base_, base_->Point(3), 10, 64, 0);
+  ASSERT_LE(found.size(), 10u);
+  std::set<VertexId> seen;
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    if (i > 0) EXPECT_TRUE(found[i - 1] < found[i]);
+    EXPECT_TRUE(seen.insert(found[i].id).second);
+  }
+}
+
+TEST_F(GraphSearchTest, LargerEfNeverHurtsRecallMuch) {
+  const CpuBuildResult built = BuildNswCpu(*base_, {});
+  const data::Dataset queries = data::GenerateQueries(
+      data::PaperDataset("SIFT1M"), 30, 600, 2);
+  const data::GroundTruth truth = data::BruteForceKnn(*base_, queries, 10);
+
+  double recall_small = 0;
+  double recall_large = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto narrow = BeamSearch(built.graph, *base_, queries.Point(q), 10,
+                                   10, 0);
+    const auto wide = BeamSearch(built.graph, *base_, queries.Point(q), 10,
+                                 128, 0);
+    std::vector<VertexId> narrow_ids, wide_ids;
+    for (const auto& x : narrow) narrow_ids.push_back(x.id);
+    for (const auto& x : wide) wide_ids.push_back(x.id);
+    recall_small += data::RecallAtK(narrow_ids, truth.neighbors[q], 10);
+    recall_large += data::RecallAtK(wide_ids, truth.neighbors[q], 10);
+  }
+  EXPECT_GE(recall_large, recall_small);
+  EXPECT_GE(recall_large / queries.size(), 0.9);
+}
+
+TEST_F(GraphSearchTest, RestrictToLimitsTraversal) {
+  const CpuBuildResult built = BuildNswCpu(*base_, {});
+  const auto found = BeamSearch(built.graph, *base_, base_->Point(500), 10,
+                                64, 0, nullptr, /*restrict_to=*/100);
+  for (const auto& n : found) EXPECT_LT(n.id, 100u);
+}
+
+TEST_F(GraphSearchTest, StatsCountWork) {
+  const CpuBuildResult built = BuildNswCpu(*base_, {});
+  BeamSearchStats stats;
+  BeamSearch(built.graph, *base_, base_->Point(1), 10, 64, 0, &stats);
+  EXPECT_GT(stats.distance_computations, 10u);
+  EXPECT_GT(stats.heap_ops, 0u);
+  EXPECT_GT(stats.hash_ops, 0u);
+  EXPECT_GT(stats.iterations, 0u);
+}
+
+TEST_F(GraphSearchTest, CpuNswRespectsDegreeBounds) {
+  NswParams params;
+  params.d_min = 4;
+  params.d_max = 8;
+  const CpuBuildResult built = BuildNswCpu(*base_, params);
+  for (std::size_t v = 0; v < base_->size(); ++v) {
+    EXPECT_LE(built.graph.Degree(static_cast<VertexId>(v)), params.d_max);
+  }
+  // Every vertex after the first links at least one neighbor.
+  for (std::size_t v = 1; v < base_->size(); ++v) {
+    EXPECT_GE(built.graph.Degree(static_cast<VertexId>(v)), 1u);
+  }
+}
+
+TEST_F(GraphSearchTest, HnswLevelsFollowGeometricDecay) {
+  HnswParams params;
+  const auto levels = HnswGraph::SampleLevels(20000, params);
+  std::size_t at_least_1 = 0;
+  for (auto l : levels) {
+    if (l >= 1) ++at_least_1;
+  }
+  // P(level >= 1) = 1/d_min = 1/16 with the default multiplier.
+  EXPECT_NEAR(static_cast<double>(at_least_1) / 20000.0, 1.0 / 16.0, 0.01);
+}
+
+TEST_F(GraphSearchTest, HnswSearchReachesHighRecall) {
+  const CpuHnswBuildResult built = BuildHnswCpu(*base_, {});
+  EXPECT_GE(built.graph.max_level(), 1);
+  const data::Dataset queries = data::GenerateQueries(
+      data::PaperDataset("SIFT1M"), 30, 600, 2);
+  const data::GroundTruth truth = data::BruteForceKnn(*base_, queries, 10);
+
+  std::vector<std::vector<VertexId>> results(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const auto& n : SearchHnsw(built.graph, *base_, queries.Point(q), 10, 64)) {
+      results[q].push_back(n.id);
+    }
+  }
+  EXPECT_GE(data::MeanRecall(results, truth, 10), 0.85);
+}
+
+TEST_F(GraphSearchTest, HnswEntryHasTopLevel) {
+  const CpuHnswBuildResult built = BuildHnswCpu(*base_, {});
+  EXPECT_EQ(built.graph.level(built.graph.entry()), built.graph.max_level());
+  // Layer sizes shrink going up.
+  for (int l = 1; l <= built.graph.max_level(); ++l) {
+    EXPECT_LE(built.graph.LayerSize(l), built.graph.LayerSize(l - 1));
+  }
+  EXPECT_EQ(built.graph.LayerSize(0), base_->size());
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace ganns

@@ -1,0 +1,157 @@
+// Tests for the public GannsIndex API: build, search, single-query
+// convenience, HNSW mode, and persistence roundtrips.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/ganns_index.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 1200;
+  static constexpr std::size_t kK = 10;
+
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), kN, 8));
+    queries_ = std::make_unique<data::Dataset>(
+        data::GenerateQueries(data::PaperDataset("SIFT1M"), 25, kN, 8));
+    truth_ = std::make_unique<data::GroundTruth>(
+        data::BruteForceKnn(*base_, *queries_, kK));
+  }
+
+  data::Dataset CopyBase() const {
+    data::Dataset copy(base_->name(), base_->dim(), base_->metric());
+    for (std::size_t i = 0; i < base_->size(); ++i) {
+      copy.Append(base_->Point(static_cast<VertexId>(i)));
+    }
+    return copy;
+  }
+
+  double Recall(const std::vector<std::vector<graph::Neighbor>>& rows) const {
+    std::vector<std::vector<VertexId>> ids(rows.size());
+    for (std::size_t q = 0; q < rows.size(); ++q) {
+      for (const auto& n : rows[q]) ids[q].push_back(n.id);
+    }
+    return data::MeanRecall(ids, *truth_, kK);
+  }
+
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<data::Dataset> queries_;
+  std::unique_ptr<data::GroundTruth> truth_;
+};
+
+TEST_F(IndexTest, BuildAndSearchNsw) {
+  GannsIndex index = GannsIndex::Build(CopyBase());
+  EXPECT_GT(index.timing().build_seconds, 0);
+
+  const auto rows = index.Search(*queries_, kK);
+  ASSERT_EQ(rows.size(), queries_->size());
+  EXPECT_GE(Recall(rows), 0.85);
+  EXPECT_GT(index.timing().last_search_qps, 0);
+}
+
+TEST_F(IndexTest, BuildAndSearchHnsw) {
+  GannsIndex::Options options;
+  options.kind = GraphKind::kHnsw;
+  GannsIndex index = GannsIndex::Build(CopyBase(), options);
+  const auto rows = index.Search(*queries_, kK);
+  EXPECT_GE(Recall(rows), 0.85);
+}
+
+TEST_F(IndexTest, SearchOneAgreesWithBatch) {
+  GannsIndex index = GannsIndex::Build(CopyBase());
+  const auto batch = index.Search(*queries_, kK);
+  const auto one = index.SearchOne(queries_->Point(0), kK);
+  EXPECT_EQ(one, batch[0]);
+}
+
+TEST_F(IndexTest, ResultsAscendingByDistance) {
+  GannsIndex index = GannsIndex::Build(CopyBase());
+  for (const auto& row : index.Search(*queries_, kK)) {
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      EXPECT_TRUE(row[i - 1] < row[i]);
+    }
+  }
+}
+
+TEST_F(IndexTest, SaveLoadRoundtripNsw) {
+  const std::string path = ::testing::TempDir() + "/index_nsw.gix";
+  GannsIndex index = GannsIndex::Build(CopyBase());
+  const auto before = index.Search(*queries_, kK);
+  ASSERT_TRUE(index.Save(path));
+
+  auto loaded = GannsIndex::Load(path, CopyBase());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->kind(), GraphKind::kNsw);
+  const auto after = loaded->Search(*queries_, kK);
+  EXPECT_EQ(before, after);
+  std::remove(path.c_str());
+  std::remove((path + ".layer0").c_str());
+}
+
+TEST_F(IndexTest, SaveLoadRoundtripHnsw) {
+  const std::string path = ::testing::TempDir() + "/index_hnsw.gix";
+  GannsIndex::Options options;
+  options.kind = GraphKind::kHnsw;
+  GannsIndex index = GannsIndex::Build(CopyBase(), options);
+  const auto before = index.Search(*queries_, kK);
+  ASSERT_TRUE(index.Save(path));
+
+  auto loaded = GannsIndex::Load(path, CopyBase(), options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->kind(), GraphKind::kHnsw);
+  const auto after = loaded->Search(*queries_, kK);
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(IndexTest, LoadRejectsMissingOrCorruptFiles) {
+  EXPECT_FALSE(GannsIndex::Load("/nonexistent/idx.gix", CopyBase()).has_value());
+
+  const std::string path = ::testing::TempDir() + "/corrupt.gix";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_FALSE(GannsIndex::Load(path, CopyBase()).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexTest, SongConstructionKernelOptionWorks) {
+  GannsIndex::Options options;
+  options.construction_kernel = SearchKernel::kSong;
+  GannsIndex index = GannsIndex::Build(CopyBase(), options);
+  EXPECT_GE(Recall(index.Search(*queries_, kK)), 0.85);
+}
+
+TEST_F(IndexTest, CosineMetricIndexWorks) {
+  const std::size_t n = 800;
+  data::Dataset base =
+      data::GenerateBase(data::PaperDataset("NYTimes"), n, 2);
+  data::Dataset queries =
+      data::GenerateQueries(data::PaperDataset("NYTimes"), 20, n, 2);
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, kK);
+
+  data::Dataset copy(base.name(), base.dim(), base.metric());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    copy.Append(base.Point(static_cast<VertexId>(i)));
+  }
+  GannsIndex index = GannsIndex::Build(std::move(copy));
+  const auto rows = index.Search(queries, kK);
+  std::vector<std::vector<VertexId>> ids(rows.size());
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    for (const auto& nb : rows[q]) ids[q].push_back(nb.id);
+  }
+  EXPECT_GE(data::MeanRecall(ids, truth, kK), 0.7);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ganns

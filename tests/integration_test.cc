@@ -1,0 +1,140 @@
+// Cross-module integration tests: the full pipeline (synthetic corpus ->
+// GPU construction -> GPU search -> recall against exact ground truth) on a
+// representative slice of Table I, both metrics, both graph kinds, plus
+// structural health checks on every built graph.
+
+#include <gtest/gtest.h>
+
+#include "core/autotune.h"
+#include "core/ganns_index.h"
+#include "core/ggraphcon.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/diagnostics.h"
+
+namespace ganns {
+namespace {
+
+struct PipelineCase {
+  const char* dataset;
+  double min_recall;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineTest, BuildSearchReachesRecallAndGraphIsHealthy) {
+  const auto [dataset, min_recall] = GetParam();
+  const data::DatasetSpec& spec = data::PaperDataset(dataset);
+  const std::size_t n = 1200;
+  const data::Dataset base = data::GenerateBase(spec, n, 21);
+  const data::Dataset queries = data::GenerateQueries(spec, 30, n, 21);
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, 10);
+
+  gpusim::Device device;
+  core::GpuBuildParams params;
+  params.num_groups = 12;
+  const core::GpuBuildResult built =
+      core::BuildNswGGraphCon(device, base, params);
+
+  // Structural health: fully reachable, no sinks beyond group seeds, bounded
+  // degrees.
+  const graph::GraphDiagnostics diag = graph::Diagnose(built.graph, 0);
+  EXPECT_GE(diag.reachable_fraction, 0.999);
+  EXPECT_LE(diag.max_out_degree, params.nsw.d_max);
+  EXPECT_GE(diag.mean_out_degree, static_cast<double>(params.nsw.d_min));
+
+  core::GannsParams search;
+  search.k = 10;
+  search.l_n = 64;
+  const auto batch =
+      core::GannsSearchBatch(device, built.graph, base, queries, search);
+  EXPECT_GE(data::MeanRecall(batch.results, truth, 10), min_recall)
+      << dataset;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableISlice, PipelineTest,
+    ::testing::Values(PipelineCase{"SIFT1M", 0.85},
+                      PipelineCase{"GIST", 0.85},
+                      PipelineCase{"NYTimes", 0.70},   // hard: skewed cosine
+                      PipelineCase{"GloVe200", 0.70},  // hard: skewed cosine
+                      PipelineCase{"UKBench", 0.90},   // easy near-duplicates
+                      PipelineCase{"SIFT10M", 0.80}));
+
+TEST(IntegrationTest, AutotunedIndexServesItsPromisedOperatingPoint) {
+  const data::DatasetSpec& spec = data::PaperDataset("SIFT1M");
+  const std::size_t n = 1500;
+  data::Dataset base = data::GenerateBase(spec, n, 22);
+  const data::Dataset validation = data::GenerateQueries(spec, 30, n, 22);
+  const data::Dataset serving = data::GenerateQueries(spec, 30, n, 23);
+  const data::GroundTruth validation_truth =
+      data::BruteForceKnn(base, validation, 10);
+  const data::GroundTruth serving_truth =
+      data::BruteForceKnn(base, serving, 10);
+
+  core::GannsIndex index = core::GannsIndex::Build(std::move(base));
+  gpusim::Device device;
+  const core::AutotuneResult tuned = core::TuneForRecall(
+      device, index.bottom_graph(), index.base(), validation,
+      validation_truth, 10, 0.85);
+  ASSERT_TRUE(tuned.target_met);
+
+  // Serve a *different* query batch at the tuned setting: recall should
+  // generalize (same distribution).
+  const auto rows = index.Search(serving, 10, tuned.params);
+  std::vector<std::vector<VertexId>> ids(rows.size());
+  for (std::size_t q = 0; q < rows.size(); ++q) {
+    for (const auto& neighbor : rows[q]) ids[q].push_back(neighbor.id);
+  }
+  EXPECT_GE(data::MeanRecall(ids, serving_truth, 10), 0.75);
+}
+
+TEST(IntegrationTest, HnswIndexOutperformsRandomEntryOnDescent) {
+  // The hierarchical descent must find a better layer-0 entry than the
+  // default vertex 0 for far-away queries, measurably reducing iterations.
+  const data::DatasetSpec& spec = data::PaperDataset("SIFT1M");
+  const std::size_t n = 2000;
+  const data::Dataset base = data::GenerateBase(spec, n, 24);
+  const data::Dataset queries = data::GenerateQueries(spec, 25, n, 24);
+
+  gpusim::Device device;
+  graph::HnswParams hnsw;
+  core::GpuBuildParams params;
+  params.num_groups = 12;
+  const core::GpuHnswBuildResult built =
+      core::BuildHnswGGraphCon(device, base, hnsw, params);
+
+  core::GannsSearchStats with_descent;
+  core::GannsSearchStats from_zero;
+  core::GannsParams search;
+  search.k = 10;
+  search.l_n = 64;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const VertexId entry =
+        built.graph.DescendToLayer0(base, queries.Point(q));
+    gpusim::BlockContext block_a(0, 32, 48 * 1024, &device.spec().cost);
+    core::GannsSearchOne(block_a, built.graph.layer(0), base,
+                         queries.Point(q), search, entry, &with_descent);
+    gpusim::BlockContext block_b(0, 32, 48 * 1024, &device.spec().cost);
+    core::GannsSearchOne(block_b, built.graph.layer(0), base,
+                         queries.Point(q), search, 0, &from_zero);
+  }
+  // The zoom-in shortens or equals the bottom-layer search path.
+  EXPECT_LE(with_descent.distance_computations,
+            from_zero.distance_computations * 1.05);
+}
+
+TEST(IntegrationTest, DiagnoseReportsDisconnection) {
+  graph::ProximityGraph g(10, 2);
+  g.InsertNeighbor(0, 1, 1.0f);
+  g.InsertNeighbor(1, 0, 1.0f);  // component {0,1}; vertices 2..9 isolated
+  const graph::GraphDiagnostics diag = graph::Diagnose(g, 0);
+  EXPECT_EQ(diag.num_edges, 2u);
+  EXPECT_DOUBLE_EQ(diag.reachable_fraction, 0.2);
+  EXPECT_EQ(diag.sinks, 8u);
+  EXPECT_EQ(diag.min_out_degree, 0u);
+  EXPECT_EQ(diag.max_out_degree, 1u);
+}
+
+}  // namespace
+}  // namespace ganns

@@ -1,0 +1,170 @@
+// Tests for the §IV-D extensions: GPU HNSW construction (level-by-level
+// GGraphCon with the id-shuffle trick) and the NN-Descent KNN-graph builder.
+
+#include <gtest/gtest.h>
+
+#include "core/ganns_search.h"
+#include "core/hnsw_gpu.h"
+#include "core/knn_graph.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/hnsw.h"
+
+namespace ganns {
+namespace core {
+namespace {
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 1200;
+  static constexpr std::size_t kK = 10;
+
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), kN, 6));
+    queries_ = std::make_unique<data::Dataset>(
+        data::GenerateQueries(data::PaperDataset("SIFT1M"), 30, kN, 6));
+    truth_ = std::make_unique<data::GroundTruth>(
+        data::BruteForceKnn(*base_, *queries_, kK));
+  }
+
+  gpusim::Device device_;
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<data::Dataset> queries_;
+  std::unique_ptr<data::GroundTruth> truth_;
+};
+
+TEST_F(ExtensionTest, GpuHnswLayerMembershipMatchesSampledLevels) {
+  graph::HnswParams hnsw;
+  GpuBuildParams gpu_params;
+  gpu_params.num_groups = 8;
+  const GpuHnswBuildResult built =
+      BuildHnswGGraphCon(device_, *base_, hnsw, gpu_params);
+
+  const auto levels = graph::HnswGraph::SampleLevels(kN, hnsw);
+  for (std::size_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(built.graph.level(static_cast<VertexId>(v)), levels[v]);
+    // A vertex has edges on a layer only if it belongs to that layer.
+    for (int l = levels[v] + 1; l <= built.graph.max_level(); ++l) {
+      EXPECT_EQ(built.graph.layer(l).Degree(static_cast<VertexId>(v)), 0u);
+    }
+  }
+  // The entry point is on the top layer.
+  EXPECT_EQ(built.graph.level(built.graph.entry()), built.graph.max_level());
+}
+
+TEST_F(ExtensionTest, GpuHnswQualityMatchesCpuHnsw) {
+  graph::HnswParams hnsw;
+  GpuBuildParams gpu_params;
+  gpu_params.num_groups = 8;
+  const GpuHnswBuildResult gpu =
+      BuildHnswGGraphCon(device_, *base_, hnsw, gpu_params);
+  const graph::CpuHnswBuildResult cpu = graph::BuildHnswCpu(*base_, hnsw);
+
+  std::vector<std::vector<VertexId>> gpu_results(queries_->size());
+  std::vector<std::vector<VertexId>> cpu_results(queries_->size());
+  for (std::size_t q = 0; q < queries_->size(); ++q) {
+    for (const auto& n :
+         graph::SearchHnsw(gpu.graph, *base_, queries_->Point(q), kK, 64)) {
+      gpu_results[q].push_back(n.id);
+    }
+    for (const auto& n :
+         graph::SearchHnsw(cpu.graph, *base_, queries_->Point(q), kK, 64)) {
+      cpu_results[q].push_back(n.id);
+    }
+  }
+  const double gpu_recall = data::MeanRecall(gpu_results, *truth_, kK);
+  const double cpu_recall = data::MeanRecall(cpu_results, *truth_, kK);
+  EXPECT_GE(gpu_recall, cpu_recall - 0.05);
+  EXPECT_GE(gpu_recall, 0.85);
+}
+
+TEST_F(ExtensionTest, GpuHnswSearchableThroughGannsKernelOnLayer0) {
+  graph::HnswParams hnsw;
+  GpuBuildParams gpu_params;
+  gpu_params.num_groups = 8;
+  const GpuHnswBuildResult built =
+      BuildHnswGGraphCon(device_, *base_, hnsw, gpu_params);
+
+  GannsParams params;
+  params.k = kK;
+  params.l_n = 64;
+  const auto batch = GannsSearchBatch(device_, built.graph.layer(0), *base_,
+                                      *queries_, params,
+                                      /*block_lanes=*/32, built.graph.entry());
+  EXPECT_GE(data::MeanRecall(batch.results, *truth_, kK), 0.85);
+}
+
+TEST_F(ExtensionTest, GpuHnswIsDeterministic) {
+  graph::HnswParams hnsw;
+  GpuBuildParams gpu_params;
+  gpu_params.num_groups = 6;
+  const GpuHnswBuildResult a =
+      BuildHnswGGraphCon(device_, *base_, hnsw, gpu_params);
+  gpusim::Device device2;
+  const GpuHnswBuildResult b =
+      BuildHnswGGraphCon(device2, *base_, hnsw, gpu_params);
+  EXPECT_EQ(a.graph.entry(), b.graph.entry());
+  for (std::size_t v = 0; v < kN; ++v) {
+    const auto ids_a = a.graph.layer(0).Neighbors(static_cast<VertexId>(v));
+    const auto ids_b = b.graph.layer(0).Neighbors(static_cast<VertexId>(v));
+    for (std::size_t s = 0; s < a.graph.layer(0).d_max(); ++s) {
+      ASSERT_EQ(ids_a[s], ids_b[s]);
+    }
+  }
+}
+
+TEST_F(ExtensionTest, KnnGraphConvergesToHighGraphRecall) {
+  data::Dataset small("small", base_->dim(), base_->metric());
+  for (std::size_t i = 0; i < 400; ++i) {
+    small.Append(base_->Point(static_cast<VertexId>(i)));
+  }
+  KnnGraphParams params;
+  params.k = 8;
+  const KnnBuildResult built = BuildKnnGraph(device_, small, params);
+  EXPECT_GT(built.iterations, 1u);
+  EXPECT_GT(built.sim_seconds, 0);
+  // NN-Descent on a clustered corpus should recover most true kNN edges.
+  EXPECT_GE(KnnGraphRecall(built.graph, small, params.k), 0.80);
+  // Far better than the random initialization (recall ~ k/n).
+  EXPECT_GE(KnnGraphRecall(built.graph, small, params.k), 10.0 * 8.0 / 400.0);
+}
+
+TEST_F(ExtensionTest, KnnGraphRowsAreFullAndValid) {
+  data::Dataset small("small", base_->dim(), base_->metric());
+  for (std::size_t i = 0; i < 300; ++i) {
+    small.Append(base_->Point(static_cast<VertexId>(i)));
+  }
+  KnnGraphParams params;
+  params.k = 6;
+  const KnnBuildResult built = BuildKnnGraph(device_, small, params);
+  for (std::size_t v = 0; v < small.size(); ++v) {
+    EXPECT_EQ(built.graph.Degree(static_cast<VertexId>(v)), params.k);
+    const auto ids = built.graph.Neighbors(static_cast<VertexId>(v));
+    for (std::size_t s = 0; s < params.k; ++s) {
+      EXPECT_NE(ids[s], static_cast<VertexId>(v)) << "self loop at " << v;
+      EXPECT_LT(ids[s], small.size());
+    }
+  }
+}
+
+TEST_F(ExtensionTest, KnnGraphMoreIterationsNeverHurt) {
+  data::Dataset small("small", base_->dim(), base_->metric());
+  for (std::size_t i = 0; i < 300; ++i) {
+    small.Append(base_->Point(static_cast<VertexId>(i)));
+  }
+  KnnGraphParams one_iter;
+  one_iter.k = 8;
+  one_iter.max_iterations = 1;
+  KnnGraphParams many_iter = one_iter;
+  many_iter.max_iterations = 12;
+  const KnnBuildResult a = BuildKnnGraph(device_, small, one_iter);
+  gpusim::Device device2;
+  const KnnBuildResult b = BuildKnnGraph(device2, small, many_iter);
+  EXPECT_GE(KnnGraphRecall(b.graph, small, 8),
+            KnnGraphRecall(a.graph, small, 8));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ganns

@@ -1,0 +1,110 @@
+// Randomized differential test of the fixed-degree adjacency row: a long
+// stream of InsertNeighbor / SetNeighbors / ClearVertex operations against
+// a sorted-vector reference with identical bounded-eviction semantics.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/beam_search.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace graph {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::size_t num_vertices;
+  std::size_t d_max;
+  int operations;
+};
+
+class ProximityGraphFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ProximityGraphFuzz, MatchesSortedVectorReference) {
+  const auto [seed, num_vertices, d_max, operations] = GetParam();
+  Rng rng(seed);
+  ProximityGraph graph(num_vertices, d_max);
+  std::map<VertexId, std::vector<Neighbor>> reference;
+
+  const auto dist_of = [](VertexId v, VertexId u) {
+    // Deterministic pseudo-distance; collisions on purpose (tie handling).
+    return static_cast<Dist>(((std::uint64_t{v} * 131 + u) * 2654435761u) %
+                             64);
+  };
+
+  for (int op = 0; op < operations; ++op) {
+    const VertexId v =
+        static_cast<VertexId>(rng.NextBounded(num_vertices));
+    const int choice = static_cast<int>(rng.NextBounded(10));
+    if (choice < 7) {
+      // InsertNeighbor with bounded-eviction semantics.
+      VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+      if (u == v) u = (u + 1) % num_vertices;
+      const Dist d = dist_of(v, u);
+      graph.InsertNeighbor(v, u, d);
+      auto& row = reference[v];
+      if (std::none_of(row.begin(), row.end(),
+                       [u = u](const Neighbor& n) { return n.id == u; })) {
+        row.push_back({d, u});
+        std::sort(row.begin(), row.end());
+        if (row.size() > d_max) row.resize(d_max);
+      }
+    } else if (choice < 9) {
+      // SetNeighbors with a fresh random (sorted, unique) row.
+      const std::size_t count = rng.NextBounded(d_max + 1);
+      std::vector<Neighbor> fresh;
+      for (std::size_t i = 0; i < count; ++i) {
+        VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+        if (u == v) u = (u + 1) % num_vertices;
+        if (std::none_of(fresh.begin(), fresh.end(),
+                         [u](const Neighbor& n) { return n.id == u; })) {
+          fresh.push_back({dist_of(v, u), u});
+        }
+      }
+      std::sort(fresh.begin(), fresh.end());
+      std::vector<ProximityGraph::Edge> edges;
+      for (const Neighbor& n : fresh) edges.push_back({n.id, n.dist});
+      graph.SetNeighbors(v, edges);
+      reference[v] = fresh;
+    } else {
+      graph.ClearVertex(v);
+      reference[v].clear();
+    }
+  }
+
+  // Full-state comparison, including sentinel padding.
+  std::size_t expected_edges = 0;
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    const VertexId v = static_cast<VertexId>(i);
+    const auto& row = reference[v];
+    expected_edges += row.size();
+    ASSERT_EQ(graph.Degree(v), row.size()) << "vertex " << v;
+    const auto ids = graph.Neighbors(v);
+    const auto dists = graph.NeighborDists(v);
+    for (std::size_t s = 0; s < d_max; ++s) {
+      if (s < row.size()) {
+        ASSERT_EQ(ids[s], row[s].id) << "vertex " << v << " slot " << s;
+        ASSERT_EQ(dists[s], row[s].dist) << "vertex " << v << " slot " << s;
+      } else {
+        ASSERT_EQ(ids[s], kInvalidVertex) << "vertex " << v << " slot " << s;
+        ASSERT_EQ(dists[s], kInfDist) << "vertex " << v << " slot " << s;
+      }
+    }
+  }
+  EXPECT_EQ(graph.NumEdges(), expected_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, ProximityGraphFuzz,
+    ::testing::Values(FuzzCase{1, 8, 2, 2000}, FuzzCase{2, 32, 4, 4000},
+                      FuzzCase{3, 16, 8, 4000}, FuzzCase{4, 64, 3, 6000},
+                      FuzzCase{5, 4, 16, 2000}, FuzzCase{6, 128, 32, 8000}));
+
+}  // namespace
+}  // namespace graph
+}  // namespace ganns

@@ -1,0 +1,49 @@
+// Tests for the dataset hardness statistics (Table I commentary support).
+
+#include <gtest/gtest.h>
+
+#include "data/statistics.h"
+#include "data/synthetic.h"
+
+namespace ganns {
+namespace data {
+namespace {
+
+TEST(StatisticsTest, ContrastAboveOneOnClusteredData) {
+  const Dataset base = GenerateBase(PaperDataset("SIFT1M"), 800, 1);
+  const DatasetStats stats = ComputeStats(base, 60, 10, 1);
+  EXPECT_EQ(stats.sampled_points, 60u);
+  EXPECT_GT(stats.mean_pair_distance, stats.mean_nn_distance);
+  EXPECT_GT(stats.relative_contrast, 1.5);
+  EXPECT_GT(stats.lid_estimate, 1.0);
+}
+
+TEST(StatisticsTest, HighDimensionRaisesIntrinsicDimensionality) {
+  const Dataset low = GenerateBase(PaperDataset("SIFT10M"), 800, 1);   // 32-d
+  const Dataset high = GenerateBase(PaperDataset("GIST"), 800, 1);     // 960-d
+  const DatasetStats low_stats = ComputeStats(low, 60, 10, 1);
+  const DatasetStats high_stats = ComputeStats(high, 60, 10, 1);
+  // GIST's hardness is its dimensionality (§V "Datasets").
+  EXPECT_GT(high_stats.lid_estimate, 2 * low_stats.lid_estimate);
+}
+
+TEST(StatisticsTest, NearDuplicateCorpusHasHighContrast) {
+  // UKBench models groups of 4 near-duplicate images: the NN is much closer
+  // than a random pair, which is why recall approaches 1 there.
+  const Dataset easy = GenerateBase(PaperDataset("UKBench"), 800, 1);
+  const Dataset hard = GenerateBase(PaperDataset("GIST"), 800, 1);
+  EXPECT_GT(ComputeStats(easy, 60, 10, 1).relative_contrast,
+            ComputeStats(hard, 60, 10, 1).relative_contrast);
+}
+
+TEST(StatisticsTest, DeterministicForFixedSeed) {
+  const Dataset base = GenerateBase(PaperDataset("DEEP"), 500, 2);
+  const DatasetStats a = ComputeStats(base, 40, 10, 7);
+  const DatasetStats b = ComputeStats(base, 40, 10, 7);
+  EXPECT_DOUBLE_EQ(a.relative_contrast, b.relative_contrast);
+  EXPECT_DOUBLE_EQ(a.lid_estimate, b.lid_estimate);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace ganns

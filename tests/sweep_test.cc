@@ -1,0 +1,99 @@
+// Tests for the benchmark harness helpers every figure bench relies on:
+// workload construction, parameter ladders, operating-point selection, and
+// the on-disk graph cache.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_common.h"
+#include "bench/sweep.h"
+
+namespace ganns {
+namespace bench {
+namespace {
+
+TEST(BenchConfigTest, PointsScaleWithDatasetSizeRatio) {
+  BenchConfig config;
+  config.scale = 10000;
+  EXPECT_EQ(config.PointsFor(data::PaperDataset("SIFT1M")), 10000u);
+  EXPECT_EQ(config.PointsFor(data::PaperDataset("SIFT10M")), 100000u);
+  EXPECT_EQ(config.PointsFor(data::PaperDataset("NYTimes")), 2900u);
+  // Floor keeps tiny scales meaningful.
+  config.scale = 100;
+  EXPECT_EQ(config.PointsFor(data::PaperDataset("NYTimes")), 1000u);
+}
+
+TEST(SweepTest, LaddersAscendInBudgetAndRespectK) {
+  const auto ganns_ladder = DefaultGannsLadder(10);
+  ASSERT_FALSE(ganns_ladder.empty());
+  for (const auto& params : ganns_ladder) {
+    EXPECT_GE(params.l_n, 10u);
+    EXPECT_EQ(params.l_n & (params.l_n - 1), 0u);  // power of two
+    EXPECT_LE(params.EffectiveE(), params.l_n);
+  }
+  // k = 100 prunes settings whose l_n < k.
+  for (const auto& params : DefaultGannsLadder(100)) {
+    EXPECT_GE(params.l_n, 100u);
+  }
+  for (const auto& params : DefaultSongLadder(100)) {
+    EXPECT_GE(params.queue_size, 100u);
+  }
+}
+
+TEST(SweepTest, ClosestToRecallPicksNearestPoint) {
+  std::vector<SweepPoint> points(3);
+  points[0].recall = 0.5;
+  points[1].recall = 0.82;
+  points[2].recall = 0.95;
+  EXPECT_EQ(ClosestIndexToRecall(points, 0.8), 1u);
+  EXPECT_EQ(ClosestIndexToRecall(points, 0.99), 2u);
+  EXPECT_EQ(ClosestIndexToRecall(points, 0.0), 0u);
+  EXPECT_EQ(&ClosestToRecall(points, 0.8), &points[1]);
+}
+
+TEST(SweepTest, MeasurePointsCarryBreakdownFractions) {
+  BenchConfig config;
+  config.scale = 1200;
+  config.queries = 20;
+  const Workload workload = MakeWorkload("SIFT1M", config, 10);
+  EXPECT_EQ(workload.base.size(), 1200u);
+  EXPECT_EQ(workload.queries.size(), 20u);
+  EXPECT_EQ(workload.truth.neighbors.size(), 20u);
+
+  const graph::ProximityGraph nsw = CachedNswGraph(workload, {}, config);
+  gpusim::Device device;
+  core::GannsParams params;
+  params.k = 10;
+  params.l_n = 64;
+  const SweepPoint point = MeasureGanns(device, nsw, workload, params, 10);
+  EXPECT_GT(point.qps, 0);
+  EXPECT_GT(point.recall, 0.5);
+  EXPECT_GT(point.distance_fraction, 0);
+  EXPECT_GT(point.ds_fraction, 0);
+  EXPECT_LE(point.distance_fraction + point.ds_fraction, 1.0 + 1e-9);
+  EXPECT_EQ(point.algorithm, "GANNS");
+}
+
+TEST(SweepTest, GraphCacheRoundTripsThroughDisk) {
+  BenchConfig config;
+  config.scale = 600;
+  config.queries = 5;
+  config.seed = 99;
+  const Workload workload = MakeWorkload("Notre", config, 10);
+  const graph::ProximityGraph first = CachedNswGraph(workload, {}, config);
+  const graph::ProximityGraph second = CachedNswGraph(workload, {}, config);
+  ASSERT_EQ(first.num_vertices(), second.num_vertices());
+  for (std::size_t v = 0; v < first.num_vertices(); ++v) {
+    const auto a = first.Neighbors(static_cast<VertexId>(v));
+    const auto b = second.Neighbors(static_cast<VertexId>(v));
+    for (std::size_t s = 0; s < first.d_max(); ++s) ASSERT_EQ(a[s], b[s]);
+  }
+  // Clean up the cache entry this test created.
+  std::remove(("ganns_cache/" + workload.base.name() + "_d128_n600_dmin16"
+               "_dmax32_ef32_s99.nsw").c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ganns

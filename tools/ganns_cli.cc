@@ -1,0 +1,240 @@
+// ganns — command-line interface to the library, for driving real datasets
+// through the index without writing C++:
+//
+//   ganns gen    --dataset SIFT1M --n 20000 --out base.fvecs
+//                [--queries 200 --queries-out queries.fvecs] [--seed 1]
+//   ganns build  --base base.fvecs --out index.gix [--metric l2|cosine]
+//                [--d-max 32] [--d-min 16] [--groups 64] [--kernel ganns|song]
+//                [--hnsw]
+//   ganns search --index index.gix --base base.fvecs --queries queries.fvecs
+//                --k 10 [--ln 64] [--e 0] [--out results.ivecs]
+//   ganns eval   --base base.fvecs --queries queries.fvecs
+//                --results results.ivecs --k 10 [--metric l2|cosine]
+//
+// All commands are deterministic for fixed inputs and seeds.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ganns_index.h"
+#include "data/ground_truth.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace ganns;
+
+/// --key value argument map with typed accessors.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      // A trailing flag with no value: treat as boolean.
+      values_[argv[argc - 1] + 2] = "true";
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    const auto value = Get(key);
+    if (!value.has_value()) {
+      std::fprintf(stderr, "missing required flag --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return *value;
+  }
+
+  long Int(const std::string& key, long fallback) const {
+    const auto value = Get(key);
+    return value.has_value() ? std::atol(value->c_str()) : fallback;
+  }
+
+  bool Flag(const std::string& key) const { return Get(key).has_value(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::Metric ParseMetric(const Args& args) {
+  const std::string name = args.Get("metric").value_or("l2");
+  if (name == "l2") return data::Metric::kL2;
+  if (name == "cosine") return data::Metric::kCosine;
+  std::fprintf(stderr, "unknown metric '%s' (use l2|cosine)\n", name.c_str());
+  std::exit(2);
+}
+
+data::Dataset LoadFvecsOrDie(const std::string& path, const char* what,
+                             data::Metric metric) {
+  auto dataset = data::ReadFvecs(path, what, metric);
+  if (!dataset.has_value()) {
+    std::fprintf(stderr, "failed to read %s from %s\n", what, path.c_str());
+    std::exit(1);
+  }
+  return *std::move(dataset);
+}
+
+int CmdGen(const Args& args) {
+  const data::DatasetSpec& spec = data::PaperDataset(args.Require("dataset"));
+  const std::size_t n = static_cast<std::size_t>(args.Int("n", 20000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Int("seed", 1));
+
+  const data::Dataset base = data::GenerateBase(spec, n, seed);
+  if (!data::WriteFvecs(args.Require("out"), base)) {
+    std::fprintf(stderr, "failed to write %s\n", args.Require("out").c_str());
+    return 1;
+  }
+  std::printf("wrote %zu x %zud base vectors (%s, %s)\n", base.size(),
+              base.dim(), spec.name.c_str(),
+              spec.metric == data::Metric::kL2 ? "l2" : "cosine");
+
+  if (const auto queries_out = args.Get("queries-out");
+      queries_out.has_value()) {
+    const std::size_t q = static_cast<std::size_t>(args.Int("queries", 200));
+    const data::Dataset queries = data::GenerateQueries(spec, q, n, seed);
+    if (!data::WriteFvecs(*queries_out, queries)) {
+      std::fprintf(stderr, "failed to write %s\n", queries_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu query vectors\n", queries.size());
+  }
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  const data::Metric metric = ParseMetric(args);
+  data::Dataset base = LoadFvecsOrDie(args.Require("base"), "base", metric);
+
+  core::GannsIndex::Options options;
+  options.nsw.d_max = static_cast<std::size_t>(args.Int("d-max", 32));
+  options.nsw.d_min = static_cast<std::size_t>(args.Int("d-min", 16));
+  options.nsw.ef_construction =
+      static_cast<std::size_t>(args.Int("ef", 2 * options.nsw.d_min));
+  options.num_groups = static_cast<int>(args.Int("groups", 64));
+  if (args.Get("kernel").value_or("ganns") == "song") {
+    options.construction_kernel = core::SearchKernel::kSong;
+  }
+  if (args.Flag("hnsw")) options.kind = core::GraphKind::kHnsw;
+
+  core::GannsIndex index = core::GannsIndex::Build(std::move(base), options);
+  const std::string out = args.Require("out");
+  if (!index.Save(out)) {
+    std::fprintf(stderr, "failed to save index to %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("built %s index over %zu points in %.3f simulated GPU s; "
+              "saved to %s\n",
+              options.kind == core::GraphKind::kHnsw ? "HNSW" : "NSW",
+              index.base().size(), index.timing().build_seconds, out.c_str());
+  return 0;
+}
+
+int CmdSearch(const Args& args) {
+  const data::Metric metric = ParseMetric(args);
+  data::Dataset base = LoadFvecsOrDie(args.Require("base"), "base", metric);
+  const data::Dataset queries =
+      LoadFvecsOrDie(args.Require("queries"), "queries", metric);
+
+  auto index = core::GannsIndex::Load(args.Require("index"), std::move(base));
+  if (!index.has_value()) {
+    std::fprintf(stderr, "failed to load index %s\n",
+                 args.Require("index").c_str());
+    return 1;
+  }
+
+  const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
+  core::GannsParams params;
+  params.l_n = static_cast<std::size_t>(args.Int("ln", 64));
+  params.e = static_cast<std::size_t>(args.Int("e", 0));
+
+  const auto rows = index->Search(queries, k, params);
+  std::printf("searched %zu queries (k=%zu, l_n=%zu, e=%zu) at %.0f "
+              "simulated QPS\n",
+              queries.size(), k, params.l_n, params.EffectiveE(),
+              index->timing().last_search_qps);
+
+  if (const auto out = args.Get("out"); out.has_value()) {
+    std::vector<std::vector<std::int32_t>> ids(rows.size());
+    for (std::size_t q = 0; q < rows.size(); ++q) {
+      for (const auto& neighbor : rows[q]) {
+        ids[q].push_back(static_cast<std::int32_t>(neighbor.id));
+      }
+    }
+    if (!data::WriteIvecs(*out, ids)) {
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("wrote results to %s\n", out->c_str());
+  } else {
+    for (std::size_t q = 0; q < std::min<std::size_t>(rows.size(), 5); ++q) {
+      std::printf("query %zu:", q);
+      for (const auto& neighbor : rows[q]) {
+        std::printf(" %u(%.3f)", neighbor.id, neighbor.dist);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  const data::Metric metric = ParseMetric(args);
+  const data::Dataset base =
+      LoadFvecsOrDie(args.Require("base"), "base", metric);
+  const data::Dataset queries =
+      LoadFvecsOrDie(args.Require("queries"), "queries", metric);
+  const auto results = data::ReadIvecs(args.Require("results"));
+  if (!results.has_value() || results->size() != queries.size()) {
+    std::fprintf(stderr, "results file missing or row count mismatch\n");
+    return 1;
+  }
+
+  const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, k);
+  std::vector<std::vector<VertexId>> ids(results->size());
+  for (std::size_t q = 0; q < results->size(); ++q) {
+    for (std::int32_t id : (*results)[q]) {
+      ids[q].push_back(static_cast<VertexId>(id));
+    }
+  }
+  std::printf("recall@%zu = %.4f over %zu queries\n", k,
+              data::MeanRecall(ids, truth, k), queries.size());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ganns <gen|build|search|eval> --flag value ...\n"
+               "run with a subcommand to see its required flags\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "gen") return CmdGen(args);
+  if (command == "build") return CmdBuild(args);
+  if (command == "search") return CmdSearch(args);
+  if (command == "eval") return CmdEval(args);
+  return Usage();
+}
