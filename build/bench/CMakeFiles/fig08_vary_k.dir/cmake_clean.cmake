@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vary_k.dir/fig08_vary_k.cc.o"
+  "CMakeFiles/fig08_vary_k.dir/fig08_vary_k.cc.o.d"
+  "fig08_vary_k"
+  "fig08_vary_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

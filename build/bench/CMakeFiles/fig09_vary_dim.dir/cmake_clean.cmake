@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vary_dim.dir/fig09_vary_dim.cc.o"
+  "CMakeFiles/fig09_vary_dim.dir/fig09_vary_dim.cc.o.d"
+  "fig09_vary_dim"
+  "fig09_vary_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vary_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vary_threads.dir/fig10_vary_threads.cc.o"
+  "CMakeFiles/fig10_vary_threads.dir/fig10_vary_threads.cc.o.d"
+  "fig10_vary_threads"
+  "fig10_vary_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

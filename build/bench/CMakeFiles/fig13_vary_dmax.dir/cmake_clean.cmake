@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vary_dmax.dir/fig13_vary_dmax.cc.o"
+  "CMakeFiles/fig13_vary_dmax.dir/fig13_vary_dmax.cc.o.d"
+  "fig13_vary_dmax"
+  "fig13_vary_dmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vary_dmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

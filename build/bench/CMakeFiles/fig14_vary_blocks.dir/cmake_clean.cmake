@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vary_blocks.dir/fig14_vary_blocks.cc.o"
+  "CMakeFiles/fig14_vary_blocks.dir/fig14_vary_blocks.cc.o.d"
+  "fig14_vary_blocks"
+  "fig14_vary_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vary_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

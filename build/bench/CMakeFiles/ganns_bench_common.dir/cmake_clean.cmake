@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ganns_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/ganns_bench_common.dir/sweep.cc.o"
+  "CMakeFiles/ganns_bench_common.dir/sweep.cc.o.d"
+  "libganns_bench_common.a"
+  "libganns_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remark_transfer.dir/remark_transfer.cc.o"
+  "CMakeFiles/remark_transfer.dir/remark_transfer.cc.o.d"
+  "remark_transfer"
+  "remark_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remark_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

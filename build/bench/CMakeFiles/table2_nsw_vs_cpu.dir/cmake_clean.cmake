@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nsw_vs_cpu.dir/table2_nsw_vs_cpu.cc.o"
+  "CMakeFiles/table2_nsw_vs_cpu.dir/table2_nsw_vs_cpu.cc.o.d"
+  "table2_nsw_vs_cpu"
+  "table2_nsw_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nsw_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_nsw_vs_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hnsw_vs_cpu.dir/table3_hnsw_vs_cpu.cc.o"
+  "CMakeFiles/table3_hnsw_vs_cpu.dir/table3_hnsw_vs_cpu.cc.o.d"
+  "table3_hnsw_vs_cpu"
+  "table3_hnsw_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hnsw_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction_comparison.dir/construction_comparison.cpp.o"
+  "CMakeFiles/construction_comparison.dir/construction_comparison.cpp.o.d"
+  "construction_comparison"
+  "construction_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_common.dir/logging.cc.o"
+  "CMakeFiles/ganns_common.dir/logging.cc.o.d"
+  "CMakeFiles/ganns_common.dir/prefix_sum.cc.o"
+  "CMakeFiles/ganns_common.dir/prefix_sum.cc.o.d"
+  "CMakeFiles/ganns_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ganns_common.dir/thread_pool.cc.o.d"
+  "libganns_common.a"
+  "libganns_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

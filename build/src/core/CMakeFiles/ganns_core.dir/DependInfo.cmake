@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cc" "src/core/CMakeFiles/ganns_core.dir/autotune.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/autotune.cc.o.d"
+  "/root/repo/src/core/eager_search.cc" "src/core/CMakeFiles/ganns_core.dir/eager_search.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/eager_search.cc.o.d"
+  "/root/repo/src/core/edge_update.cc" "src/core/CMakeFiles/ganns_core.dir/edge_update.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/edge_update.cc.o.d"
+  "/root/repo/src/core/ganns_index.cc" "src/core/CMakeFiles/ganns_core.dir/ganns_index.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/ganns_index.cc.o.d"
+  "/root/repo/src/core/ganns_search.cc" "src/core/CMakeFiles/ganns_core.dir/ganns_search.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/ganns_search.cc.o.d"
+  "/root/repo/src/core/ggraphcon.cc" "src/core/CMakeFiles/ganns_core.dir/ggraphcon.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/ggraphcon.cc.o.d"
+  "/root/repo/src/core/hnsw_gpu.cc" "src/core/CMakeFiles/ganns_core.dir/hnsw_gpu.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/hnsw_gpu.cc.o.d"
+  "/root/repo/src/core/knn_graph.cc" "src/core/CMakeFiles/ganns_core.dir/knn_graph.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/knn_graph.cc.o.d"
+  "/root/repo/src/core/search_dispatch.cc" "src/core/CMakeFiles/ganns_core.dir/search_dispatch.cc.o" "gcc" "src/core/CMakeFiles/ganns_core.dir/search_dispatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ganns_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ganns_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/song/CMakeFiles/ganns_song.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ganns_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ganns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

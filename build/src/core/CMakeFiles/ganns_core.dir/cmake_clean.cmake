@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_core.dir/autotune.cc.o"
+  "CMakeFiles/ganns_core.dir/autotune.cc.o.d"
+  "CMakeFiles/ganns_core.dir/eager_search.cc.o"
+  "CMakeFiles/ganns_core.dir/eager_search.cc.o.d"
+  "CMakeFiles/ganns_core.dir/edge_update.cc.o"
+  "CMakeFiles/ganns_core.dir/edge_update.cc.o.d"
+  "CMakeFiles/ganns_core.dir/ganns_index.cc.o"
+  "CMakeFiles/ganns_core.dir/ganns_index.cc.o.d"
+  "CMakeFiles/ganns_core.dir/ganns_search.cc.o"
+  "CMakeFiles/ganns_core.dir/ganns_search.cc.o.d"
+  "CMakeFiles/ganns_core.dir/ggraphcon.cc.o"
+  "CMakeFiles/ganns_core.dir/ggraphcon.cc.o.d"
+  "CMakeFiles/ganns_core.dir/hnsw_gpu.cc.o"
+  "CMakeFiles/ganns_core.dir/hnsw_gpu.cc.o.d"
+  "CMakeFiles/ganns_core.dir/knn_graph.cc.o"
+  "CMakeFiles/ganns_core.dir/knn_graph.cc.o.d"
+  "CMakeFiles/ganns_core.dir/search_dispatch.cc.o"
+  "CMakeFiles/ganns_core.dir/search_dispatch.cc.o.d"
+  "libganns_core.a"
+  "libganns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_data.dir/dataset.cc.o"
+  "CMakeFiles/ganns_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ganns_data.dir/ground_truth.cc.o"
+  "CMakeFiles/ganns_data.dir/ground_truth.cc.o.d"
+  "CMakeFiles/ganns_data.dir/io.cc.o"
+  "CMakeFiles/ganns_data.dir/io.cc.o.d"
+  "CMakeFiles/ganns_data.dir/statistics.cc.o"
+  "CMakeFiles/ganns_data.dir/statistics.cc.o.d"
+  "CMakeFiles/ganns_data.dir/synthetic.cc.o"
+  "CMakeFiles/ganns_data.dir/synthetic.cc.o.d"
+  "libganns_data.a"
+  "libganns_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libganns_data.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/scan.cc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/scan.cc.o" "gcc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/scan.cc.o.d"
+  "/root/repo/src/gpusim/transfer.cc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/transfer.cc.o" "gcc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/transfer.cc.o.d"
+  "/root/repo/src/gpusim/warp.cc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/warp.cc.o" "gcc" "src/gpusim/CMakeFiles/ganns_gpusim.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

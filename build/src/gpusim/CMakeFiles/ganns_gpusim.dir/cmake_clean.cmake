@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_gpusim.dir/device.cc.o"
+  "CMakeFiles/ganns_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/ganns_gpusim.dir/scan.cc.o"
+  "CMakeFiles/ganns_gpusim.dir/scan.cc.o.d"
+  "CMakeFiles/ganns_gpusim.dir/transfer.cc.o"
+  "CMakeFiles/ganns_gpusim.dir/transfer.cc.o.d"
+  "CMakeFiles/ganns_gpusim.dir/warp.cc.o"
+  "CMakeFiles/ganns_gpusim.dir/warp.cc.o.d"
+  "libganns_gpusim.a"
+  "libganns_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/beam_search.cc" "src/graph/CMakeFiles/ganns_graph.dir/beam_search.cc.o" "gcc" "src/graph/CMakeFiles/ganns_graph.dir/beam_search.cc.o.d"
+  "/root/repo/src/graph/cpu_nsw.cc" "src/graph/CMakeFiles/ganns_graph.dir/cpu_nsw.cc.o" "gcc" "src/graph/CMakeFiles/ganns_graph.dir/cpu_nsw.cc.o.d"
+  "/root/repo/src/graph/diagnostics.cc" "src/graph/CMakeFiles/ganns_graph.dir/diagnostics.cc.o" "gcc" "src/graph/CMakeFiles/ganns_graph.dir/diagnostics.cc.o.d"
+  "/root/repo/src/graph/hnsw.cc" "src/graph/CMakeFiles/ganns_graph.dir/hnsw.cc.o" "gcc" "src/graph/CMakeFiles/ganns_graph.dir/hnsw.cc.o.d"
+  "/root/repo/src/graph/parallel_cpu_nsw.cc" "src/graph/CMakeFiles/ganns_graph.dir/parallel_cpu_nsw.cc.o" "gcc" "src/graph/CMakeFiles/ganns_graph.dir/parallel_cpu_nsw.cc.o.d"
+  "/root/repo/src/graph/proximity_graph.cc" "src/graph/CMakeFiles/ganns_graph.dir/proximity_graph.cc.o" "gcc" "src/graph/CMakeFiles/ganns_graph.dir/proximity_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ganns_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ganns_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

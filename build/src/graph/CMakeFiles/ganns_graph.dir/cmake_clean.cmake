@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_graph.dir/beam_search.cc.o"
+  "CMakeFiles/ganns_graph.dir/beam_search.cc.o.d"
+  "CMakeFiles/ganns_graph.dir/cpu_nsw.cc.o"
+  "CMakeFiles/ganns_graph.dir/cpu_nsw.cc.o.d"
+  "CMakeFiles/ganns_graph.dir/diagnostics.cc.o"
+  "CMakeFiles/ganns_graph.dir/diagnostics.cc.o.d"
+  "CMakeFiles/ganns_graph.dir/hnsw.cc.o"
+  "CMakeFiles/ganns_graph.dir/hnsw.cc.o.d"
+  "CMakeFiles/ganns_graph.dir/parallel_cpu_nsw.cc.o"
+  "CMakeFiles/ganns_graph.dir/parallel_cpu_nsw.cc.o.d"
+  "CMakeFiles/ganns_graph.dir/proximity_graph.cc.o"
+  "CMakeFiles/ganns_graph.dir/proximity_graph.cc.o.d"
+  "libganns_graph.a"
+  "libganns_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

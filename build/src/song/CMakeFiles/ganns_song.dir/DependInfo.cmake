@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/song/song_search.cc" "src/song/CMakeFiles/ganns_song.dir/song_search.cc.o" "gcc" "src/song/CMakeFiles/ganns_song.dir/song_search.cc.o.d"
+  "/root/repo/src/song/visited.cc" "src/song/CMakeFiles/ganns_song.dir/visited.cc.o" "gcc" "src/song/CMakeFiles/ganns_song.dir/visited.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ganns_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ganns_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ganns_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ganns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_song.dir/song_search.cc.o"
+  "CMakeFiles/ganns_song.dir/song_search.cc.o.d"
+  "CMakeFiles/ganns_song.dir/visited.cc.o"
+  "CMakeFiles/ganns_song.dir/visited.cc.o.d"
+  "libganns_song.a"
+  "libganns_song.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_song.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

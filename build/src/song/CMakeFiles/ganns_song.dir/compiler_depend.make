@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ganns_song.
+# This may be replaced when dependencies are built.

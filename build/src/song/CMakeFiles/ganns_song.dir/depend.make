@@ -1,0 +1,2 @@
+# Empty dependencies file for ganns_song.
+# This may be replaced when dependencies are built.

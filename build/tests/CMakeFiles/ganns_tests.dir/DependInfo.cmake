@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autotune_transfer_test.cc" "tests/CMakeFiles/ganns_tests.dir/autotune_transfer_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/autotune_transfer_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ganns_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/complexity_test.cc" "tests/CMakeFiles/ganns_tests.dir/complexity_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/complexity_test.cc.o.d"
+  "/root/repo/tests/construction_test.cc" "tests/CMakeFiles/ganns_tests.dir/construction_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/construction_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/ganns_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/eager_search_test.cc" "tests/CMakeFiles/ganns_tests.dir/eager_search_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/eager_search_test.cc.o.d"
+  "/root/repo/tests/edge_update_test.cc" "tests/CMakeFiles/ganns_tests.dir/edge_update_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/edge_update_test.cc.o.d"
+  "/root/repo/tests/ganns_search_test.cc" "tests/CMakeFiles/ganns_tests.dir/ganns_search_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/ganns_search_test.cc.o.d"
+  "/root/repo/tests/gpusim_test.cc" "tests/CMakeFiles/ganns_tests.dir/gpusim_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/gpusim_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/ganns_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/ganns_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ganns_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/knn_hnsw_test.cc" "tests/CMakeFiles/ganns_tests.dir/knn_hnsw_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/knn_hnsw_test.cc.o.d"
+  "/root/repo/tests/proximity_graph_fuzz_test.cc" "tests/CMakeFiles/ganns_tests.dir/proximity_graph_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/proximity_graph_fuzz_test.cc.o.d"
+  "/root/repo/tests/scan_sort_test.cc" "tests/CMakeFiles/ganns_tests.dir/scan_sort_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/scan_sort_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/ganns_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/song_test.cc" "tests/CMakeFiles/ganns_tests.dir/song_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/song_test.cc.o.d"
+  "/root/repo/tests/statistics_test.cc" "tests/CMakeFiles/ganns_tests.dir/statistics_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/statistics_test.cc.o.d"
+  "/root/repo/tests/sweep_test.cc" "tests/CMakeFiles/ganns_tests.dir/sweep_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/sweep_test.cc.o.d"
+  "/root/repo/tests/visited_test.cc" "tests/CMakeFiles/ganns_tests.dir/visited_test.cc.o" "gcc" "tests/CMakeFiles/ganns_tests.dir/visited_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ganns_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ganns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/song/CMakeFiles/ganns_song.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ganns_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ganns_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ganns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ganns_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganns_cli.dir/ganns_cli.cc.o"
+  "CMakeFiles/ganns_cli.dir/ganns_cli.cc.o.d"
+  "ganns"
+  "ganns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganns_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
