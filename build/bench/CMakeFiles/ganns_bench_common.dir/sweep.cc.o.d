@@ -199,8 +199,9 @@ bench/CMakeFiles/ganns_bench_common.dir/sweep.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/data/dataset.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/aligned.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/types.h \
  /usr/include/c++/12/limits /root/repo/src/data/ground_truth.h \
  /root/repo/src/data/synthetic.h /root/repo/src/graph/cpu_nsw.h \
@@ -209,8 +210,10 @@ bench/CMakeFiles/ganns_bench_common.dir/sweep.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/graph/cpu_cost.h /root/repo/src/gpusim/cost_model.h \
  /root/repo/src/core/ganns_search.h /root/repo/src/gpusim/block.h \
- /root/repo/src/gpusim/warp.h /root/repo/src/gpusim/device.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/scratch.h /root/repo/src/gpusim/warp.h \
+ /root/repo/src/gpusim/device.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_distance.cc" "bench/CMakeFiles/micro_distance.dir/micro_distance.cc.o" "gcc" "bench/CMakeFiles/micro_distance.dir/micro_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ganns_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ganns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/song/CMakeFiles/ganns_song.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ganns_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ganns_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ganns_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ganns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_distance.dir/micro_distance.cc.o"
+  "CMakeFiles/micro_distance.dir/micro_distance.cc.o.d"
+  "micro_distance"
+  "micro_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

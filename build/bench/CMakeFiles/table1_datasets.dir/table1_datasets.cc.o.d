@@ -200,8 +200,9 @@ bench/CMakeFiles/table1_datasets.dir/table1_datasets.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/data/dataset.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/aligned.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/types.h \
  /usr/include/c++/12/limits /root/repo/src/data/ground_truth.h \
  /root/repo/src/data/synthetic.h /root/repo/src/graph/cpu_nsw.h \

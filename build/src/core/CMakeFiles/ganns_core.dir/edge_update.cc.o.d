@@ -212,12 +212,13 @@ src/core/CMakeFiles/ganns_core.dir/edge_update.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/warp.h /root/repo/src/graph/proximity_graph.h \
- /usr/include/c++/12/optional /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/scratch.h \
+ /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
+ /root/repo/src/graph/proximity_graph.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/atomic /usr/include/c++/12/cmath /usr/include/math.h \
@@ -242,6 +243,6 @@ src/core/CMakeFiles/ganns_core.dir/edge_update.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/gpusim/bitonic.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/gpusim/global_sort.h /root/repo/src/gpusim/scan.h \
- /root/repo/src/graph/beam_search.h /root/repo/src/data/dataset.h
+ /root/repo/src/graph/beam_search.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/aligned.h

@@ -201,13 +201,15 @@ src/core/CMakeFiles/ganns_core.dir/ganns_index.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/ganns_search.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/data/dataset.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/common/aligned.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/types.h \
  /usr/include/c++/12/limits /root/repo/src/gpusim/block.h \
- /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
- /root/repo/src/gpusim/device.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/scratch.h /root/repo/src/gpusim/cost_model.h \
+ /root/repo/src/gpusim/warp.h /root/repo/src/gpusim/device.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -221,5 +223,4 @@ src/core/CMakeFiles/ganns_core.dir/ganns_index.cc.o: \
  /root/repo/src/graph/search_result.h /root/repo/src/core/ggraphcon.h \
  /root/repo/src/core/search_dispatch.h /root/repo/src/graph/cpu_nsw.h \
  /root/repo/src/graph/cpu_cost.h /root/repo/src/core/hnsw_gpu.h \
- /root/repo/src/graph/hnsw.h /root/repo/src/gpusim/bitonic.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/graph/hnsw.h /root/repo/src/gpusim/bitonic.h

@@ -124,10 +124,10 @@ src/core/CMakeFiles/ganns_core.dir/knn_graph.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/aligned.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -216,7 +216,8 @@ src/core/CMakeFiles/ganns_core.dir/knn_graph.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/scratch.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
  /root/repo/src/graph/proximity_graph.h /usr/include/c++/12/optional \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -259,5 +260,5 @@ src/core/CMakeFiles/ganns_core.dir/knn_graph.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/common/timer.h /usr/include/c++/12/chrono \
- /root/repo/src/core/edge_update.h /root/repo/src/data/ground_truth.h \
- /root/repo/src/graph/beam_search.h
+ /root/repo/src/core/edge_update.h /root/repo/src/data/distance.h \
+ /root/repo/src/data/ground_truth.h /root/repo/src/graph/beam_search.h

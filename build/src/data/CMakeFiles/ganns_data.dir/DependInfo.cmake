@@ -9,6 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/ganns_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/distance.cc" "src/data/CMakeFiles/ganns_data.dir/distance.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/distance.cc.o.d"
+  "/root/repo/src/data/distance_avx2.cc" "src/data/CMakeFiles/ganns_data.dir/distance_avx2.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/distance_avx2.cc.o.d"
+  "/root/repo/src/data/distance_sse2.cc" "src/data/CMakeFiles/ganns_data.dir/distance_sse2.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/distance_sse2.cc.o.d"
   "/root/repo/src/data/ground_truth.cc" "src/data/CMakeFiles/ganns_data.dir/ground_truth.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/ground_truth.cc.o.d"
   "/root/repo/src/data/io.cc" "src/data/CMakeFiles/ganns_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/io.cc.o.d"
   "/root/repo/src/data/statistics.cc" "src/data/CMakeFiles/ganns_data.dir/statistics.cc.o" "gcc" "src/data/CMakeFiles/ganns_data.dir/statistics.cc.o.d"

@@ -1,6 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ganns_data.dir/dataset.cc.o"
   "CMakeFiles/ganns_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ganns_data.dir/distance.cc.o"
+  "CMakeFiles/ganns_data.dir/distance.cc.o.d"
+  "CMakeFiles/ganns_data.dir/distance_avx2.cc.o"
+  "CMakeFiles/ganns_data.dir/distance_avx2.cc.o.d"
+  "CMakeFiles/ganns_data.dir/distance_sse2.cc.o"
+  "CMakeFiles/ganns_data.dir/distance_sse2.cc.o.d"
   "CMakeFiles/ganns_data.dir/ground_truth.cc.o"
   "CMakeFiles/ganns_data.dir/ground_truth.cc.o.d"
   "CMakeFiles/ganns_data.dir/io.cc.o"

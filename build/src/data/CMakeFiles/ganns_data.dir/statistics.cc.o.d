@@ -124,10 +124,10 @@ src/data/CMakeFiles/ganns_data.dir/statistics.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/aligned.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
@@ -195,6 +195,8 @@ src/data/CMakeFiles/ganns_data.dir/statistics.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/random.h \
+ /root/repo/src/common/scratch.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
@@ -246,4 +248,5 @@ src/data/CMakeFiles/ganns_data.dir/statistics.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/data/distance.h

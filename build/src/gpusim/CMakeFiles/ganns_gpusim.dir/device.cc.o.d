@@ -211,12 +211,13 @@ src/gpusim/CMakeFiles/ganns_gpusim.dir/device.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/warp.h /root/repo/src/common/types.h \
- /usr/include/c++/12/limits /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/scratch.h \
+ /root/repo/src/common/types.h /usr/include/c++/12/limits \
+ /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/thread_pool.h \

@@ -209,10 +209,10 @@ src/gpusim/CMakeFiles/ganns_gpusim.dir/scan.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/gpusim/warp.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/scratch.h \
  /root/repo/src/common/types.h /usr/include/c++/12/limits \
- /root/repo/src/gpusim/bitonic.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /root/repo/src/gpusim/warp.h /root/repo/src/gpusim/bitonic.h

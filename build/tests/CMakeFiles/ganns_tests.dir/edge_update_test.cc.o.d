@@ -318,6 +318,7 @@ tests/CMakeFiles/ganns_tests.dir/edge_update_test.cc.o: \
  /root/repo/src/core/edge_update.h /root/repo/src/common/types.h \
  /root/repo/src/gpusim/device.h /root/repo/src/gpusim/block.h \
  /usr/include/c++/12/span /root/repo/src/common/logging.h \
- /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
- /root/repo/src/graph/proximity_graph.h \
- /root/repo/src/graph/beam_search.h /root/repo/src/data/dataset.h
+ /root/repo/src/common/scratch.h /root/repo/src/gpusim/cost_model.h \
+ /root/repo/src/gpusim/warp.h /root/repo/src/graph/proximity_graph.h \
+ /root/repo/src/graph/beam_search.h /root/repo/src/data/dataset.h \
+ /root/repo/src/common/aligned.h

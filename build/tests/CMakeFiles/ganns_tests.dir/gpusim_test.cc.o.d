@@ -319,4 +319,4 @@ tests/CMakeFiles/ganns_tests.dir/gpusim_test.cc.o: \
  /usr/include/c++/12/span /root/repo/src/common/logging.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
  /root/repo/src/common/types.h /root/repo/src/gpusim/block.h \
- /root/repo/src/gpusim/device.h
+ /root/repo/src/common/scratch.h /root/repo/src/gpusim/device.h

@@ -295,8 +295,8 @@ tests/CMakeFiles/ganns_tests.dir/graph_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/data/ground_truth.h /usr/include/c++/12/span \
  /root/repo/src/common/types.h /root/repo/src/data/dataset.h \
- /root/repo/src/common/logging.h /root/repo/src/data/synthetic.h \
- /root/repo/src/graph/beam_search.h \
+ /root/repo/src/common/aligned.h /root/repo/src/common/logging.h \
+ /root/repo/src/data/synthetic.h /root/repo/src/graph/beam_search.h \
  /root/repo/src/graph/proximity_graph.h /root/repo/src/graph/cpu_nsw.h \
  /root/repo/src/graph/cpu_cost.h /root/repo/src/gpusim/cost_model.h \
  /root/repo/src/graph/hnsw.h

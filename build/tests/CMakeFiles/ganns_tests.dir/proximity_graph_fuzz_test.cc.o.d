@@ -317,4 +317,5 @@ tests/CMakeFiles/ganns_tests.dir/proximity_graph_fuzz_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/graph/beam_search.h /usr/include/c++/12/span \
  /root/repo/src/common/types.h /root/repo/src/data/dataset.h \
- /root/repo/src/common/logging.h /root/repo/src/graph/proximity_graph.h
+ /root/repo/src/common/aligned.h /root/repo/src/common/logging.h \
+ /root/repo/src/graph/proximity_graph.h

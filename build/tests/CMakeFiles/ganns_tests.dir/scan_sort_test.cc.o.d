@@ -318,6 +318,7 @@ tests/CMakeFiles/ganns_tests.dir/scan_sort_test.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/gpusim/device.h \
  /root/repo/src/gpusim/block.h /root/repo/src/common/logging.h \
+ /root/repo/src/common/scratch.h /root/repo/src/common/types.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
- /root/repo/src/common/types.h /root/repo/src/gpusim/global_sort.h \
- /root/repo/src/gpusim/bitonic.h /root/repo/src/gpusim/scan.h
+ /root/repo/src/gpusim/global_sort.h /root/repo/src/gpusim/bitonic.h \
+ /root/repo/src/gpusim/scan.h

@@ -294,8 +294,9 @@ tests/CMakeFiles/ganns_tests.dir/smoke_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/ganns_search.h /usr/include/c++/12/span \
- /root/repo/src/data/dataset.h /root/repo/src/common/logging.h \
- /root/repo/src/common/types.h /root/repo/src/gpusim/block.h \
+ /root/repo/src/data/dataset.h /root/repo/src/common/aligned.h \
+ /root/repo/src/common/logging.h /root/repo/src/common/types.h \
+ /root/repo/src/gpusim/block.h /root/repo/src/common/scratch.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/warp.h \
  /root/repo/src/gpusim/device.h /root/repo/src/graph/beam_search.h \
  /root/repo/src/graph/proximity_graph.h \

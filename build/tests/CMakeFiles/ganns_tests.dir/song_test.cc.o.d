@@ -317,12 +317,13 @@ tests/CMakeFiles/ganns_tests.dir/song_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/data/ground_truth.h /usr/include/c++/12/span \
  /root/repo/src/common/types.h /root/repo/src/data/dataset.h \
- /root/repo/src/common/logging.h /root/repo/src/data/synthetic.h \
- /root/repo/src/graph/cpu_nsw.h /root/repo/src/graph/beam_search.h \
+ /root/repo/src/common/aligned.h /root/repo/src/common/logging.h \
+ /root/repo/src/data/synthetic.h /root/repo/src/graph/cpu_nsw.h \
+ /root/repo/src/graph/beam_search.h \
  /root/repo/src/graph/proximity_graph.h /root/repo/src/graph/cpu_cost.h \
  /root/repo/src/gpusim/cost_model.h \
  /root/repo/src/song/bounded_max_heap.h /root/repo/src/song/minmax_heap.h \
  /root/repo/src/song/open_hash.h /root/repo/src/song/song_search.h \
- /root/repo/src/gpusim/block.h /root/repo/src/gpusim/warp.h \
- /root/repo/src/gpusim/device.h /root/repo/src/graph/search_result.h \
- /root/repo/src/song/visited.h
+ /root/repo/src/gpusim/block.h /root/repo/src/common/scratch.h \
+ /root/repo/src/gpusim/warp.h /root/repo/src/gpusim/device.h \
+ /root/repo/src/graph/search_result.h /root/repo/src/song/visited.h

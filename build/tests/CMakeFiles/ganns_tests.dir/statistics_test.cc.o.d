@@ -294,5 +294,6 @@ tests/CMakeFiles/ganns_tests.dir/statistics_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/data/statistics.h /root/repo/src/data/dataset.h \
- /usr/include/c++/12/span /root/repo/src/common/logging.h \
- /root/repo/src/common/types.h /root/repo/src/data/synthetic.h
+ /usr/include/c++/12/span /root/repo/src/common/aligned.h \
+ /root/repo/src/common/logging.h /root/repo/src/common/types.h \
+ /root/repo/src/data/synthetic.h

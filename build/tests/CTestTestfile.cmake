@@ -5,3 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/ganns_tests[1]_include.cmake")
+add_test(distance_kernels_auto_dispatch "/root/repo/build/tests/distance_kernel_test")
+set_tests_properties(distance_kernels_auto_dispatch PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(distance_kernels_forced_scalar "/root/repo/build/tests/distance_kernel_test")
+set_tests_properties(distance_kernels_forced_scalar PROPERTIES  ENVIRONMENT "GANNS_DISTANCE_KERNEL=scalar" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")

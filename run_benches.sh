@@ -24,7 +24,7 @@ export GANNS_SCALE=4000
 for b in table2_nsw_vs_cpu fig12_graph_quality fig13_vary_dmax \
          fig14_vary_blocks table3_hnsw_vs_cpu ablation_lazy \
          ablation_structures ablation_visited remark_transfer \
-         micro_structures; do
+         micro_structures micro_distance; do
   echo "===== bench/$b ====="
   ./build/bench/$b
   echo

@@ -36,4 +36,22 @@ namespace internal_logging {
     }                                                                      \
   } while (false)
 
+/// Debug-only assertions for hot paths (distance kernels, Dataset::Point).
+/// Compiled out in Release builds (NDEBUG); define GANNS_FORCE_DCHECKS to
+/// keep them in optimized builds while chasing a bug. The `sizeof` trick
+/// keeps the condition parsed (so it cannot rot) without evaluating it.
+#if !defined(NDEBUG) || defined(GANNS_FORCE_DCHECKS)
+#define GANNS_DCHECK(cond) GANNS_CHECK(cond)
+#define GANNS_DCHECK_MSG(cond, stream_expr) GANNS_CHECK_MSG(cond, stream_expr)
+#else
+#define GANNS_DCHECK(cond) \
+  do {                     \
+    (void)sizeof((cond));  \
+  } while (false)
+#define GANNS_DCHECK_MSG(cond, stream_expr) \
+  do {                                      \
+    (void)sizeof((cond));                   \
+  } while (false)
+#endif
+
 #endif  // GANNS_COMMON_LOGGING_H_

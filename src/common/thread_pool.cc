@@ -1,8 +1,14 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace ganns {
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -29,7 +35,10 @@ ThreadPool& ThreadPool::Global() {
   return *pool;
 }
 
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
 void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,26 +55,43 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t num_shards =
-      std::min<std::size_t>(threads_.size(), n);
-  if (num_shards <= 1) {
+  // Nested call from inside a worker task: queueing would have the enclosing
+  // task wait on workers that may all be blocked the same way, so run inline
+  // on this thread. Same for trivial loops and pools with a single worker
+  // (where the caller would execute everything anyway).
+  if (tls_in_worker || threads_.size() <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  std::atomic<std::size_t> remaining{num_shards};
+  // Dynamic chunked scheduler: helpers and the caller repeatedly claim the
+  // next `chunk` indices from a shared counter until the range is drained.
+  // Aiming for ~8 chunks per thread keeps the claim overhead negligible
+  // while still smoothing out wildly unequal per-index cost.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (threads_.size() * 8));
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
+  const std::size_t num_helpers =
+      std::min(threads_.size(), (n + chunk - 1) / chunk);
+  std::atomic<std::size_t> live{num_helpers};
   std::mutex done_mutex;
   std::condition_variable done_cv;
-
-  const std::size_t chunk = (n + num_shards - 1) / num_shards;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t shard = 0; shard < num_shards; ++shard) {
-      const std::size_t begin = shard * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
-      tasks_.push([&, begin, end] {
-        for (std::size_t i = begin; i < end; ++i) fn(i);
-        if (remaining.fetch_sub(1) == 1) {
+    for (std::size_t h = 0; h < num_helpers; ++h) {
+      tasks_.push([&] {
+        drain();
+        if (live.fetch_sub(1) == 1) {
           std::lock_guard<std::mutex> done_lock(done_mutex);
           done_cv.notify_one();
         }
@@ -74,8 +100,10 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
   task_ready_.notify_all();
 
+  drain();  // the caller works too instead of blocking immediately
+
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return live.load() == 0; });
 }
 
 }  // namespace ganns

@@ -32,8 +32,19 @@ class ThreadPool {
 
   std::size_t num_threads() const { return threads_.size(); }
 
-  /// Runs fn(i) for i in [0, n), partitioned into contiguous shards across the
-  /// workers, and blocks until all calls return.
+  /// True on a thread currently executing inside any pool's worker loop.
+  /// ParallelFor uses this to run nested calls inline instead of queueing
+  /// work the enclosing task would deadlock waiting on.
+  static bool InWorker();
+
+  /// Runs fn(i) for i in [0, n) and blocks until all calls return.
+  ///
+  /// Scheduling is dynamic: indices are handed out in chunks from a shared
+  /// atomic counter, so workers that draw cheap iterations (e.g. small
+  /// construction blocks) keep pulling work instead of idling behind a
+  /// statically assigned shard — wall time tracks total work, not the
+  /// busiest shard. The calling thread participates in the loop. Nested
+  /// calls from inside a worker task run inline on the calling worker.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

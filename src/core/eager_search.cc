@@ -1,6 +1,8 @@
 #include "core/eager_search.h"
 
 #include "common/logging.h"
+#include "common/scratch.h"
+#include "data/distance.h"
 #include "gpusim/bitonic.h"
 
 namespace ganns {
@@ -101,10 +103,18 @@ std::vector<graph::Neighbor> EagerSearchOne(
     const auto neighbor_ids = graph.Neighbors(exploring);
     const std::size_t degree = graph.Degree(exploring);
 
-    // Distance + immediate insertion, one neighbor at a time.
-    for (std::size_t i = 0; i < degree; ++i) {
-      const VertexId u = neighbor_ids[i];
-      insert_eagerly(Slot{compute_distance(u), u, false});
+    // Bulk distance through the SIMD layer, then immediate insertion one
+    // neighbor at a time (the eager variant's defining cost).
+    if (degree > 0) {
+      SearchScratch& scratch = ThreadLocalSearchScratch();
+      scratch.dists.resize(degree);
+      data::DistanceMany(base, neighbor_ids.subspan(0, degree), query,
+                         scratch.dists);
+      for (std::size_t i = 0; i < degree; ++i) {
+        warp.ChargeDistance(base.dim());
+        ++local.distance_computations;
+        insert_eagerly(Slot{scratch.dists[i], neighbor_ids[i], false});
+      }
     }
   }
 

@@ -3,6 +3,8 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "common/scratch.h"
+#include "data/distance.h"
 #include "gpusim/bitonic.h"
 
 namespace ganns {
@@ -101,9 +103,22 @@ std::vector<graph::Neighbor> GannsSearchOne(
 
     // Phase (3): bulk distance computation, one vertex of T at a time with
     // every lane of the warp cooperating (sub-vector per lane +
-    // __shfl_down_sync reduction).
-    for (std::size_t i = 0; i < degree; ++i) {
-      visiting[i].dist = compute_distance(visiting[i].id);
+    // __shfl_down_sync reduction). The host computes the whole batch through
+    // the SIMD distance layer; the simulated cost charged per vertex is
+    // unchanged.
+    if (degree > 0) {
+      SearchScratch& scratch = ThreadLocalSearchScratch();
+      scratch.ids.clear();
+      for (std::size_t i = 0; i < degree; ++i) {
+        scratch.ids.push_back(visiting[i].id);
+      }
+      scratch.dists.resize(degree);
+      data::DistanceMany(base, scratch.ids, query, scratch.dists);
+      for (std::size_t i = 0; i < degree; ++i) {
+        warp.ChargeDistance(base.dim());
+        ++local.distance_computations;
+        visiting[i].dist = scratch.dists[i];
+      }
     }
 
     // Phase (4): lazy check. Parallel binary search of each visiting vertex

@@ -5,9 +5,11 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/scratch.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/edge_update.h"
+#include "data/distance.h"
 #include "data/ground_truth.h"
 #include "graph/beam_search.h"
 
@@ -118,15 +120,18 @@ double KnnGraphRecall(const graph::ProximityGraph& graph,
   std::vector<double> hits(n, 0);
   ThreadPool::Global().ParallelFor(n, [&](std::size_t i) {
     const VertexId v = static_cast<VertexId>(i);
-    // Exact k nearest neighbors of v (excluding v itself).
-    std::vector<graph::Neighbor> all;
+    // Exact k nearest neighbors of v (excluding v itself). The whole corpus
+    // streams through the batched SIMD kernel; the candidate list is
+    // recycled across vertices on this worker thread.
+    SearchScratch& scratch = ThreadLocalSearchScratch();
+    scratch.dists.resize(n);
+    data::DistanceRange(base, 0, n, base.Point(v), scratch.dists);
+    thread_local std::vector<graph::Neighbor> all;
+    all.clear();
     all.reserve(n - 1);
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      const VertexId u = static_cast<VertexId>(j);
-      all.push_back(
-          {data::ExactDistance(base.metric(), base.Point(u), base.Point(v)),
-           u});
+      all.push_back({scratch.dists[j], static_cast<VertexId>(j)});
     }
     std::nth_element(all.begin(), all.begin() + k - 1, all.end());
     all.resize(k);

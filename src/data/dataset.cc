@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "data/distance.h"
 
 namespace ganns {
 namespace data {
@@ -12,12 +13,13 @@ void Dataset::Append(std::span<const float> point) {
                   "appending " << point.size() << "-dim point to " << dim_
                                << "-dim dataset");
   values_.insert(values_.end(), point.begin(), point.end());
+  values_.resize(values_.size() + (padded_dim_ - dim_), 0.0f);
 }
 
 void Dataset::NormalizeRows() {
   const std::size_t n = size();
   for (std::size_t i = 0; i < n; ++i) {
-    float* row = values_.data() + i * dim_;
+    float* row = values_.data() + i * padded_dim_;
     double norm_sq = 0;
     for (std::size_t d = 0; d < dim_; ++d) norm_sq += double{row[d]} * row[d];
     if (norm_sq <= 0) continue;
@@ -39,19 +41,8 @@ Dataset Dataset::TruncateDims(std::size_t new_dim) const {
 
 Dist ExactDistance(Metric metric, std::span<const float> a,
                    std::span<const float> b) {
-  GANNS_CHECK(a.size() == b.size());
-  const std::size_t dim = a.size();
-  if (metric == Metric::kL2) {
-    float sum = 0;
-    for (std::size_t d = 0; d < dim; ++d) {
-      const float diff = a[d] - b[d];
-      sum += diff * diff;
-    }
-    return sum;
-  }
-  float dot = 0;
-  for (std::size_t d = 0; d < dim; ++d) dot += a[d] * b[d];
-  return 1.0f - dot;
+  GANNS_DCHECK(a.size() == b.size());
+  return ComputeDistance(metric, a.data(), b.data(), a.size());
 }
 
 }  // namespace data

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "common/types.h"
 
@@ -26,28 +27,55 @@ enum class Metric {
 /// An in-memory collection of fixed-dimension float vectors plus its metric.
 /// Rows are stored contiguously (row-major), matching the "features in GPU
 /// global memory" layout the kernels index into.
+///
+/// Storage is padded: each row occupies padded_dim() floats — dim() rounded
+/// up to a multiple of 8 — in a 32-byte-aligned buffer, so every row starts
+/// on an AVX2-register boundary and the SIMD distance kernels see a regular
+/// stride. Padding floats are always zero; they contribute nothing to L2 or
+/// dot products and are invisible through Point().
 class Dataset {
  public:
+  /// Row padding granularity in floats (32 bytes = one AVX2 register).
+  static constexpr std::size_t kRowAlignFloats = 8;
+
   Dataset(std::string name, std::size_t dim, Metric metric)
-      : name_(std::move(name)), dim_(dim), metric_(metric) {}
+      : name_(std::move(name)),
+        dim_(dim),
+        padded_dim_((dim + kRowAlignFloats - 1) / kRowAlignFloats *
+                    kRowAlignFloats),
+        metric_(metric) {}
 
   const std::string& name() const { return name_; }
   std::size_t dim() const { return dim_; }
+  /// Row stride of the backing buffer in floats (dim() rounded up to 8).
+  std::size_t padded_dim() const { return padded_dim_; }
   Metric metric() const { return metric_; }
-  std::size_t size() const { return dim_ == 0 ? 0 : values_.size() / dim_; }
+  std::size_t size() const {
+    return padded_dim_ == 0 ? 0 : values_.size() / padded_dim_;
+  }
 
-  /// The i-th vector.
+  /// The i-th vector. Hot path: bounds are asserted in debug builds only;
+  /// use PointChecked() where the index comes from untrusted input.
   std::span<const float> Point(VertexId i) const {
+    GANNS_DCHECK_MSG(std::size_t{i} < size(),
+                     "point " << i << " out of range (size " << size() << ")");
+    return std::span<const float>(values_.data() + std::size_t{i} * padded_dim_,
+                                  dim_);
+  }
+
+  /// Point() with the bounds check kept in Release builds, for non-hot
+  /// callers handling external indices (file IO, CLI tools).
+  std::span<const float> PointChecked(VertexId i) const {
     GANNS_CHECK_MSG(std::size_t{i} < size(),
                     "point " << i << " out of range (size " << size() << ")");
-    return std::span<const float>(values_.data() + std::size_t{i} * dim_, dim_);
+    return Point(i);
   }
 
   /// Appends one vector; must have exactly dim() components.
   void Append(std::span<const float> point);
 
   /// Reserves storage for n points.
-  void Reserve(std::size_t n) { values_.reserve(n * dim_); }
+  void Reserve(std::size_t n) { values_.reserve(n * padded_dim_); }
 
   /// L2-normalizes every vector in place (no-op for all-zero rows). Called by
   /// generators for cosine datasets so that 1 - dot() is the cosine distance.
@@ -58,19 +86,25 @@ class Dataset {
   /// to 60 dims, and by SIFT10M which uses the first 32 SIFT dims).
   Dataset TruncateDims(std::size_t new_dim) const;
 
-  /// Direct access to the row-major buffer.
+  /// Direct access to the padded row-major buffer (stride padded_dim()).
   std::span<const float> values() const { return values_; }
+
+  /// Base pointer of the padded row-major buffer; row i starts at
+  /// row_data() + i * padded_dim(). Used by the batched distance kernels.
+  const float* row_data() const { return values_.data(); }
 
  private:
   std::string name_;
   std::size_t dim_;
+  std::size_t padded_dim_;
   Metric metric_;
-  std::vector<float> values_;
+  AlignedFloatVector values_;
 };
 
-/// Computes the dataset's metric between two equal-length vectors.
-/// For kL2 this is squared Euclidean; for kCosine it is 1 - <a, b> and
-/// assumes both vectors are unit-normalized.
+/// Computes the dataset's metric between two equal-length vectors through
+/// the runtime-dispatched SIMD kernel layer (data/distance.h). For kL2 this
+/// is squared Euclidean; for kCosine it is 1 - <a, b> and assumes both
+/// vectors are unit-normalized.
 Dist ExactDistance(Metric metric, std::span<const float> a,
                    std::span<const float> b);
 

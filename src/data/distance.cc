@@ -1,0 +1,229 @@
+#include "data/distance.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "data/dataset.h"
+#include "data/distance_kernels.h"
+
+namespace ganns {
+namespace data {
+namespace internal {
+
+// Portable canonical kernels. The stripe loop is written exactly in the
+// shape the SIMD variants implement (8 independent accumulators, remainder
+// elements appended to stripe i % 8, fixed combine tree), so the compiler
+// may auto-vectorize it freely without changing the result: IEEE semantics
+// are fixed by the accumulation order, not by the register width.
+
+Dist L2Portable(const float* a, const float* b, std::size_t dim) {
+  float acc[kDistanceStripes] = {};
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    for (std::size_t s = 0; s < kDistanceStripes; ++s) {
+      const float diff = a[i + s] - b[i + s];
+      acc[s] += diff * diff;
+    }
+  }
+  for (std::size_t s = 0; i < dim; ++i, ++s) {
+    const float diff = a[i] - b[i];
+    acc[s] += diff * diff;
+  }
+  return CombineStripes(acc);
+}
+
+Dist DotPortable(const float* a, const float* b, std::size_t dim) {
+  float acc[kDistanceStripes] = {};
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    for (std::size_t s = 0; s < kDistanceStripes; ++s) {
+      acc[s] += a[i + s] * b[i + s];
+    }
+  }
+  for (std::size_t s = 0; i < dim; ++i, ++s) {
+    acc[s] += a[i] * b[i];
+  }
+  return CombineStripes(acc);
+}
+
+}  // namespace internal
+
+namespace {
+
+using PairKernel = Dist (*)(const float*, const float*, std::size_t);
+
+/// The two function pointers the dispatcher swaps as one unit.
+struct KernelTable {
+  PairKernel l2;
+  PairKernel dot;
+  DistanceKernel kind;
+};
+
+bool CpuSupports(DistanceKernel kernel) {
+  switch (kernel) {
+    case DistanceKernel::kScalar:
+      return true;
+    case DistanceKernel::kSse2:
+#if defined(GANNS_DISTANCE_HAVE_SSE2)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case DistanceKernel::kAvx2:
+#if defined(GANNS_DISTANCE_HAVE_AVX2)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case DistanceKernel::kNeon:
+#if defined(GANNS_DISTANCE_HAVE_NEON)
+      return true;  // NEON is mandatory on AArch64.
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelTable TableFor(DistanceKernel kernel) {
+  switch (kernel) {
+#if defined(GANNS_DISTANCE_HAVE_SSE2)
+    case DistanceKernel::kSse2:
+      return {internal::L2Sse2, internal::DotSse2, DistanceKernel::kSse2};
+#endif
+#if defined(GANNS_DISTANCE_HAVE_AVX2)
+    case DistanceKernel::kAvx2:
+      return {internal::L2Avx2, internal::DotAvx2, DistanceKernel::kAvx2};
+#endif
+#if defined(GANNS_DISTANCE_HAVE_NEON)
+    case DistanceKernel::kNeon:
+      return {internal::L2Neon, internal::DotNeon, DistanceKernel::kNeon};
+#endif
+    default:
+      return {internal::L2Portable, internal::DotPortable,
+              DistanceKernel::kScalar};
+  }
+}
+
+DistanceKernel BestSupported() {
+  for (DistanceKernel k : {DistanceKernel::kAvx2, DistanceKernel::kNeon,
+                           DistanceKernel::kSse2}) {
+    if (CpuSupports(k)) return k;
+  }
+  return DistanceKernel::kScalar;
+}
+
+DistanceKernel InitialKernel() {
+  const char* env = std::getenv("GANNS_DISTANCE_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    const std::string name(env);
+    for (DistanceKernel k : {DistanceKernel::kScalar, DistanceKernel::kSse2,
+                             DistanceKernel::kAvx2, DistanceKernel::kNeon}) {
+      if (name == DistanceKernelName(k)) {
+        GANNS_CHECK_MSG(CpuSupports(k), "GANNS_DISTANCE_KERNEL="
+                                            << name
+                                            << " is not available on this "
+                                               "build/CPU");
+        return k;
+      }
+    }
+    GANNS_CHECK_MSG(name == "auto",
+                    "unknown GANNS_DISTANCE_KERNEL value '" << name << "'");
+  }
+  return BestSupported();
+}
+
+/// Dispatch is resolved once at startup (first use); SetDistanceKernel is a
+/// test/bench hook and not expected to race with searches.
+KernelTable& ActiveTable() {
+  static KernelTable table = TableFor(InitialKernel());
+  return table;
+}
+
+}  // namespace
+
+const char* DistanceKernelName(DistanceKernel kernel) {
+  switch (kernel) {
+    case DistanceKernel::kScalar:
+      return "scalar";
+    case DistanceKernel::kSse2:
+      return "sse2";
+    case DistanceKernel::kAvx2:
+      return "avx2";
+    case DistanceKernel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::vector<DistanceKernel> SupportedDistanceKernels() {
+  std::vector<DistanceKernel> out;
+  for (DistanceKernel k : {DistanceKernel::kAvx2, DistanceKernel::kNeon,
+                           DistanceKernel::kSse2, DistanceKernel::kScalar}) {
+    if (CpuSupports(k)) out.push_back(k);
+  }
+  return out;
+}
+
+DistanceKernel ActiveDistanceKernel() { return ActiveTable().kind; }
+
+bool SetDistanceKernel(DistanceKernel kernel) {
+  if (!CpuSupports(kernel)) return false;
+  ActiveTable() = TableFor(kernel);
+  return true;
+}
+
+Dist ComputeDistance(Metric metric, const float* a, const float* b,
+                     std::size_t dim) {
+  const KernelTable& table = ActiveTable();
+  if (metric == Metric::kL2) return table.l2(a, b, dim);
+  return 1.0f - table.dot(a, b, dim);
+}
+
+void DistanceMany(const Dataset& base, std::span<const VertexId> ids,
+                  std::span<const float> query, std::span<Dist> out) {
+  GANNS_DCHECK(out.size() >= ids.size());
+  GANNS_DCHECK(query.size() == base.dim());
+  const KernelTable& table = ActiveTable();
+  const PairKernel kernel =
+      base.metric() == Metric::kL2 ? table.l2 : table.dot;
+  const float* data = base.row_data();
+  const std::size_t stride = base.padded_dim();
+  const std::size_t dim = base.dim();
+  const float* q = query.data();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i + 1 < ids.size()) {
+      __builtin_prefetch(data + std::size_t{ids[i + 1]} * stride);
+    }
+    GANNS_DCHECK(std::size_t{ids[i]} < base.size());
+    out[i] = kernel(data + std::size_t{ids[i]} * stride, q, dim);
+  }
+  if (base.metric() == Metric::kCosine) {
+    for (std::size_t i = 0; i < ids.size(); ++i) out[i] = 1.0f - out[i];
+  }
+}
+
+void DistanceRange(const Dataset& base, VertexId first, std::size_t count,
+                   std::span<const float> query, std::span<Dist> out) {
+  GANNS_DCHECK(out.size() >= count);
+  GANNS_DCHECK(query.size() == base.dim());
+  GANNS_DCHECK(std::size_t{first} + count <= base.size());
+  const KernelTable& table = ActiveTable();
+  const PairKernel kernel =
+      base.metric() == Metric::kL2 ? table.l2 : table.dot;
+  const float* row = base.row_data() + std::size_t{first} * base.padded_dim();
+  const std::size_t stride = base.padded_dim();
+  const std::size_t dim = base.dim();
+  const float* q = query.data();
+  for (std::size_t i = 0; i < count; ++i, row += stride) {
+    __builtin_prefetch(row + stride);
+    out[i] = kernel(row, q, dim);
+  }
+  if (base.metric() == Metric::kCosine) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = 1.0f - out[i];
+  }
+}
+
+}  // namespace data
+}  // namespace ganns

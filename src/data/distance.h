@@ -1,0 +1,69 @@
+#ifndef GANNS_DATA_DISTANCE_H_
+#define GANNS_DATA_DISTANCE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ganns {
+namespace data {
+
+class Dataset;
+enum class Metric;
+
+/// Host distance-kernel variants. The simulator charges distance *cycles*
+/// through gpusim::Warp::ChargeDistance regardless of which host kernel
+/// computes the value, so the choice here affects wall-clock time only —
+/// never simulated time or (by the determinism contract below) results.
+enum class DistanceKernel {
+  kScalar,  ///< Portable striped-accumulator kernel; always available.
+  kSse2,    ///< x86 SSE2, two 4-lane accumulators.
+  kAvx2,    ///< x86 AVX2, one 8-lane accumulator.
+  kNeon,    ///< AArch64 NEON, two 4-lane accumulators.
+};
+
+/// Human-readable kernel name ("scalar", "sse2", "avx2", "neon").
+const char* DistanceKernelName(DistanceKernel kernel);
+
+/// Kernel variants compiled into this binary *and* supported by the running
+/// CPU, best first. Always contains at least kScalar.
+std::vector<DistanceKernel> SupportedDistanceKernels();
+
+/// The kernel the dispatcher currently routes all distance computation
+/// through. Resolved once at first use: the best supported variant, unless
+/// the environment variable GANNS_DISTANCE_KERNEL ("scalar", "sse2", "avx2",
+/// "neon", or "auto") overrides it.
+DistanceKernel ActiveDistanceKernel();
+
+/// Forces a specific kernel (used by tests and microbenchmarks). Returns
+/// false — and changes nothing — if the variant is not compiled in or the
+/// CPU lacks the instruction set.
+bool SetDistanceKernel(DistanceKernel kernel);
+
+/// Raw-pointer distance between two `dim`-length vectors under `metric`
+/// through the dispatched kernel. Every kernel variant returns the same
+/// float for the same input (see distance_kernels.h for the contract), so a
+/// build's results do not depend on which ISA the host happens to have.
+Dist ComputeDistance(Metric metric, const float* a, const float* b,
+                     std::size_t dim);
+
+/// Batched distances from `query` to base[ids[i]] for every i, written to
+/// out[i]. Reads the dispatched kernel once, walks the dataset's padded
+/// aligned rows directly, and prefetches the next row — the preferred entry
+/// point for the per-iteration bulk-distance phases (GANNS phase 3, SONG
+/// stage 2). `out.size()` must be at least `ids.size()`.
+void DistanceMany(const Dataset& base, std::span<const VertexId> ids,
+                  std::span<const float> query, std::span<Dist> out);
+
+/// Batched distances from `query` to the contiguous id range
+/// [first, first + count), written to out[0..count). Streams the base rows
+/// in storage order — the brute-force ground-truth access pattern.
+void DistanceRange(const Dataset& base, VertexId first, std::size_t count,
+                   std::span<const float> query, std::span<Dist> out);
+
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_DISTANCE_H_

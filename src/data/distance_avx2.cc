@@ -1,0 +1,59 @@
+// AVX2 distance kernels: one 8-lane accumulator register holding the eight
+// canonical stripes directly. Compiled with -mavx2 -ffp-contract=off —
+// contraction stays off so mul+add never fuses into FMA and the result
+// matches internal::L2Portable / DotPortable bit-for-bit (the FMA's single
+// rounding would otherwise diverge from every other variant).
+#include "data/distance_kernels.h"
+
+#if defined(GANNS_DISTANCE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace ganns {
+namespace data {
+namespace internal {
+namespace {
+
+/// Spills the vector accumulator to the canonical stripe array, folds in the
+/// remainder elements [i, dim), and applies the fixed combine tree.
+template <typename TailTerm>
+Dist FinishAvx2(__m256 acc_v, const float* a, const float* b, std::size_t i,
+                std::size_t dim, TailTerm&& term) {
+  alignas(32) float acc[kDistanceStripes];
+  _mm256_store_ps(acc, acc_v);
+  for (std::size_t s = 0; i < dim; ++i, ++s) acc[s] += term(a[i], b[i]);
+  return CombineStripes(acc);
+}
+
+}  // namespace
+
+Dist L2Avx2(const float* a, const float* b, std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  return FinishAvx2(acc, a, b, i, dim, [](float x, float y) {
+    const float diff = x - y;
+    return diff * diff;
+  });
+}
+
+Dist DotAvx2(const float* a, const float* b, std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    acc = _mm256_add_ps(
+        acc, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  return FinishAvx2(acc, a, b, i, dim,
+                    [](float x, float y) { return x * y; });
+}
+
+}  // namespace internal
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DISTANCE_HAVE_AVX2

@@ -1,0 +1,64 @@
+#ifndef GANNS_DATA_DISTANCE_KERNELS_H_
+#define GANNS_DATA_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+// Internal header shared by the per-ISA distance kernel translation units
+// (distance.cc, distance_sse2.cc, distance_avx2.cc, distance_neon.cc). Not
+// part of the public API — include data/distance.h instead.
+//
+// Determinism contract (see DESIGN.md "Host performance layer"): every
+// kernel accumulates into kDistanceStripes partial sums, where stripe s owns
+// the elements with index i % kDistanceStripes == s in index order, and the
+// partial sums are combined with CombineStripes(). The kernel TUs are
+// compiled with -ffp-contract=off so no variant fuses the multiply and add.
+// Under those two rules a SIMD kernel performs exactly the same float
+// additions in exactly the same order as the portable kernel, so all
+// variants agree on every input (enforced by tests/distance_kernel_test.cc).
+
+namespace ganns {
+namespace data {
+namespace internal {
+
+/// Number of parallel accumulators: one 8-lane AVX2 register, two SSE2/NEON
+/// registers, or eight scalar partial sums — all the same arithmetic.
+inline constexpr std::size_t kDistanceStripes = 8;
+
+/// Fixed reduction tree over the stripe accumulators. The shape matches the
+/// natural 256-bit -> 128-bit -> 64-bit -> 32-bit halving reduction, so SIMD
+/// variants can use register shuffles and still match bit-for-bit:
+///   ((s0+s4) + (s2+s6)) + ((s1+s5) + (s3+s7))
+inline float CombineStripes(const float acc[kDistanceStripes]) {
+  const float s04 = acc[0] + acc[4];
+  const float s15 = acc[1] + acc[5];
+  const float s26 = acc[2] + acc[6];
+  const float s37 = acc[3] + acc[7];
+  return (s04 + s26) + (s15 + s37);
+}
+
+/// Portable canonical kernels (always compiled; also the dispatch fallback).
+/// L2 returns the squared Euclidean distance, Dot the plain inner product
+/// (the cosine adjustment 1 - dot happens above the kernel layer).
+Dist L2Portable(const float* a, const float* b, std::size_t dim);
+Dist DotPortable(const float* a, const float* b, std::size_t dim);
+
+#if defined(GANNS_DISTANCE_HAVE_SSE2)
+Dist L2Sse2(const float* a, const float* b, std::size_t dim);
+Dist DotSse2(const float* a, const float* b, std::size_t dim);
+#endif
+#if defined(GANNS_DISTANCE_HAVE_AVX2)
+Dist L2Avx2(const float* a, const float* b, std::size_t dim);
+Dist DotAvx2(const float* a, const float* b, std::size_t dim);
+#endif
+#if defined(GANNS_DISTANCE_HAVE_NEON)
+Dist L2Neon(const float* a, const float* b, std::size_t dim);
+Dist DotNeon(const float* a, const float* b, std::size_t dim);
+#endif
+
+}  // namespace internal
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_DISTANCE_KERNELS_H_

@@ -1,0 +1,63 @@
+// AArch64 NEON distance kernels: two 4-lane accumulator registers acting as
+// the eight canonical stripes (acc_lo = stripes 0-3, acc_hi = stripes 4-7).
+// Uses separate vmulq/vaddq (never vfmaq) and is compiled with
+// -ffp-contract=off, so results are bit-identical to the portable kernels.
+#include "data/distance_kernels.h"
+
+#if defined(GANNS_DISTANCE_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace ganns {
+namespace data {
+namespace internal {
+namespace {
+
+template <typename TailTerm>
+Dist FinishNeon(float32x4_t acc_lo, float32x4_t acc_hi, const float* a,
+                const float* b, std::size_t i, std::size_t dim,
+                TailTerm&& term) {
+  alignas(16) float acc[kDistanceStripes];
+  vst1q_f32(acc, acc_lo);
+  vst1q_f32(acc + 4, acc_hi);
+  for (std::size_t s = 0; i < dim; ++i, ++s) acc[s] += term(a[i], b[i]);
+  return CombineStripes(acc);
+}
+
+}  // namespace
+
+Dist L2Neon(const float* a, const float* b, std::size_t dim) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    const float32x4_t d_lo = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    const float32x4_t d_hi =
+        vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc_lo = vaddq_f32(acc_lo, vmulq_f32(d_lo, d_lo));
+    acc_hi = vaddq_f32(acc_hi, vmulq_f32(d_hi, d_hi));
+  }
+  return FinishNeon(acc_lo, acc_hi, a, b, i, dim, [](float x, float y) {
+    const float diff = x - y;
+    return diff * diff;
+  });
+}
+
+Dist DotNeon(const float* a, const float* b, std::size_t dim) {
+  float32x4_t acc_lo = vdupq_n_f32(0.0f);
+  float32x4_t acc_hi = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    acc_lo = vaddq_f32(acc_lo, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    acc_hi = vaddq_f32(
+        acc_hi, vmulq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+  }
+  return FinishNeon(acc_lo, acc_hi, a, b, i, dim,
+                    [](float x, float y) { return x * y; });
+}
+
+}  // namespace internal
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DISTANCE_HAVE_NEON

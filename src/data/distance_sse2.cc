@@ -1,0 +1,66 @@
+// SSE2 distance kernels: two 4-lane accumulator registers acting as the
+// eight canonical stripes (acc_lo = stripes 0-3, acc_hi = stripes 4-7).
+// Compiled with -ffp-contract=off so mul+add never fuses into FMA; the tail
+// and the reduction go through the shared scalar helpers, which makes every
+// result bit-identical to internal::L2Portable / DotPortable.
+#include "data/distance_kernels.h"
+
+#if defined(GANNS_DISTANCE_HAVE_SSE2)
+
+#include <emmintrin.h>
+
+namespace ganns {
+namespace data {
+namespace internal {
+namespace {
+
+/// Spills the two vector accumulators to the canonical stripe array, folds
+/// in the remainder elements [i, dim), and applies the fixed combine tree.
+template <typename TailTerm>
+Dist FinishSse2(__m128 acc_lo, __m128 acc_hi, const float* a, const float* b,
+                std::size_t i, std::size_t dim, TailTerm&& term) {
+  alignas(16) float acc[kDistanceStripes];
+  _mm_store_ps(acc, acc_lo);
+  _mm_store_ps(acc + 4, acc_hi);
+  for (std::size_t s = 0; i < dim; ++i, ++s) acc[s] += term(a[i], b[i]);
+  return CombineStripes(acc);
+}
+
+}  // namespace
+
+Dist L2Sse2(const float* a, const float* b, std::size_t dim) {
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    const __m128 d_lo = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128 d_hi =
+        _mm_sub_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4));
+    acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(d_lo, d_lo));
+    acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(d_hi, d_hi));
+  }
+  return FinishSse2(acc_lo, acc_hi, a, b, i, dim, [](float x, float y) {
+    const float diff = x - y;
+    return diff * diff;
+  });
+}
+
+Dist DotSse2(const float* a, const float* b, std::size_t dim) {
+  __m128 acc_lo = _mm_setzero_ps();
+  __m128 acc_hi = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    acc_lo = _mm_add_ps(acc_lo,
+                        _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+    acc_hi = _mm_add_ps(
+        acc_hi, _mm_mul_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4)));
+  }
+  return FinishSse2(acc_lo, acc_hi, a, b, i, dim,
+                    [](float x, float y) { return x * y; });
+}
+
+}  // namespace internal
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DISTANCE_HAVE_SSE2

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/scratch.h"
 #include "common/thread_pool.h"
+#include "data/distance.h"
 
 namespace ganns {
 namespace data {
@@ -19,27 +21,37 @@ GroundTruth BruteForceKnn(const Dataset& base, const Dataset& queries,
   truth.k = k;
   truth.neighbors.resize(queries.size());
 
+  // Base points are streamed through the batched SIMD distance kernel one
+  // tile at a time: big enough to amortize dispatch, small enough that the
+  // distance staging buffer stays L1-resident.
+  constexpr std::size_t kTile = 1024;
   ThreadPool::Global().ParallelFor(queries.size(), [&](std::size_t q) {
     const std::span<const float> query = queries.Point(static_cast<VertexId>(q));
+    SearchScratch& scratch = ThreadLocalSearchScratch();
     // Bounded max-heap of the best k (dist, id) pairs seen so far.
-    std::vector<std::pair<Dist, VertexId>> heap;
-    heap.reserve(k);
+    auto& heap = scratch.heap;
+    heap.clear();
     const auto worse = [](const std::pair<Dist, VertexId>& a,
                           const std::pair<Dist, VertexId>& b) {
       if (a.first != b.first) return a.first < b.first;
       return a.second < b.second;  // larger id = worse on ties
     };
-    for (std::size_t i = 0; i < base.size(); ++i) {
-      const VertexId id = static_cast<VertexId>(i);
-      const Dist dist = ExactDistance(base.metric(), base.Point(id), query);
-      const std::pair<Dist, VertexId> entry{dist, id};
-      if (heap.size() < k) {
-        heap.push_back(entry);
-        std::push_heap(heap.begin(), heap.end(), worse);
-      } else if (worse(entry, heap.front())) {
-        std::pop_heap(heap.begin(), heap.end(), worse);
-        heap.back() = entry;
-        std::push_heap(heap.begin(), heap.end(), worse);
+    scratch.dists.resize(std::min(kTile, base.size()));
+    for (std::size_t tile = 0; tile < base.size(); tile += kTile) {
+      const std::size_t count = std::min(kTile, base.size() - tile);
+      DistanceRange(base, static_cast<VertexId>(tile), count, query,
+                    scratch.dists);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::pair<Dist, VertexId> entry{
+            scratch.dists[i], static_cast<VertexId>(tile + i)};
+        if (heap.size() < k) {
+          heap.push_back(entry);
+          std::push_heap(heap.begin(), heap.end(), worse);
+        } else if (worse(entry, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), worse);
+          heap.back() = entry;
+          std::push_heap(heap.begin(), heap.end(), worse);
+        }
       }
     }
     std::sort_heap(heap.begin(), heap.end(), worse);

@@ -50,7 +50,7 @@ bool WriteFvecs(const std::string& path, const Dataset& dataset) {
   if (file == nullptr) return false;
   const std::int32_t dim = static_cast<std::int32_t>(dataset.dim());
   for (std::size_t i = 0; i < dataset.size(); ++i) {
-    const auto point = dataset.Point(static_cast<VertexId>(i));
+    const auto point = dataset.PointChecked(static_cast<VertexId>(i));
     if (std::fwrite(&dim, sizeof(dim), 1, file.get()) != 1) return false;
     if (std::fwrite(point.data(), sizeof(float), point.size(), file.get()) !=
         point.size()) {

@@ -6,7 +6,9 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/scratch.h"
 #include "common/thread_pool.h"
+#include "data/distance.h"
 
 namespace ganns {
 namespace data {
@@ -30,14 +32,15 @@ DatasetStats ComputeStats(const Dataset& dataset, std::size_t sample,
 
   ThreadPool::Global().ParallelFor(sample, [&](std::size_t s) {
     const VertexId v = picks[s];
-    // Exact k nearest neighbors of v.
-    std::vector<float> dists;
-    dists.reserve(n - 1);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == v) continue;
-      dists.push_back(ExactDistance(dataset.metric(), dataset.Point(v),
-                                    dataset.Point(static_cast<VertexId>(j))));
-    }
+    // Exact k nearest neighbors of v: stream the corpus through the batched
+    // SIMD kernel, then neutralize the self-distance with the +inf sentinel
+    // so it can never enter the k smallest (n >= k + 2 guarantees enough
+    // real entries).
+    SearchScratch& scratch = ThreadLocalSearchScratch();
+    auto& dists = scratch.dists;
+    dists.resize(n);
+    DistanceRange(dataset, 0, n, dataset.Point(v), dists);
+    dists[v] = kInfDist;
     std::nth_element(dists.begin(), dists.begin() + k - 1, dists.end());
     std::vector<float> knn(dists.begin(), dists.begin() + k);
     std::sort(knn.begin(), knn.end());

@@ -7,9 +7,11 @@
 #include <new>
 #include <span>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/scratch.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/warp.h"
 
@@ -36,6 +38,10 @@ class BlockContext {
   BlockContext(const BlockContext&) = delete;
   BlockContext& operator=(const BlockContext&) = delete;
 
+  ~BlockContext() {
+    if (!buffer_.empty()) SharedArenaPool::Release(std::move(buffer_));
+  }
+
   int block_id() const { return block_id_; }
   int num_lanes() const { return warp_.num_lanes(); }
   Warp& warp() { return warp_; }
@@ -45,6 +51,11 @@ class BlockContext {
   /// shared-memory arena. Fails (fatally) if the 48 KB-class limit is
   /// exceeded — the same constraint that forces the paper to keep l_n and
   /// l_t small (§III-C "Memory Usage").
+  ///
+  /// The arena is one bump-allocated buffer recycled through a per-thread
+  /// free list (SharedArenaPool), sized to the full shared limit on first
+  /// use so later allocations never move earlier spans; a block in the
+  /// steady state performs no heap allocation here.
   template <typename T>
   std::span<T> AllocShared(std::size_t count) {
     static_assert(std::is_trivially_destructible_v<T>,
@@ -55,9 +66,9 @@ class BlockContext {
     GANNS_CHECK_MSG(aligned + bytes <= shared_limit_,
                     "shared memory overflow: need "
                         << aligned + bytes << " bytes, limit " << shared_limit_);
-    arenas_.push_back(std::make_unique<std::byte[]>(bytes));
+    if (buffer_.empty()) buffer_ = SharedArenaPool::Acquire(shared_limit_);
     shared_used_ = aligned + bytes;
-    T* ptr = reinterpret_cast<T*>(arenas_.back().get());
+    T* ptr = reinterpret_cast<T*>(buffer_.data() + aligned);
     for (std::size_t i = 0; i < count; ++i) new (ptr + i) T();
     return std::span<T>(ptr, count);
   }
@@ -70,16 +81,14 @@ class BlockContext {
   /// insertions, mirroring how a CUDA kernel reuses its static shared
   /// buffers across loop iterations; the capacity check then applies to the
   /// per-iteration working set, which is the quantity the hardware limits.
-  void ResetShared() {
-    arenas_.clear();
-    shared_used_ = 0;
-  }
+  /// The backing buffer is retained for the next allocation.
+  void ResetShared() { shared_used_ = 0; }
 
  private:
   int block_id_;
   std::size_t shared_limit_;
   std::size_t shared_used_ = 0;
-  std::vector<std::unique_ptr<std::byte[]>> arenas_;
+  std::vector<std::byte> buffer_;
   CostModel cost_;
   Warp warp_;
 };

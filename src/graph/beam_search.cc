@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/scratch.h"
+#include "data/distance.h"
 
 namespace ganns {
 namespace graph {
@@ -31,7 +33,10 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
   };
   std::vector<Neighbor> candidates;  // C
   std::vector<Neighbor> results;     // N
-  std::unordered_set<VertexId> visited;  // H
+  // H — recycled across queries on this thread; clear() keeps the bucket
+  // array, so steady-state searches allocate nothing here.
+  thread_local std::unordered_set<VertexId> visited;
+  visited.clear();
 
   const Neighbor start{distance(entry), entry};
   candidates.push_back(start);
@@ -60,15 +65,26 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
     std::push_heap(results.begin(), results.end());
     ++local_stats.heap_ops;
 
-    // Expand unvisited outgoing neighbors.
+    // Expand unvisited outgoing neighbors: gather them, compute the whole
+    // batch through the SIMD distance layer, then apply the same insertion
+    // filter. `results` does not change within this loop, so batching does
+    // not alter which candidates survive.
     const auto neighbor_ids = graph.Neighbors(closest.id);
     const std::size_t degree = graph.Degree(closest.id);
+    SearchScratch& scratch = ThreadLocalSearchScratch();
+    scratch.ids.clear();
     for (std::size_t i = 0; i < degree; ++i) {
       const VertexId u = neighbor_ids[i];
       if (restrict_to != kInvalidVertex && u >= restrict_to) continue;
       ++local_stats.hash_ops;
       if (!visited.insert(u).second) continue;
-      const Neighbor entry_u{distance(u), u};
+      scratch.ids.push_back(u);
+    }
+    scratch.dists.resize(scratch.ids.size());
+    data::DistanceMany(base, scratch.ids, query, scratch.dists);
+    local_stats.distance_computations += scratch.ids.size();
+    for (std::size_t i = 0; i < scratch.ids.size(); ++i) {
+      const Neighbor entry_u{scratch.dists[i], scratch.ids[i]};
       // Skip candidates that cannot beat a full result set (SONG's bounded
       // priority-queue optimization; purely a constant-factor saving).
       if (results.size() == ef && !(entry_u < results.front())) continue;

@@ -5,7 +5,43 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/scratch.h"
 #include "common/timer.h"
+#include "data/distance.h"
+
+namespace {
+
+/// One greedy hill-climbing step shared by the descent loops: batch-computes
+/// the distances of `current`'s adjacency row on `layer` and moves to the
+/// row's best vertex if it improves. Identical to the scalar scan it
+/// replaces — the row minimum with first-index tie-break is what the
+/// sequential improve-as-you-go update converged to. Returns true if
+/// `current` moved.
+bool GreedyStep(const ganns::graph::ProximityGraph& layer,
+                const ganns::data::Dataset& base,
+                std::span<const float> query, ganns::VertexId& current,
+                ganns::Dist& current_dist,
+                ganns::graph::BeamSearchStats& stats) {
+  const auto neighbors = layer.Neighbors(current);
+  const std::size_t degree = layer.Degree(current);
+  if (degree == 0) return false;
+  ganns::SearchScratch& scratch = ganns::ThreadLocalSearchScratch();
+  scratch.dists.resize(degree);
+  ganns::data::DistanceMany(base, neighbors.subspan(0, degree), query,
+                            scratch.dists);
+  stats.distance_computations += degree;
+  bool improved = false;
+  for (std::size_t i = 0; i < degree; ++i) {
+    if (scratch.dists[i] < current_dist) {
+      current_dist = scratch.dists[i];
+      current = neighbors[i];
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+}  // namespace
 
 namespace ganns {
 namespace graph {
@@ -42,20 +78,9 @@ VertexId HnswGraph::DescendToLayer0(const data::Dataset& base,
     // Greedy hill climbing on layer l.
     bool improved = true;
     while (improved) {
-      improved = false;
       ++local.iterations;
-      const auto neighbors = layers_[l].Neighbors(current);
-      const std::size_t degree = layers_[l].Degree(current);
-      for (std::size_t i = 0; i < degree; ++i) {
-        const VertexId u = neighbors[i];
-        const Dist d = data::ExactDistance(base.metric(), base.Point(u), query);
-        ++local.distance_computations;
-        if (d < current_dist) {
-          current_dist = d;
-          current = u;
-          improved = true;
-        }
-      }
+      improved = GreedyStep(layers_[l], base, query, current, current_dist,
+                            local);
     }
   }
   if (stats != nullptr) stats->Add(local);
@@ -111,21 +136,8 @@ CpuHnswBuildResult BuildHnswCpu(const data::Dataset& base,
     for (int l = top_level; l > v_level; --l) {
       bool improved = true;
       while (improved) {
-        improved = false;
         ++stats.iterations;
-        const auto neighbors = graph.layer(l).Neighbors(ep);
-        const std::size_t degree = graph.layer(l).Degree(ep);
-        for (std::size_t j = 0; j < degree; ++j) {
-          const VertexId u = neighbors[j];
-          const Dist d =
-              data::ExactDistance(base.metric(), base.Point(u), point);
-          ++stats.distance_computations;
-          if (d < ep_dist) {
-            ep_dist = d;
-            ep = u;
-            improved = true;
-          }
-        }
+        improved = GreedyStep(graph.layer(l), base, point, ep, ep_dist, stats);
       }
     }
 

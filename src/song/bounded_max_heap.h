@@ -26,6 +26,17 @@ class BoundedMaxHeap {
   bool full() const { return entries_.size() == capacity_; }
   std::size_t ops() const { return ops_; }
 
+  /// Re-arms a recycled heap for a new query: empties it, zeroes the
+  /// operation counter, and adopts a new capacity bound. Storage is
+  /// retained, so steady-state reuse allocates nothing.
+  void Reset(std::size_t capacity) {
+    GANNS_CHECK(capacity >= 1);
+    capacity_ = capacity;
+    entries_.clear();
+    entries_.reserve(capacity);
+    ops_ = 0;
+  }
+
   /// Worst (largest) kept entry; undefined on empty heap.
   const graph::Neighbor& Max() const {
     GANNS_CHECK(!entries_.empty());

@@ -33,6 +33,17 @@ class MinMaxHeap {
   bool full() const { return entries_.size() == capacity_; }
   std::size_t capacity() const { return capacity_; }
 
+  /// Re-arms a recycled heap for a new query: empties it, zeroes the
+  /// operation counter, and adopts a new capacity bound. Storage is
+  /// retained, so steady-state reuse allocates nothing.
+  void Reset(std::size_t capacity) {
+    GANNS_CHECK(capacity >= 1);
+    capacity_ = capacity;
+    entries_.clear();
+    entries_.reserve(capacity);
+    ops_ = 0;
+  }
+
   /// Comparisons + swaps executed since construction.
   std::size_t ops() const { return ops_; }
 

@@ -1,12 +1,30 @@
 #include "song/song_search.h"
 
 #include "common/logging.h"
+#include "data/distance.h"
 #include "song/bounded_max_heap.h"
 #include "song/minmax_heap.h"
 #include "song/open_hash.h"
 
 namespace ganns {
 namespace song {
+namespace {
+
+/// Per-thread recycled search state: the C and N heaps are re-armed per
+/// query instead of reallocated. The visited structure is still built per
+/// query — its kind and extent are per-call parameters and (for the bitmap
+/// variant) clearing costs the same as building.
+struct SongScratch {
+  MinMaxHeap candidates{1};
+  BoundedMaxHeap results{1};
+};
+
+SongScratch& ThreadLocalSongScratch() {
+  thread_local SongScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
@@ -18,8 +36,11 @@ std::vector<graph::Neighbor> SongSearchOne(
   gpusim::Warp& warp = block.warp();
   SongSearchStats local;
 
-  MinMaxHeap candidates(params.queue_size);   // C
-  BoundedMaxHeap results(params.queue_size);  // N
+  SongScratch& heaps = ThreadLocalSongScratch();
+  MinMaxHeap& candidates = heaps.candidates;  // C
+  BoundedMaxHeap& results = heaps.results;    // N
+  candidates.Reset(params.queue_size);
+  results.Reset(params.queue_size);
   // H, sized for N ∪ C under the default bounded-hash policy.
   std::unique_ptr<VisitedSet> visited = MakeVisitedSet(
       params.visited, params.queue_size * 2, graph.num_vertices(),
@@ -99,9 +120,16 @@ std::vector<graph::Neighbor> SongSearchOne(
     charge_host_ops();
 
     // Stage 2: bulk distance computation (all lanes cooperate per point;
-    // partial sums combine via __shfl_xor_sync).
-    for (std::size_t i = 0; i < num_cand; ++i) {
-      cand_dist[i] = compute_distance(cand[i]);
+    // partial sums combine via __shfl_xor_sync). The staged candidates are
+    // already contiguous, so the whole batch goes through the SIMD distance
+    // layer in one call; per-point simulated charges are unchanged.
+    if (num_cand > 0) {
+      data::DistanceMany(base, cand.subspan(0, num_cand), query,
+                         cand_dist.subspan(0, num_cand));
+      for (std::size_t i = 0; i < num_cand; ++i) {
+        warp.ChargeDistance(base.dim());
+        ++local.distance_computations;
+      }
     }
 
     // Stage 3: data-structures updating (host lane): sequential bounded
