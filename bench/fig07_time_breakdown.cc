@@ -2,13 +2,21 @@
 // recall ~= 0.8, k = 10, across the Table I datasets. The paper reports that
 // 50-90% of SONG's time on NSW graphs goes to data-structure operations
 // while GANNS's data-maintenance share is small.
+//
+// With GANNS_TRACING=on the bench additionally prints a per-phase cycle
+// breakdown taken from the per-query profiles (core::GannsQueryProfile /
+// song::SongQueryProfile) — the same six phases Figure 3 names. The default
+// output is unchanged byte-for-byte: profiling only reads the simulator's
+// cycle counters.
 
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/sweep.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -25,6 +33,8 @@ int main() {
   std::printf("%-10s %-6s %-14s %8s %10s %10s %10s\n", "dataset", "algo",
               "setting", "recall", "dist%", "ds-ops%", "other%");
 
+  const bool profiled = obs::TracingEnabled() || obs::MetricsEnabled();
+
   for (const data::DatasetSpec& spec : data::PaperDatasets()) {
     const bench::Workload workload =
         bench::MakeWorkload(spec.name, config, kK);
@@ -39,10 +49,58 @@ int main() {
                   100 * point.distance_fraction, 100 * point.ds_fraction,
                   100 * (1 - point.distance_fraction - point.ds_fraction));
     };
-    report(bench::ClosestToRecall(
-        bench::SweepGanns(device, nsw, workload, kK), kTargetRecall));
-    report(bench::ClosestToRecall(
-        bench::SweepSong(device, nsw, workload, kK), kTargetRecall));
+
+    const auto ganns_points = bench::SweepGanns(device, nsw, workload, kK);
+    const std::size_t gi =
+        bench::ClosestIndexToRecall(ganns_points, kTargetRecall);
+    report(ganns_points[gi]);
+    if (profiled) {
+      // Re-run the chosen setting collecting per-query profiles; the phase
+      // split is the profile-based view of the same breakdown.
+      const auto ladder = bench::DefaultGannsLadder(kK);
+      std::vector<core::GannsQueryProfile> profiles;
+      core::GannsSearchBatch(device, nsw, workload.base, workload.queries,
+                             ladder[gi], 32, 0, &profiles);
+      std::array<double, core::kNumGannsPhases> phase{};
+      double total = 0;
+      for (const core::GannsQueryProfile& p : profiles) {
+        for (int i = 0; i < core::kNumGannsPhases; ++i) {
+          phase[i] += p.phase_cycles[i];
+          total += p.phase_cycles[i];
+        }
+      }
+      std::printf("  phases:");
+      for (int i = 0; i < core::kNumGannsPhases; ++i) {
+        std::printf(" %s=%.1f%%", core::GannsPhaseName(i),
+                    total > 0 ? 100 * phase[i] / total : 0.0);
+      }
+      std::printf("\n");
+    }
+
+    const auto song_points = bench::SweepSong(device, nsw, workload, kK);
+    const std::size_t si =
+        bench::ClosestIndexToRecall(song_points, kTargetRecall);
+    report(song_points[si]);
+    if (profiled) {
+      const auto ladder = bench::DefaultSongLadder(kK);
+      std::vector<song::SongQueryProfile> profiles;
+      song::SongSearchBatch(device, nsw, workload.base, workload.queries,
+                            ladder[si], 32, 0, &profiles);
+      std::array<double, song::kNumSongStages> stage{};
+      double total = 0;
+      for (const song::SongQueryProfile& p : profiles) {
+        for (int i = 0; i < song::kNumSongStages; ++i) {
+          stage[i] += p.stage_cycles[i];
+          total += p.stage_cycles[i];
+        }
+      }
+      std::printf("  stages:");
+      for (int i = 0; i < song::kNumSongStages; ++i) {
+        std::printf(" %s=%.1f%%", song::SongStageName(i),
+                    total > 0 ? 100 * stage[i] / total : 0.0);
+      }
+      std::printf("\n");
+    }
   }
   return 0;
 }

@@ -5,11 +5,16 @@
 // (~0.7 vs ~0.92 on SIFT1M); GGraphCon matches the serial CPU graphs.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "bench/sweep.h"
 #include "core/ggraphcon.h"
 #include "graph/cpu_nsw.h"
+#include "graph/diagnostics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -39,6 +44,17 @@ int main() {
 
     const auto report = [&](const char* name,
                             const graph::ProximityGraph& graph) {
+      if (obs::MetricsEnabled()) {
+        // Structural quality behind the recall numbers: degree distribution,
+        // sinks, reachability — exported via the metrics JSON.
+        const graph::GraphDiagnostics diag = graph::Diagnose(graph, 0);
+        graph::PublishDiagnostics(
+            diag, (std::string("graph.") + dataset + "." + name).c_str());
+        std::printf("%-10s %-14s sinks=%zu reachable_sinks=%zu "
+                    "reachable=%.4f mean_deg=%.2f\n",
+                    dataset, name, diag.sinks, diag.reachable_sinks,
+                    diag.reachable_fraction, diag.mean_out_degree);
+      }
       std::printf("%-10s %-14s", dataset, name);
       for (std::size_t e : kExploreValues) {
         core::GannsParams search;
@@ -54,6 +70,14 @@ int main() {
     report("GNaivePar", naive.graph);
     report("GGraphCon", ggc.graph);
     report("GraphConNSW", cpu.graph);
+  }
+
+  // GANNS_METRICS_OUT=<file> dumps the registry (including the per-graph
+  // diagnostics published above) as deterministic JSON.
+  if (const char* out = std::getenv("GANNS_METRICS_OUT");
+      out != nullptr && obs::MetricsEnabled()) {
+    obs::SnapshotRuntimeMetrics();
+    obs::MetricsRegistry::Global().WriteJson(out);
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace ganns {
 namespace bench {
@@ -18,6 +19,7 @@ SweepPoint FromBatch(const std::string& algorithm, const std::string& setting,
   point.recall = data::MeanRecall(batch.results, workload.truth, k);
   point.qps = batch.qps;
   point.sim_seconds = batch.sim_seconds;
+  point.host_seconds = batch.kernel.wall_seconds;
   const double total = batch.kernel.work_total();
   if (total > 0) {
     point.distance_fraction =
@@ -71,6 +73,7 @@ SweepPoint MeasureGanns(gpusim::Device& device,
                         const Workload& workload,
                         const core::GannsParams& params, std::size_t k,
                         int block_lanes) {
+  ScopedWallSpan span("bench.measure_ganns");
   const graph::BatchSearchResult batch = core::GannsSearchBatch(
       device, graph, workload.base, workload.queries, params, block_lanes);
   std::ostringstream setting;
@@ -83,6 +86,7 @@ SweepPoint MeasureSong(gpusim::Device& device,
                        const Workload& workload,
                        const song::SongParams& params, std::size_t k,
                        int block_lanes) {
+  ScopedWallSpan span("bench.measure_song");
   const graph::BatchSearchResult batch = song::SongSearchBatch(
       device, graph, workload.base, workload.queries, params, block_lanes);
   std::ostringstream setting;

@@ -55,11 +55,13 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   // Nested call from inside a worker task: queueing would have the enclosing
   // task wait on workers that may all be blocked the same way, so run inline
   // on this thread. Same for trivial loops and pools with a single worker
   // (where the caller would execute everything anyway).
   if (tls_in_worker || threads_.size() <= 1 || n == 1) {
+    inline_runs_.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -76,6 +78,7 @@ void ThreadPool::ParallelFor(std::size_t n,
       const std::size_t begin =
           next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
+      chunks_claimed_.fetch_add(1, std::memory_order_relaxed);
       const std::size_t end = std::min(n, begin + chunk);
       for (std::size_t i = begin; i < end; ++i) fn(i);
     }
@@ -83,6 +86,7 @@ void ThreadPool::ParallelFor(std::size_t n,
 
   const std::size_t num_helpers =
       std::min(threads_.size(), (n + chunk - 1) / chunk);
+  helper_tasks_.fetch_add(num_helpers, std::memory_order_relaxed);
   std::atomic<std::size_t> live{num_helpers};
   std::mutex done_mutex;
   std::condition_variable done_cv;

@@ -1,8 +1,10 @@
 #ifndef GANNS_COMMON_THREAD_POOL_H_
 #define GANNS_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -47,6 +49,24 @@ class ThreadPool {
   /// calls from inside a worker task run inline on the calling worker.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Lifetime scheduling counters. Every field is a function of the
+  /// ParallelFor call sequence alone (chunks_claimed is exactly
+  /// sum(ceil(n / chunk)) over dynamic calls), so totals are identical for
+  /// any thread interleaving — they can appear in deterministic exports.
+  struct Stats {
+    std::uint64_t parallel_for_calls = 0;  ///< ParallelFor invocations
+    std::uint64_t inline_runs = 0;  ///< calls that ran inline (nested/small)
+    std::uint64_t chunks_claimed = 0;  ///< dynamic chunks handed out
+    std::uint64_t helper_tasks = 0;    ///< worker tasks enqueued
+  };
+
+  Stats stats() const {
+    return {parallel_for_calls_.load(std::memory_order_relaxed),
+            inline_runs_.load(std::memory_order_relaxed),
+            chunks_claimed_.load(std::memory_order_relaxed),
+            helper_tasks_.load(std::memory_order_relaxed)};
+  }
+
  private:
   void WorkerLoop();
 
@@ -55,6 +75,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable task_ready_;
   bool shutting_down_ = false;
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> inline_runs_{0};
+  std::atomic<std::uint64_t> chunks_claimed_{0};
+  std::atomic<std::uint64_t> helper_tasks_{0};
 };
 
 }  // namespace ganns

@@ -1,0 +1,29 @@
+#include "common/timer.h"
+
+#include <atomic>
+
+namespace ganns {
+namespace {
+
+std::atomic<WallSpanSink>& Sink() {
+  static std::atomic<WallSpanSink> sink{nullptr};
+  return sink;
+}
+
+}  // namespace
+
+void SetWallSpanSink(WallSpanSink sink) {
+  Sink().store(sink, std::memory_order_release);
+}
+
+double WallSpanNow() {
+  static const WallTimer* epoch = new WallTimer();
+  return epoch->Seconds();
+}
+
+ScopedWallSpan::~ScopedWallSpan() {
+  const WallSpanSink sink = Sink().load(std::memory_order_acquire);
+  if (sink != nullptr) sink(name_, start_, WallSpanNow() - start_);
+}
+
+}  // namespace ganns

@@ -27,6 +27,38 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Receiver for completed wall-clock spans. `start_seconds` is measured from
+/// a fixed process-wide epoch so spans from different threads share a
+/// timeline. The observability layer (src/obs) installs a sink that feeds
+/// the trace recorder; common itself depends on nothing.
+using WallSpanSink = void (*)(const char* name, double start_seconds,
+                              double duration_seconds);
+
+/// Installs the process-wide sink (nullptr uninstalls). Thread-safe.
+void SetWallSpanSink(WallSpanSink sink);
+
+/// Seconds since the process-wide span epoch (first use).
+double WallSpanNow();
+
+/// RAII wall-clock span: reports [construction, destruction) to the
+/// installed sink. With no sink installed the cost is one clock read.
+/// `name` must outlive the span (string literals in practice).
+class ScopedWallSpan {
+ public:
+  explicit ScopedWallSpan(const char* name)
+      : name_(name), start_(WallSpanNow()) {}
+  ScopedWallSpan(const ScopedWallSpan&) = delete;
+  ScopedWallSpan& operator=(const ScopedWallSpan&) = delete;
+  ~ScopedWallSpan();
+
+  /// Seconds elapsed since construction.
+  double Seconds() const { return WallSpanNow() - start_; }
+
+ private:
+  const char* name_;
+  double start_;
+};
+
 }  // namespace ganns
 
 #endif  // GANNS_COMMON_TIMER_H_

@@ -140,7 +140,7 @@ graph::BatchSearchResult EagerSearchBatch(gpusim::Device& device,
   graph::BatchSearchResult batch;
   batch.results.resize(queries.size());
   batch.kernel = device.Launch(
-      static_cast<int>(queries.size()), block_lanes,
+      "eager_search", static_cast<int>(queries.size()), block_lanes,
       [&](gpusim::BlockContext& block) {
         const VertexId q = static_cast<VertexId>(block.block_id());
         const std::vector<graph::Neighbor> found = EagerSearchOne(

@@ -57,7 +57,7 @@ GatheredEdges GatherScatter(gpusim::Device& device,
   const std::size_t num_tiles =
       (num_valid + kIndicatorTile - 1) / kIndicatorTile;
   device.Launch(
-      static_cast<int>(num_tiles), block_lanes,
+      "edge_update.indicator", static_cast<int>(num_tiles), block_lanes,
       [&](gpusim::BlockContext& block) {
         gpusim::Warp& warp = block.warp();
         const std::size_t begin =
@@ -86,7 +86,7 @@ GatheredEdges GatherScatter(gpusim::Device& device,
   out.offsets.assign(num_starts + 1, 0);
   out.offsets[num_starts] = static_cast<std::uint32_t>(num_valid);
   device.Launch(
-      static_cast<int>(num_tiles), block_lanes,
+      "edge_update.scatter", static_cast<int>(num_tiles), block_lanes,
       [&](gpusim::BlockContext& block) {
         gpusim::Warp& warp = block.warp();
         const std::size_t begin =
@@ -115,7 +115,8 @@ std::size_t ApplyBackwardEdges(gpusim::Device& device,
   std::atomic<std::size_t> changed_rows{0};
 
   device.Launch(
-      static_cast<int>(gathered.num_starts), block_lanes,
+      "edge_update.apply_backward", static_cast<int>(gathered.num_starts),
+      block_lanes,
       [&](gpusim::BlockContext& block) {
         gpusim::Warp& warp = block.warp();
         const std::size_t s = static_cast<std::size_t>(block.block_id());

@@ -64,7 +64,8 @@ std::vector<std::vector<graph::Neighbor>> GannsIndex::Search(
 
   device_->ResetTimeline();
   device_->Launch(
-      static_cast<int>(queries.size()), options_.block_lanes,
+      "ganns_index.search", static_cast<int>(queries.size()),
+      options_.block_lanes,
       [&](gpusim::BlockContext& block) {
         const VertexId q = static_cast<VertexId>(block.block_id());
         // HNSW: the hierarchical zoom-in picks a per-query entry vertex;

@@ -6,10 +6,59 @@
 #include "common/scratch.h"
 #include "data/distance.h"
 #include "gpusim/bitonic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ganns {
 namespace core {
 namespace {
+
+constexpr const char* kPhaseNames[kNumGannsPhases] = {
+    "locate", "explore", "distance", "lazy_check", "sort", "merge"};
+
+/// Cycle-snapshot phase timer for one GannsSearchOne call. Inactive unless
+/// the caller wants a profile or the launch is tracing; active it reads the
+/// block's running charge total around each phase — observation only, the
+/// totals themselves are untouched.
+class PhaseTimer {
+ public:
+  PhaseTimer(gpusim::BlockContext& block, bool active)
+      : block_(block), active_(active), tracing_(active && block.tracing()) {
+    if (tracing_) {
+      static const obs::NameId kIds[kNumGannsPhases] = {
+          obs::InternName("ganns.locate"),      obs::InternName("ganns.explore"),
+          obs::InternName("ganns.distance"),    obs::InternName("ganns.lazy_check"),
+          obs::InternName("ganns.sort"),        obs::InternName("ganns.merge")};
+      ids_ = kIds;
+    }
+  }
+
+  void Begin() {
+    if (active_) begin_ = block_.cost().total_cycles();
+  }
+
+  void End(int phase) {
+    if (!active_) return;
+    const double now = block_.cost().total_cycles();
+    phase_cycles_[phase] += now - begin_;
+    if (tracing_ && now > begin_) {
+      block_.TraceSpan(ids_[phase], begin_, now);
+    }
+    begin_ = now;
+  }
+
+  const std::array<double, kNumGannsPhases>& phase_cycles() const {
+    return phase_cycles_;
+  }
+
+ private:
+  gpusim::BlockContext& block_;
+  bool active_;
+  bool tracing_;
+  const obs::NameId* ids_ = nullptr;
+  double begin_ = 0;
+  std::array<double, kNumGannsPhases> phase_cycles_{};
+};
 
 /// One element of the fixed-length arrays N and T: distance to the query,
 /// vertex id, and the explored flag of §III-B. Sentinel slots carry
@@ -32,10 +81,16 @@ bool SlotLess(const Slot& a, const Slot& b) {
 
 }  // namespace
 
+const char* GannsPhaseName(int phase) {
+  GANNS_CHECK(phase >= 0 && phase < kNumGannsPhases);
+  return kPhaseNames[phase];
+}
+
 std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
-    const GannsParams& params, VertexId entry, GannsSearchStats* stats) {
+    const GannsParams& params, VertexId entry, GannsSearchStats* stats,
+    GannsQueryProfile* profile) {
   GANNS_CHECK(params.k >= 1);
   GANNS_CHECK(params.l_n >= params.k);
   GANNS_CHECK_MSG((params.l_n & (params.l_n - 1)) == 0,
@@ -64,11 +119,14 @@ std::vector<graph::Neighbor> GannsSearchOne(
 
   result_array[0] = Slot{compute_distance(entry), entry, false};
 
+  PhaseTimer phases(block, profile != nullptr || block.tracing());
+
   // Safety bound: every iteration explores one unexplored slot of N and a
   // vertex can only be re-explored when the ablation disables the lazy
   // check, so l_n * 64 is far beyond any legitimate run.
   const std::size_t max_iterations = l_n * 64;
   while (local.iterations < max_iterations) {
+    phases.Begin();
     // Phase (1): candidate locating. Warp-wide ballot over the explored
     // flags of N[0..e), __ffs picks the first unexplored vertex.
     std::size_t explore_pos = e;
@@ -84,7 +142,11 @@ std::vector<graph::Neighbor> GannsSearchOne(
         break;
       }
     }
-    if (explore_pos == e) break;  // all candidates explored: terminate
+    if (explore_pos == e) {
+      phases.End(0);
+      break;  // all candidates explored: terminate
+    }
+    phases.End(0);
     ++local.iterations;
 
     // Phase (2): neighborhood exploration. Load the adjacency row of the
@@ -100,6 +162,7 @@ std::vector<graph::Neighbor> GannsSearchOne(
                                          ? Slot{0.0f, neighbor_ids[i], false}
                                          : kSentinelSlot;
                      });
+    phases.End(1);
 
     // Phase (3): bulk distance computation, one vertex of T at a time with
     // every lane of the warp cooperating (sub-vector per lane +
@@ -120,6 +183,7 @@ std::vector<graph::Neighbor> GannsSearchOne(
         visiting[i].dist = scratch.dists[i];
       }
     }
+    phases.End(2);
 
     // Phase (4): lazy check. Parallel binary search of each visiting vertex
     // in the sorted array N; a hit means its distance was re-computed
@@ -147,11 +211,13 @@ std::vector<graph::Neighbor> GannsSearchOne(
         }
       }
     }
+    phases.End(3);
 
     // Phase (5): bitonic sort of T by (dist, id); sentinel slots sink to the
     // tail because they carry infinite distance.
     gpusim::BitonicSort(warp, visiting, SlotLess,
                         gpusim::CostCategory::kDataStructure);
+    phases.End(4);
 
     // Phase (6): candidate update. Bitonic merge keeps the l_n closest
     // vertices of T ∪ N in N. A vertex that was explored and later discarded
@@ -159,6 +225,7 @@ std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::MergeSortedKeepFirst(
         warp, result_array, std::span<const Slot>(visiting), merge_scratch,
         kSentinelSlot, SlotLess, gpusim::CostCategory::kDataStructure);
+    phases.End(5);
   }
 
   // Result write-back: the first k valid entries of N (already sorted).
@@ -171,6 +238,21 @@ std::vector<graph::Neighbor> GannsSearchOne(
   warp.cost().Charge(gpusim::CostCategory::kOther,
                      warp.StepsFor(params.k) * warp.params().global_transaction);
   if (stats != nullptr) stats->Add(local);
+
+  if (profile != nullptr) {
+    std::uint32_t occupancy = 0;
+    for (std::size_t i = 0; i < l_n; ++i) {
+      if (result_array[i].id != kInvalidVertex) ++occupancy;
+    }
+    profile->hops = static_cast<std::uint32_t>(local.iterations);
+    profile->distance_computations =
+        static_cast<std::uint32_t>(local.distance_computations);
+    profile->redundant_distances =
+        static_cast<std::uint32_t>(local.redundant_distances);
+    profile->result_occupancy = occupancy;
+    profile->total_cycles = block.cost().total_cycles();
+    profile->phase_cycles = phases.phase_cycles();
+  }
   return out;
 }
 
@@ -179,21 +261,55 @@ graph::BatchSearchResult GannsSearchBatch(gpusim::Device& device,
                                           const data::Dataset& base,
                                           const data::Dataset& queries,
                                           const GannsParams& params,
-                                          int block_lanes, VertexId entry) {
+                                          int block_lanes, VertexId entry,
+                                          std::vector<GannsQueryProfile>* profiles) {
   GANNS_CHECK(base.dim() == queries.dim());
   graph::BatchSearchResult batch;
   batch.results.resize(queries.size());
 
+  // Metrics want per-query numbers even when the caller did not ask for
+  // profiles; collect into a local vector in that case.
+  std::vector<GannsQueryProfile> metrics_profiles;
+  if (profiles == nullptr && obs::MetricsEnabled()) {
+    profiles = &metrics_profiles;
+  }
+  if (profiles != nullptr) {
+    profiles->assign(queries.size(), GannsQueryProfile{});
+  }
+
   batch.kernel = device.Launch(
-      static_cast<int>(queries.size()), block_lanes,
+      "ganns_search", static_cast<int>(queries.size()), block_lanes,
       [&](gpusim::BlockContext& block) {
         const VertexId q = static_cast<VertexId>(block.block_id());
+        GannsQueryProfile* profile =
+            profiles != nullptr ? &(*profiles)[q] : nullptr;
         const std::vector<graph::Neighbor> found = GannsSearchOne(
-            block, graph, base, queries.Point(q), params, entry);
+            block, graph, base, queries.Point(q), params, entry, nullptr,
+            profile);
         auto& out = batch.results[q];
         out.reserve(found.size());
         for (const graph::Neighbor& n : found) out.push_back(n.id);
       });
+
+  if (obs::MetricsEnabled() && profiles != nullptr) {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::Histogram& hops = registry.GetHistogram("ganns.hops_per_query");
+    obs::Histogram& dists = registry.GetHistogram("ganns.dist_evals_per_query");
+    obs::Histogram& occupancy = registry.GetHistogram("ganns.result_occupancy");
+    for (const GannsQueryProfile& p : *profiles) {
+      hops.Record(p.hops);
+      dists.Record(p.distance_computations);
+      occupancy.Record(p.result_occupancy);
+    }
+    registry.GetCounter("ganns.queries").Add(queries.size());
+    registry.GetCounter("ganns.redundant_distances")
+        .Add([&] {
+          std::uint64_t total = 0;
+          for (const GannsQueryProfile& p : *profiles)
+            total += p.redundant_distances;
+          return total;
+        }());
+  }
 
   batch.sim_seconds = device.CyclesToSeconds(batch.kernel.sim_cycles);
   batch.qps = batch.sim_seconds > 0

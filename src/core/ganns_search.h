@@ -1,7 +1,9 @@
 #ifndef GANNS_CORE_GANNS_SEARCH_H_
 #define GANNS_CORE_GANNS_SEARCH_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -53,6 +55,27 @@ struct GannsSearchStats {
   }
 };
 
+/// The six phases of Figure 3, indexed in execution order.
+inline constexpr int kNumGannsPhases = 6;
+
+/// Short phase label ("locate", "explore", ...) for reports and traces.
+const char* GannsPhaseName(int phase);
+
+/// Per-query execution profile, collected when the caller asks for one (or
+/// when tracing is on). Snapshotting the block's cycle counter around each
+/// phase reads state the simulator maintains anyway, so profiling never
+/// changes the charged totals.
+struct GannsQueryProfile {
+  std::uint32_t hops = 0;  ///< explored vertices (search iterations)
+  std::uint32_t distance_computations = 0;
+  std::uint32_t redundant_distances = 0;
+  /// Valid entries of the result array N at termination (<= l_n) — the
+  /// candidate-buffer occupancy.
+  std::uint32_t result_occupancy = 0;
+  double total_cycles = 0;
+  std::array<double, kNumGannsPhases> phase_cycles{};
+};
+
 /// Runs the GANNS 6-phase search (Figure 3) for one query inside one
 /// simulated thread block:
 ///   (1) candidate locating via __ballot_sync / __ffs over N's explored
@@ -65,17 +88,16 @@ std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const GannsParams& params, VertexId entry,
-    GannsSearchStats* stats = nullptr);
+    GannsSearchStats* stats = nullptr, GannsQueryProfile* profile = nullptr);
 
 /// Batched GANNS search: one thread block per query, `block_lanes`
-/// cooperating threads per block.
-graph::BatchSearchResult GannsSearchBatch(gpusim::Device& device,
-                                          const graph::ProximityGraph& graph,
-                                          const data::Dataset& base,
-                                          const data::Dataset& queries,
-                                          const GannsParams& params,
-                                          int block_lanes = 32,
-                                          VertexId entry = 0);
+/// cooperating threads per block. When `profiles` is non-null it is resized
+/// to one GannsQueryProfile per query (indexed by query id).
+graph::BatchSearchResult GannsSearchBatch(
+    gpusim::Device& device, const graph::ProximityGraph& graph,
+    const data::Dataset& base, const data::Dataset& queries,
+    const GannsParams& params, int block_lanes = 32, VertexId entry = 0,
+    std::vector<GannsQueryProfile>* profiles = nullptr);
 
 }  // namespace core
 }  // namespace ganns

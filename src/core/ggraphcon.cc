@@ -8,6 +8,8 @@
 #include "common/timer.h"
 #include "core/edge_update.h"
 #include "gpusim/bitonic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ganns {
 namespace core {
@@ -76,7 +78,7 @@ GpuBuildResult BuildNswGGraphCon(gpusim::Device& device,
   };
 
   // ---- Phase 1: local graph construction (one block per group). ----
-  device.Launch(num_groups, params.block_lanes,
+  device.Launch("ggraphcon.local_build", num_groups, params.block_lanes,
                 [&](gpusim::BlockContext& block) {
                   const std::size_t begin = group_begin(block.block_id());
                   const std::size_t end = group_begin(block.block_id() + 1);
@@ -111,9 +113,10 @@ GpuBuildResult BuildNswGGraphCon(gpusim::Device& device,
     // Step 1: re-search every vertex of G_i against G_0, merge with its
     // saved local neighbors (forward edges), and emit backward edges into
     // the fixed-stride global edge list E.
+    const double round_start = device.trace_cycles();
     std::vector<BackwardEdge> edge_list(m * nsw.d_min);
     device.Launch(
-        static_cast<int>(m), params.block_lanes,
+        "ggraphcon.merge_search", static_cast<int>(m), params.block_lanes,
         [&](gpusim::BlockContext& block) {
           gpusim::Warp& warp = block.warp();
           const std::size_t j = static_cast<std::size_t>(block.block_id());
@@ -172,6 +175,18 @@ GpuBuildResult BuildNswGGraphCon(gpusim::Device& device,
     GatheredEdges gathered =
         GatherScatter(device, std::move(edge_list), params.block_lanes);
     ApplyBackwardEdges(device, gathered, result_graph, params.block_lanes);
+
+    if (obs::TracingEnabled()) {
+      // One enclosing span per merge round on the kernel track; the round's
+      // kernels nest inside it (arg = merged group index).
+      static const obs::NameId kRound = obs::InternName("ggraphcon.merge_round");
+      obs::TraceRecorder::Global().Add(
+          {kRound, obs::kDevicePid, obs::kKernelTrack, round_start,
+           device.trace_cycles() - round_start, i, obs::InternName("group")});
+    }
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global().GetCounter("ggraphcon.merge_rounds").Add();
+    }
   }
 
   return Finish(device, std::move(result_graph), timer);
@@ -192,7 +207,8 @@ GpuBuildResult BuildNswGSerial(gpusim::Device& device,
     // One single-block kernel per insertion: the device runs exactly one
     // block while every other SM idles, and each launch pays the fixed
     // overhead — the two wastes §IV-A calls out.
-    device.Launch(1, params.block_lanes, [&](gpusim::BlockContext& block) {
+    device.Launch("gserial.insert", 1, params.block_lanes,
+                  [&](gpusim::BlockContext& block) {
       const std::vector<graph::Neighbor> nearest =
           DispatchSearch(block, params.kernel, result_graph, base,
                          base.Point(v), nsw.d_min, nsw.ef_construction,
@@ -230,7 +246,7 @@ GpuBuildResult BuildNswGNaiveParallel(gpusim::Device& device,
     std::vector<BackwardEdge> edge_list(m * nsw.d_min);
     std::vector<std::vector<graph::ProximityGraph::Edge>> forward(m);
     device.Launch(
-        static_cast<int>(m), params.block_lanes,
+        "gnaive.batch_search", static_cast<int>(m), params.block_lanes,
         [&](gpusim::BlockContext& block) {
           const std::size_t j = static_cast<std::size_t>(block.block_id());
           const VertexId v = static_cast<VertexId>(begin + j);

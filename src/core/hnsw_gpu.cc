@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace ganns {
 namespace core {
@@ -59,9 +60,16 @@ GpuHnswBuildResult BuildHnswGGraphCon(gpusim::Device& device,
     GpuBuildParams layer_params = gpu_params;
     layer_params.num_groups = static_cast<int>(std::max<std::size_t>(
         1, std::min<std::size_t>(gpu_params.num_groups, n_l / 8)));
+    const double layer_start = device.trace_cycles();
     GpuBuildResult layer_result =
         BuildNswGGraphCon(device, permuted, layer_params, n_l);
     sim_seconds += layer_result.sim_seconds;
+    if (obs::TracingEnabled()) {
+      static const obs::NameId kLayer = obs::InternName("hnsw.layer_build");
+      obs::TraceRecorder::Global().Add(
+          {kLayer, obs::kDevicePid, obs::kKernelTrack, layer_start,
+           device.trace_cycles() - layer_start, l, obs::InternName("level")});
+    }
 
     // Recover original ids while copying the layer into the result graph.
     graph::ProximityGraph& layer = result.layer(l);

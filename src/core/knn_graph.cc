@@ -31,7 +31,7 @@ KnnBuildResult BuildKnnGraph(gpusim::Device& device,
   // and bulk-computes their distances. Sampling is a deterministic function
   // of (seed, vertex id) so the build replays exactly.
   device.Launch(
-      static_cast<int>(n), params.block_lanes,
+      "knn.random_init", static_cast<int>(n), params.block_lanes,
       [&](gpusim::BlockContext& block) {
         gpusim::Warp& warp = block.warp();
         const VertexId v = static_cast<VertexId>(block.block_id());
@@ -76,7 +76,7 @@ KnnBuildResult BuildKnnGraph(gpusim::Device& device,
   for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
     std::vector<BackwardEdge> proposals(n * pairs_per_vertex * 2);
     device.Launch(
-        static_cast<int>(n), params.block_lanes,
+        "knn.join_proposals", static_cast<int>(n), params.block_lanes,
         [&](gpusim::BlockContext& block) {
           gpusim::Warp& warp = block.warp();
           const VertexId v = static_cast<VertexId>(block.block_id());

@@ -14,9 +14,23 @@
 #include "common/scratch.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/warp.h"
+#include "obs/trace.h"
 
 namespace ganns {
 namespace gpusim {
+
+/// One span recorded inside a kernel body, timestamped on the block's local
+/// cycle clock (cost().total_cycles()). Device::Launch collects these per
+/// block and rebases them onto the device timeline when the kernel retires,
+/// so the result is deterministic regardless of which host thread ran the
+/// block.
+struct BlockTraceEvent {
+  obs::NameId name = 0;
+  double begin_cycles = 0;
+  double end_cycles = 0;
+  std::int64_t arg = obs::TraceEvent::kNoArg;
+  obs::NameId arg_name = 0;
+};
 
 /// Per-block execution context handed to the kernel body.
 ///
@@ -28,9 +42,11 @@ namespace gpusim {
 class BlockContext {
  public:
   BlockContext(int block_id, int num_lanes, std::size_t shared_limit_bytes,
-               const CostParams* params)
+               const CostParams* params,
+               std::vector<BlockTraceEvent>* trace = nullptr)
       : block_id_(block_id),
         shared_limit_(shared_limit_bytes),
+        trace_(trace),
         warp_(num_lanes, &cost_) {
     warp_.set_params(params);
   }
@@ -46,6 +62,18 @@ class BlockContext {
   int num_lanes() const { return warp_.num_lanes(); }
   Warp& warp() { return warp_; }
   CostModel& cost() { return cost_; }
+
+  /// True when this launch records trace spans. Kernel bodies snapshot
+  /// cost().total_cycles() around a phase and call TraceSpan; recording does
+  /// not charge cycles, so tracing never changes simulated time.
+  bool tracing() const { return trace_ != nullptr; }
+
+  void TraceSpan(obs::NameId name, double begin_cycles, double end_cycles,
+                 std::int64_t arg = obs::TraceEvent::kNoArg,
+                 obs::NameId arg_name = 0) {
+    if (trace_ == nullptr) return;
+    trace_->push_back({name, begin_cycles, end_cycles, arg, arg_name});
+  }
 
   /// Allocates `count` default-initialized elements of T from the block's
   /// shared-memory arena. Fails (fatally) if the 48 KB-class limit is
@@ -89,8 +117,39 @@ class BlockContext {
   std::size_t shared_limit_;
   std::size_t shared_used_ = 0;
   std::vector<std::byte> buffer_;
+  std::vector<BlockTraceEvent>* trace_ = nullptr;
   CostModel cost_;
   Warp warp_;
+};
+
+/// RAII phase span on a block's local cycle clock: snapshots the charge
+/// total at construction and records [then, now) at destruction. A no-op
+/// (two loads, one branch) when the launch is not tracing.
+class ScopedBlockSpan {
+ public:
+  ScopedBlockSpan(BlockContext& block, obs::NameId name,
+                  std::int64_t arg = obs::TraceEvent::kNoArg,
+                  obs::NameId arg_name = 0)
+      : block_(block.tracing() ? &block : nullptr),
+        name_(name),
+        arg_(arg),
+        arg_name_(arg_name),
+        begin_(block_ != nullptr ? block.cost().total_cycles() : 0) {}
+  ScopedBlockSpan(const ScopedBlockSpan&) = delete;
+  ScopedBlockSpan& operator=(const ScopedBlockSpan&) = delete;
+  ~ScopedBlockSpan() {
+    if (block_ != nullptr) {
+      block_->TraceSpan(name_, begin_, block_->cost().total_cycles(), arg_,
+                        arg_name_);
+    }
+  }
+
+ private:
+  BlockContext* block_;
+  obs::NameId name_;
+  std::int64_t arg_;
+  obs::NameId arg_name_;
+  double begin_;
 };
 
 }  // namespace gpusim

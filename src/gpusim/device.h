@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "gpusim/block.h"
@@ -59,9 +60,16 @@ class Device {
   /// invoked once per block with that block's context; bodies may run
   /// concurrently on host threads, so they must only touch disjoint global
   /// state (all kernels in this library do). Returns this launch's stats and
-  /// appends them to the timeline.
-  KernelStats Launch(int grid_size, int block_lanes,
+  /// appends them to the timeline. `name` labels the launch in traces and
+  /// metrics.
+  KernelStats Launch(const char* name, int grid_size, int block_lanes,
                      const std::function<void(BlockContext&)>& body);
+
+  /// Unnamed launch (labelled "kernel" in traces).
+  KernelStats Launch(int grid_size, int block_lanes,
+                     const std::function<void(BlockContext&)>& body) {
+    return Launch("kernel", grid_size, block_lanes, body);
+  }
 
   /// Clears the accumulated timeline.
   void ResetTimeline();
@@ -90,13 +98,33 @@ class Device {
     return cycles / (spec_.clock_ghz * 1e9);
   }
 
+  /// Busy cycles per SM accumulated since the last reset. Execution slots
+  /// map round-robin onto SMs (slot s lives on SM s % num_sms), matching
+  /// how the hardware distributes resident blocks.
+  std::span<const double> sm_cycles() const { return sm_cycles_; }
+
+  /// Load-imbalance gauge over the per-SM busy cycles: max / mean, 1.0 for
+  /// a perfectly balanced device, 0 before any launch. This is the
+  /// underutilization signal of §III-A made measurable.
+  double SmLoadImbalance() const;
+
+  /// Monotonic cycle clock that survives ResetTimeline — the time base for
+  /// trace events, so spans from successive builds on one device do not
+  /// overlap after a timeline reset.
+  double trace_cycles() const { return trace_cycles_; }
+
  private:
-  KernelStats Finish(int grid_size, std::vector<double>&& block_cycles,
-                     const CostModel& work, double wall_seconds);
+  KernelStats Finish(const char* name, int grid_size,
+                     std::vector<double>&& block_cycles, const CostModel& work,
+                     std::vector<std::vector<BlockTraceEvent>>&& block_events,
+                     double wall_seconds);
 
   DeviceSpec spec_;
   double timeline_cycles_ = 0;
+  double trace_cycles_ = 0;
   std::array<double, kNumCostCategories> timeline_work_ = {};
+  std::vector<double> sm_cycles_;
+  bool trace_tracks_named_ = false;
 };
 
 }  // namespace gpusim

@@ -74,7 +74,8 @@ void GlobalBitonicSort(Device& device, std::span<T> data, Less less,
     std::size_t j = k >> 1;
     // Global sub-stages: compare distance spans tiles.
     for (; j >= tile; j >>= 1) {
-      device.Launch(grid, block_lanes, [&, j, k](BlockContext& block) {
+      device.Launch("gsort.global_stage", grid, block_lanes,
+                    [&, j, k](BlockContext& block) {
         Warp& warp = block.warp();
         const std::size_t begin =
             static_cast<std::size_t>(block.block_id()) * tile;
@@ -96,7 +97,8 @@ void GlobalBitonicSort(Device& device, std::span<T> data, Less less,
     // Fused local sub-stages: load tile to shared memory once, run every
     // remaining j, store back.
     const std::size_t j_start = j;
-    device.Launch(grid, block_lanes, [&, j_start, k](BlockContext& block) {
+    device.Launch("gsort.local_stage", grid, block_lanes,
+                  [&, j_start, k](BlockContext& block) {
       Warp& warp = block.warp();
       const std::size_t begin =
           static_cast<std::size_t>(block.block_id()) * tile;

@@ -60,7 +60,7 @@ std::uint32_t GlobalExclusiveScan(Device& device,
 
   // Kernel 1: scan each tile independently; record tile totals.
   device.Launch(
-      static_cast<int>(num_tiles), block_lanes,
+      "scan.tile", static_cast<int>(num_tiles), block_lanes,
       [&](BlockContext& block) {
         Warp& warp = block.warp();
         const std::size_t t = static_cast<std::size_t>(block.block_id());
@@ -86,7 +86,7 @@ std::uint32_t GlobalExclusiveScan(Device& device,
 
   // Kernel 2: add each tile's base offset.
   device.Launch(
-      static_cast<int>(num_tiles), block_lanes,
+      "scan.add_base", static_cast<int>(num_tiles), block_lanes,
       [&](BlockContext& block) {
         Warp& warp = block.warp();
         const std::size_t t = static_cast<std::size_t>(block.block_id());

@@ -2,6 +2,7 @@
 #define GANNS_GRAPH_DIAGNOSTICS_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 #include "graph/proximity_graph.h"
@@ -22,11 +23,24 @@ struct GraphDiagnostics {
   double reachable_fraction = 0;
   /// Vertices with no outgoing edges (dead ends for the traversal).
   std::size_t sinks = 0;
+  /// out_degree_histogram[d] = number of vertices with out-degree d
+  /// (indexed 0..d_max, so sinks show up in bucket 0).
+  std::vector<std::size_t> out_degree_histogram;
+  /// Sinks the BFS actually reaches — dead ends a search can walk into, the
+  /// structurally harmful subset of `sinks`.
+  std::size_t reachable_sinks = 0;
 };
 
 /// Runs a directed BFS from `entry` and collects degree statistics.
 /// O(V + E); intended for tests, tools and post-build validation.
 GraphDiagnostics Diagnose(const ProximityGraph& graph, VertexId entry);
+
+/// Publishes `diag` into the process metrics registry under
+/// "<prefix>.{vertices,edges,sinks,reachable_sinks}" counters,
+/// "<prefix>.{mean_out_degree,reachable_fraction}" gauges and a
+/// "<prefix>.out_degree" histogram, for export via MetricsRegistry::ToJson.
+/// No-op when metrics are disabled.
+void PublishDiagnostics(const GraphDiagnostics& diag, const char* prefix);
 
 }  // namespace graph
 }  // namespace ganns

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace ganns {
+namespace obs {
+namespace {
+
+/// Deterministic double formatting for gauge values (fixed precision, so
+/// equal values print equal bytes).
+void AppendDouble(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  out += buffer;
+}
+
+struct RegistryState {
+  mutable std::mutex mutex;
+  // std::map keeps export order sorted by name; unique_ptr keeps references
+  // stable across rehashing-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::span<const std::uint64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1) {
+  GANNS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Record(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= target) return bounds_[i];
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> Pow2Bounds() {
+  static const std::vector<std::uint64_t>* bounds = [] {
+    auto* b = new std::vector<std::uint64_t>();
+    for (std::uint64_t bound = 1; bound <= (1u << 20); bound <<= 1) {
+      b->push_back(bound);
+    }
+    return b;
+  }();
+  return *bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.counters.find(name);
+  if (it == state.counters.end()) {
+    it = state.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.gauges.find(name);
+  if (it == state.gauges.end()) {
+    it = state.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    std::string_view name, std::span<const std::uint64_t> bounds) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.histograms.find(name);
+  if (it == state.histograms.end()) {
+    it = state.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& [name, counter] : state.counters) counter->Reset();
+  for (auto& [name, gauge] : state.gauges) gauge->Reset();
+  for (auto& [name, histogram] : state.histograms) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::string out = "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : state.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"" + name + "\":" + std::to_string(counter->value());
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : state.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"" + name + "\":";
+    AppendDouble(out, gauge->value());
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : state.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"" + name + "\":{\"count\":" +
+           std::to_string(histogram->count()) +
+           ",\"sum\":" + std::to_string(histogram->sum()) +
+           ",\"max\":" + std::to_string(histogram->max()) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < histogram->num_buckets(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(histogram->bucket_count(i));
+    }
+    out += "],\"bounds\":[";
+    const auto bounds = histogram->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(bounds[i]);
+    }
+    out += "]}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  return std::fclose(file) == 0 && written == json.size();
+}
+
+void SnapshotRuntimeMetrics() {
+  const ThreadPool::Stats stats = ThreadPool::Global().stats();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("threadpool.parallel_for_calls")
+      .Set(static_cast<double>(stats.parallel_for_calls));
+  registry.GetGauge("threadpool.inline_runs")
+      .Set(static_cast<double>(stats.inline_runs));
+  registry.GetGauge("threadpool.chunks_claimed")
+      .Set(static_cast<double>(stats.chunks_claimed));
+  registry.GetGauge("threadpool.helper_tasks")
+      .Set(static_cast<double>(stats.helper_tasks));
+  registry.GetGauge("threadpool.num_threads")
+      .Set(static_cast<double>(ThreadPool::Global().num_threads()));
+}
+
+}  // namespace obs
+}  // namespace ganns

@@ -1,0 +1,110 @@
+#ifndef GANNS_OBS_METRICS_H_
+#define GANNS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ganns {
+namespace obs {
+
+/// Monotonic integer counter. Additions are relaxed atomics, so concurrent
+/// recording merges to the same total regardless of thread interleaving —
+/// the property the deterministic JSON export relies on.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double gauge. Intended for values computed at a single
+/// deterministic point (e.g. the per-SM load imbalance after a launch), not
+/// for concurrent racing writers.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram of integer-valued samples (hops, probe lengths,
+/// occupancies). Bucket i counts samples <= bounds[i]; one overflow bucket
+/// catches the rest. Counts and the sum are integer atomics, so concurrent
+/// recording is exact and the export deterministic.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const std::uint64_t> bounds);
+
+  void Record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  /// Smallest bucket upper bound with cumulative count >= q * count.
+  std::uint64_t Quantile(double q) const;
+
+  std::span<const std::uint64_t> bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  void Reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Default histogram bucketing: 1, 2, 4, ... 2^20 (covers hop counts, probe
+/// lengths, and per-query distance evaluations at every scale we run).
+std::span<const std::uint64_t> Pow2Bounds();
+
+/// Process-wide named-metric registry. Get* interns the metric on first use
+/// and returns a reference that stays valid for the process lifetime;
+/// callers cache it in a static local so the hot path is one atomic add.
+/// ToJson() sorts by name and prints integers, so exports are byte-stable
+/// for identical recorded values.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const std::uint64_t> bounds = Pow2Bounds());
+
+  /// Zeroes every registered metric (entries and references survive).
+  void Reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys sorted.
+  std::string ToJson() const;
+
+  bool WriteJson(const std::string& path) const;
+};
+
+/// Copies process-level runtime counters (ThreadPool scheduling stats) into
+/// the registry so they appear in the next export. Call before ToJson().
+void SnapshotRuntimeMetrics();
+
+}  // namespace obs
+}  // namespace ganns
+
+#endif  // GANNS_OBS_METRICS_H_

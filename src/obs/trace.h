@@ -1,0 +1,101 @@
+#ifndef GANNS_OBS_TRACE_H_
+#define GANNS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ganns {
+namespace obs {
+
+/// Interned event-name handle. Interning happens once per call site (static
+/// local), so recording an event never hashes or copies a string.
+using NameId = std::uint32_t;
+
+/// Returns the stable id for `name`, interning it on first use. Thread-safe.
+NameId InternName(std::string_view name);
+
+/// The string behind an id (valid for the process lifetime).
+std::string_view NameOf(NameId id);
+
+/// Trace "processes". Device events are timestamped in *simulated cycles*
+/// (deterministic for a fixed seed); host events are wall-clock microseconds
+/// since process start (reference only, never part of determinism claims).
+inline constexpr std::int32_t kDevicePid = 0;
+inline constexpr std::int32_t kHostPid = 1;
+
+/// Device-process track 0 carries kernel-level spans (kernel launches,
+/// GGraphCon merge rounds, HNSW layers); tracks 1..num_sms carry per-SM
+/// block and phase spans.
+inline constexpr std::int32_t kKernelTrack = 0;
+inline constexpr std::int32_t FirstSmTrack() { return 1; }
+
+/// One completed span (dur > 0) or instant event (dur == 0).
+struct TraceEvent {
+  NameId name = 0;
+  std::int32_t pid = kDevicePid;
+  std::int32_t tid = kKernelTrack;
+  double ts = 0;   ///< cycles (device) or microseconds (host)
+  double dur = 0;
+  /// Optional integer argument (block id, merge round, ...); kNoArg if unset.
+  std::int64_t arg = kNoArg;
+  NameId arg_name = 0;
+
+  static constexpr std::int64_t kNoArg = INT64_MIN;
+};
+
+#ifdef GANNS_TRACING_DISABLED
+/// Compile-time kill switch (-DGANNS_TRACING=OFF): every instrumentation
+/// check folds to a constant false and dead-code eliminates.
+inline constexpr bool TracingCompiledIn() { return false; }
+inline bool TracingEnabled() { return false; }
+inline bool MetricsEnabled() { return false; }
+inline void SetTracingEnabled(bool) {}
+inline void SetMetricsEnabled(bool) {}
+#else
+inline constexpr bool TracingCompiledIn() { return true; }
+/// Runtime switches, initialized once from the GANNS_TRACING environment
+/// variable ("1"/"on"/"true" enables both). Instrumentation only *records*
+/// events — it never charges simulated cycles — so flipping these cannot
+/// change cycle totals or recall.
+bool TracingEnabled();
+bool MetricsEnabled();
+void SetTracingEnabled(bool enabled);
+void SetMetricsEnabled(bool enabled);
+#endif
+
+/// Process-wide sink for trace events. Appends are mutex-protected (they
+/// happen once per kernel launch / host span, not per warp step); export is
+/// deterministic: events are sorted by (pid, tid, ts, dur, name, arg) and
+/// doubles printed with fixed precision, so identical event sets serialize
+/// to identical bytes.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  void Add(const TraceEvent& event);
+  void AddBatch(std::vector<TraceEvent>&& events);
+
+  /// Names a track in the exported trace (Chrome metadata events).
+  void SetThreadName(std::int32_t pid, std::int32_t tid, std::string name);
+
+  /// Drops all recorded events (track names are kept).
+  void Clear();
+
+  std::size_t size() const;
+
+  /// Chrome/Perfetto trace_event JSON ("traceEvents" array of "X" complete
+  /// events plus thread_name metadata). Load via ui.perfetto.dev or
+  /// chrome://tracing. Device timestamps are simulated cycles displayed as
+  /// microseconds.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false on IO failure.
+  bool WriteJson(const std::string& path) const;
+};
+
+}  // namespace obs
+}  // namespace ganns
+
+#endif  // GANNS_OBS_TRACE_H_

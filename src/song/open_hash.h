@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ganns {
 namespace song {
@@ -26,6 +28,10 @@ class OpenHashSet {
     std::size_t cap = 16;
     while (cap < 4 * expected) cap <<= 1;
     slots_.assign(cap, kEmpty);
+    if (obs::MetricsEnabled()) {
+      probe_hist_ = &obs::MetricsRegistry::Global().GetHistogram(
+          "song.hash_probe_length");
+    }
   }
 
   std::size_t size() const { return size_; }
@@ -37,26 +43,37 @@ class OpenHashSet {
 
   /// Returns true iff `v` is present.
   bool Contains(VertexId v) const {
+    const std::size_t before = ops_;
+    bool found = false;
     std::size_t i = Slot(v);
     for (;;) {
       ++ops_;
       const VertexId s = slots_[i];
-      if (s == kEmpty) return false;
-      if (s == v) return true;
+      if (s == kEmpty) break;
+      if (s == v) {
+        found = true;
+        break;
+      }
       i = (i + 1) & (slots_.size() - 1);
     }
+    RecordProbes(before);
+    return found;
   }
 
   /// Inserts `v`; returns false if it was already present.
   bool Insert(VertexId v) {
     GANNS_CHECK(v != kEmpty && v != kTombstone);
     MaybeRebuild(/*inserting=*/true);
+    const std::size_t before = ops_;
     std::size_t i = Slot(v);
     std::size_t first_tombstone = kNoSlot;
     for (;;) {
       ++ops_;
       const VertexId s = slots_[i];
-      if (s == v) return false;
+      if (s == v) {
+        RecordProbes(before);
+        return false;
+      }
       if (s == kTombstone && first_tombstone == kNoSlot) {
         first_tombstone = i;
       }
@@ -68,6 +85,7 @@ class OpenHashSet {
           slots_[i] = v;
         }
         ++size_;
+        RecordProbes(before);
         return true;
       }
       i = (i + 1) & (slots_.size() - 1);
@@ -76,19 +94,24 @@ class OpenHashSet {
 
   /// Removes `v` if present (tombstone deletion); returns true on removal.
   bool Remove(VertexId v) {
+    const std::size_t before = ops_;
+    bool removed = false;
     std::size_t i = Slot(v);
     for (;;) {
       ++ops_;
       const VertexId s = slots_[i];
-      if (s == kEmpty) return false;
+      if (s == kEmpty) break;
       if (s == v) {
         slots_[i] = kTombstone;
         --size_;
         ++tombstones_;
-        return true;
+        removed = true;
+        break;
       }
       i = (i + 1) & (slots_.size() - 1);
     }
+    RecordProbes(before);
+    return removed;
   }
 
  private:
@@ -114,16 +137,29 @@ class OpenHashSet {
     const std::size_t members = size_;
     size_ = 0;
     tombstones_ = 0;
+    rebuilding_ = true;
     for (VertexId v : old) {
       if (v != kEmpty && v != kTombstone) Insert(v);
     }
+    rebuilding_ = false;
     GANNS_CHECK(size_ == members);
+  }
+
+  /// Records one operation's probe-chain length (slot inspections) into the
+  /// metrics histogram. Rebuild-internal inserts are excluded so the
+  /// distribution reflects what the search's host lane observes.
+  void RecordProbes(std::size_t before) const {
+    if (probe_hist_ != nullptr && !rebuilding_) {
+      probe_hist_->Record(ops_ - before);
+    }
   }
 
   std::vector<VertexId> slots_;
   std::size_t size_ = 0;
   std::size_t tombstones_ = 0;
   mutable std::size_t ops_ = 0;
+  obs::Histogram* probe_hist_ = nullptr;
+  bool rebuilding_ = false;
 };
 
 }  // namespace song

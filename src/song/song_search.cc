@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "data/distance.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "song/bounded_max_heap.h"
 #include "song/minmax_heap.h"
 #include "song/open_hash.h"
@@ -9,6 +11,51 @@
 namespace ganns {
 namespace song {
 namespace {
+
+constexpr const char* kStageNames[kNumSongStages] = {"locate_update",
+                                                     "distance",
+                                                     "queue_update"};
+
+/// Cycle-snapshot stage timer, the SONG twin of core's PhaseTimer. Reads the
+/// block's running charge total around each stage; observation only.
+class StageTimer {
+ public:
+  StageTimer(gpusim::BlockContext& block, bool active)
+      : block_(block), active_(active), tracing_(active && block.tracing()) {
+    if (tracing_) {
+      static const obs::NameId kIds[kNumSongStages] = {
+          obs::InternName("song.locate_update"), obs::InternName("song.distance"),
+          obs::InternName("song.queue_update")};
+      ids_ = kIds;
+    }
+  }
+
+  void Begin() {
+    if (active_) begin_ = block_.cost().total_cycles();
+  }
+
+  void End(int stage) {
+    if (!active_) return;
+    const double now = block_.cost().total_cycles();
+    stage_cycles_[stage] += now - begin_;
+    if (tracing_ && now > begin_) {
+      block_.TraceSpan(ids_[stage], begin_, now);
+    }
+    begin_ = now;
+  }
+
+  const std::array<double, kNumSongStages>& stage_cycles() const {
+    return stage_cycles_;
+  }
+
+ private:
+  gpusim::BlockContext& block_;
+  bool active_;
+  bool tracing_;
+  const obs::NameId* ids_ = nullptr;
+  double begin_ = 0;
+  std::array<double, kNumSongStages> stage_cycles_{};
+};
 
 /// Per-thread recycled search state: the C and N heaps are re-armed per
 /// query instead of reallocated. The visited structure is still built per
@@ -26,10 +73,16 @@ SongScratch& ThreadLocalSongScratch() {
 
 }  // namespace
 
+const char* SongStageName(int stage) {
+  GANNS_CHECK(stage >= 0 && stage < kNumSongStages);
+  return kStageNames[stage];
+}
+
 std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
-    const SongParams& params, VertexId entry, SongSearchStats* stats) {
+    const SongParams& params, VertexId entry, SongSearchStats* stats,
+    SongQueryProfile* profile) {
   GANNS_CHECK(params.k >= 1);
   GANNS_CHECK(params.queue_size >= params.k);
   GANNS_CHECK(entry < graph.num_vertices());
@@ -79,7 +132,10 @@ std::vector<graph::Neighbor> SongSearchOne(
   visited->Insert(entry);
   charge_host_ops();
 
+  StageTimer stages(block, profile != nullptr || block.tracing());
+
   while (!candidates.empty()) {
+    stages.Begin();
     ++local.iterations;
 
     // Stage 1: candidates locating (host lane). Pop the closest candidate,
@@ -89,6 +145,7 @@ std::vector<graph::Neighbor> SongSearchOne(
     candidates.PopMin();
     if (results.full() && !(closest < results.Max())) {
       charge_host_ops();
+      stages.End(0);
       break;
     }
     // Insert v_c into N; if that evicts the old worst, SONG's visited
@@ -118,6 +175,7 @@ std::vector<graph::Neighbor> SongSearchOne(
                        gpusim::CostCategory::kDataStructure);
     local.host_ops += degree;
     charge_host_ops();
+    stages.End(0);
 
     // Stage 2: bulk distance computation (all lanes cooperate per point;
     // partial sums combine via __shfl_xor_sync). The staged candidates are
@@ -131,6 +189,7 @@ std::vector<graph::Neighbor> SongSearchOne(
         ++local.distance_computations;
       }
     }
+    stages.End(1);
 
     // Stage 3: data-structures updating (host lane): sequential bounded
     // insertion of the staged candidates into C. Points that do not make it
@@ -150,6 +209,7 @@ std::vector<graph::Neighbor> SongSearchOne(
       }
     }
     charge_host_ops();
+    stages.End(2);
   }
 
   std::vector<graph::Neighbor> sorted = results.SortedAscending();
@@ -160,6 +220,14 @@ std::vector<graph::Neighbor> SongSearchOne(
       gpusim::CostCategory::kOther);  // final heap drain / write-back
   if (sorted.size() > params.k) sorted.resize(params.k);
   if (stats != nullptr) stats->Add(local);
+  if (profile != nullptr) {
+    profile->hops = static_cast<std::uint32_t>(local.iterations);
+    profile->distance_computations =
+        static_cast<std::uint32_t>(local.distance_computations);
+    profile->host_ops = static_cast<std::uint32_t>(local.host_ops);
+    profile->total_cycles = block.cost().total_cycles();
+    profile->stage_cycles = stages.stage_cycles();
+  }
   return sorted;
 }
 
@@ -168,21 +236,46 @@ graph::BatchSearchResult SongSearchBatch(gpusim::Device& device,
                                          const data::Dataset& base,
                                          const data::Dataset& queries,
                                          const SongParams& params,
-                                         int block_lanes, VertexId entry) {
+                                         int block_lanes, VertexId entry,
+                                         std::vector<SongQueryProfile>* profiles) {
   GANNS_CHECK(base.dim() == queries.dim());
   graph::BatchSearchResult batch;
   batch.results.resize(queries.size());
 
+  std::vector<SongQueryProfile> metrics_profiles;
+  if (profiles == nullptr && obs::MetricsEnabled()) {
+    profiles = &metrics_profiles;
+  }
+  if (profiles != nullptr) {
+    profiles->assign(queries.size(), SongQueryProfile{});
+  }
+
   batch.kernel = device.Launch(
-      static_cast<int>(queries.size()), block_lanes,
+      "song_search", static_cast<int>(queries.size()), block_lanes,
       [&](gpusim::BlockContext& block) {
         const VertexId q = static_cast<VertexId>(block.block_id());
-        const std::vector<graph::Neighbor> found = SongSearchOne(
-            block, graph, base, queries.Point(q), params, entry);
+        SongQueryProfile* profile =
+            profiles != nullptr ? &(*profiles)[q] : nullptr;
+        const std::vector<graph::Neighbor> found =
+            SongSearchOne(block, graph, base, queries.Point(q), params, entry,
+                          nullptr, profile);
         auto& out = batch.results[q];
         out.reserve(found.size());
         for (const graph::Neighbor& n : found) out.push_back(n.id);
       });
+
+  if (obs::MetricsEnabled() && profiles != nullptr) {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::Histogram& hops = registry.GetHistogram("song.hops_per_query");
+    obs::Histogram& dists = registry.GetHistogram("song.dist_evals_per_query");
+    obs::Histogram& host_ops = registry.GetHistogram("song.host_ops_per_query");
+    for (const SongQueryProfile& p : *profiles) {
+      hops.Record(p.hops);
+      dists.Record(p.distance_computations);
+      host_ops.Record(p.host_ops);
+    }
+    registry.GetCounter("song.queries").Add(queries.size());
+  }
 
   batch.sim_seconds = device.CyclesToSeconds(batch.kernel.sim_cycles);
   batch.qps = batch.sim_seconds > 0

@@ -1,7 +1,9 @@
 #ifndef GANNS_SONG_SONG_SEARCH_H_
 #define GANNS_SONG_SONG_SEARCH_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -40,6 +42,26 @@ struct SongSearchStats {
   }
 };
 
+/// The three stages of SONG's search iteration (§II-D), indexed in
+/// execution order: candidates locating + visited maintenance on the host
+/// lane, warp-parallel bulk distance computation, candidate-queue update.
+inline constexpr int kNumSongStages = 3;
+
+/// Short stage label ("locate_update", "distance", "queue_update").
+const char* SongStageName(int stage);
+
+/// Per-query execution profile, mirroring core::GannsQueryProfile so the
+/// profiling CLI and Figure 7 bench treat both algorithms uniformly.
+/// Collected by snapshotting the block's cycle counter around each stage;
+/// recording never changes the charged totals.
+struct SongQueryProfile {
+  std::uint32_t hops = 0;  ///< search iterations (popped candidates)
+  std::uint32_t distance_computations = 0;
+  std::uint32_t host_ops = 0;
+  double total_cycles = 0;
+  std::array<double, kNumSongStages> stage_cycles{};
+};
+
 /// Runs SONG's three-stage search (§II-D) for one query inside one simulated
 /// thread block: (1) candidates locating and data-structure maintenance on a
 /// single host lane, (2) warp-parallel bulk distance computation,
@@ -49,17 +71,16 @@ std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const SongParams& params, VertexId entry,
-    SongSearchStats* stats = nullptr);
+    SongSearchStats* stats = nullptr, SongQueryProfile* profile = nullptr);
 
 /// Batched SONG search: one thread block per query (inter-block
-/// parallelism), `block_lanes` cooperating threads per block.
-graph::BatchSearchResult SongSearchBatch(gpusim::Device& device,
-                                         const graph::ProximityGraph& graph,
-                                         const data::Dataset& base,
-                                         const data::Dataset& queries,
-                                         const SongParams& params,
-                                         int block_lanes = 32,
-                                         VertexId entry = 0);
+/// parallelism), `block_lanes` cooperating threads per block. When
+/// `profiles` is non-null it is resized to one SongQueryProfile per query.
+graph::BatchSearchResult SongSearchBatch(
+    gpusim::Device& device, const graph::ProximityGraph& graph,
+    const data::Dataset& base, const data::Dataset& queries,
+    const SongParams& params, int block_lanes = 32, VertexId entry = 0,
+    std::vector<SongQueryProfile>* profiles = nullptr);
 
 }  // namespace song
 }  // namespace ganns

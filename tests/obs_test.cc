@@ -1,0 +1,311 @@
+// Tests for the observability layer (src/obs): name interning, histogram
+// arithmetic, cross-thread metric merging, byte-deterministic trace export,
+// per-query profiles, and the contract that instrumentation never changes
+// simulated cycle totals or search results.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "core/ganns_search.h"
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/cpu_nsw.h"
+#include "graph/diagnostics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "song/song_search.h"
+
+namespace ganns {
+namespace obs {
+namespace {
+
+/// Saves and restores the process-wide tracing/metrics switches so these
+/// tests cannot leak enabled instrumentation into other tests in the binary.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_tracing_ = TracingEnabled();
+    was_metrics_ = MetricsEnabled();
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 800, 4));
+    built_ = std::make_unique<graph::CpuBuildResult>(
+        graph::BuildNswCpu(*base_, {}));
+    queries_ = std::make_unique<data::Dataset>(data::GenerateQueries(
+        data::PaperDataset("SIFT1M"), 40, 800, 4));
+  }
+
+  void TearDown() override {
+    SetTracingEnabled(was_tracing_);
+    SetMetricsEnabled(was_metrics_);
+    TraceRecorder::Global().Clear();
+  }
+
+  graph::BatchSearchResult RunGanns(
+      gpusim::Device& device,
+      std::vector<core::GannsQueryProfile>* profiles = nullptr) {
+    core::GannsParams params;
+    params.k = 10;
+    params.l_n = 64;
+    return core::GannsSearchBatch(device, built_->graph, *base_, *queries_,
+                                  params, 32, 0, profiles);
+  }
+
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<graph::CpuBuildResult> built_;
+  std::unique_ptr<data::Dataset> queries_;
+  bool was_tracing_ = false;
+  bool was_metrics_ = false;
+};
+
+TEST_F(ObsTest, InternNameIsStableAndRoundTrips) {
+  const NameId a = InternName("test.obs.intern_a");
+  const NameId b = InternName("test.obs.intern_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, InternName("test.obs.intern_a"));
+  EXPECT_EQ(NameOf(a), "test.obs.intern_a");
+  // Id 0 is reserved for the default argument key so TraceEvent::arg_name's
+  // zero-initialized value always resolves correctly.
+  EXPECT_EQ(NameOf(0), "value");
+}
+
+TEST_F(ObsTest, HistogramBucketsCountsAndQuantiles) {
+  const std::uint64_t bounds[] = {1, 2, 4, 8};
+  Histogram hist{std::span<const std::uint64_t>(bounds)};
+  for (std::uint64_t v : {0u, 1u, 2u, 3u, 4u, 8u, 9u, 100u}) hist.Record(v);
+
+  EXPECT_EQ(hist.count(), 8u);
+  EXPECT_EQ(hist.sum(), 127u);
+  EXPECT_EQ(hist.max(), 100u);
+  EXPECT_EQ(hist.num_buckets(), 5u);
+  EXPECT_EQ(hist.bucket_count(0), 2u);  // 0, 1
+  EXPECT_EQ(hist.bucket_count(1), 1u);  // 2
+  EXPECT_EQ(hist.bucket_count(2), 2u);  // 3, 4
+  EXPECT_EQ(hist.bucket_count(3), 1u);  // 8
+  EXPECT_EQ(hist.bucket_count(4), 2u);  // 9, 100 overflow
+  // Median rank is 4; the cumulative count first reaches 4 in the <=4 bucket.
+  EXPECT_EQ(hist.Quantile(0.5), 4u);
+  EXPECT_EQ(hist.Quantile(0.25), 1u);
+  EXPECT_EQ(hist.Quantile(1.0), 100u);  // past the last bound: the max
+  EXPECT_DOUBLE_EQ(hist.mean(), 127.0 / 8.0);
+
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.bucket_count(4), 0u);
+}
+
+TEST_F(ObsTest, MetricsMergeExactlyAcrossThreads) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.obs.merge_counter");
+  Histogram& hist = registry.GetHistogram("test.obs.merge_hist");
+  const std::uint64_t counter_before = counter.value();
+  const std::uint64_t hist_count_before = hist.count();
+  const std::uint64_t hist_sum_before = hist.sum();
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        hist.Record(static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Relaxed atomics still merge to exact totals — the property the
+  // deterministic JSON export relies on.
+  EXPECT_EQ(counter.value() - counter_before, kThreads * kPerThread);
+  EXPECT_EQ(hist.count() - hist_count_before, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += t * kPerThread;
+  EXPECT_EQ(hist.sum() - hist_sum_before, expected_sum);
+}
+
+TEST_F(ObsTest, MetricsJsonSortedAndRepeatable) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Register intentionally out of order; export must sort by name.
+  registry.GetCounter("test.obs.zz_counter").Add(2);
+  registry.GetCounter("test.obs.aa_counter").Add(1);
+  registry.GetGauge("test.obs.gauge").Set(1.5);
+
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json, registry.ToJson());
+  const std::size_t a = json.find("test.obs.aa_counter");
+  const std::size_t z = json.find("test.obs.zz_counter");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, z);
+}
+
+TEST_F(ObsTest, TraceExportIsByteDeterministic) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with GANNS_TRACING=OFF";
+  SetTracingEnabled(true);
+
+  const auto traced_run = [&] {
+    TraceRecorder::Global().Clear();
+    gpusim::Device device;  // fresh timeline: cycle stamps start at zero
+    RunGanns(device);
+    return TraceRecorder::Global().ToJson();
+  };
+  const std::string first = traced_run();
+  const std::string second = traced_run();
+  EXPECT_EQ(first, second) << "trace export must be byte-deterministic";
+
+  // The export carries the kernel span, per-SM tracks, and all six GANNS
+  // phase spans of Figure 3.
+  EXPECT_NE(first.find("\"ganns_search\""), std::string::npos);
+  EXPECT_NE(first.find("\"SM 0\""), std::string::npos);
+  for (int p = 0; p < core::kNumGannsPhases; ++p) {
+    const std::string phase =
+        std::string("\"ganns.") + core::GannsPhaseName(p) + "\"";
+    EXPECT_NE(first.find(phase), std::string::npos) << phase;
+  }
+}
+
+TEST_F(ObsTest, WallSpansLandOnHostProcess) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with GANNS_TRACING=OFF";
+  SetTracingEnabled(true);
+  TraceRecorder::Global().Clear();
+  { ScopedWallSpan span("test.obs.wall_span"); }
+  const std::string json = TraceRecorder::Global().ToJson();
+  const std::size_t at = json.find("\"test.obs.wall_span\"");
+  ASSERT_NE(at, std::string::npos);
+  // Host events live in pid 1, on the wall-clock timeline.
+  EXPECT_NE(json.find("\"pid\":1", at), std::string::npos);
+}
+
+TEST_F(ObsTest, InstrumentationDoesNotChangeCyclesOrResults) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with GANNS_TRACING=OFF";
+  SetTracingEnabled(false);
+  SetMetricsEnabled(false);
+  gpusim::Device plain_device;
+  const auto plain = RunGanns(plain_device);
+
+  SetTracingEnabled(true);
+  SetMetricsEnabled(true);
+  TraceRecorder::Global().Clear();
+  gpusim::Device traced_device;
+  std::vector<core::GannsQueryProfile> profiles;
+  const auto traced = RunGanns(traced_device, &profiles);
+  SetTracingEnabled(false);
+  SetMetricsEnabled(false);
+
+  // Observation only: identical charged cycles, per-category work, results.
+  EXPECT_DOUBLE_EQ(plain.kernel.sim_cycles, traced.kernel.sim_cycles);
+  for (std::size_t c = 0; c < plain.kernel.work_cycles.size(); ++c) {
+    EXPECT_DOUBLE_EQ(plain.kernel.work_cycles[c], traced.kernel.work_cycles[c])
+        << "work category " << c;
+  }
+  ASSERT_EQ(plain.results.size(), traced.results.size());
+  for (std::size_t q = 0; q < plain.results.size(); ++q) {
+    EXPECT_EQ(plain.results[q], traced.results[q]) << "query " << q;
+  }
+  ASSERT_EQ(profiles.size(), queries_->size());
+}
+
+TEST_F(ObsTest, GannsProfilesAccountForAllCycles) {
+  std::vector<core::GannsQueryProfile> profiles;
+  gpusim::Device device;
+  RunGanns(device, &profiles);
+  ASSERT_EQ(profiles.size(), queries_->size());
+  for (const core::GannsQueryProfile& p : profiles) {
+    EXPECT_GT(p.hops, 0u);
+    EXPECT_GT(p.distance_computations, 0u);
+    EXPECT_GE(p.result_occupancy, 10u);  // at least k valid entries
+    EXPECT_LE(p.result_occupancy, 64u);  // bounded by l_n
+    EXPECT_GT(p.total_cycles, 0.0);
+    double phase_sum = 0;
+    for (double c : p.phase_cycles) {
+      EXPECT_GE(c, 0.0);
+      phase_sum += c;
+    }
+    // The six phases tile the per-query timeline apart from entry setup.
+    EXPECT_LE(phase_sum, p.total_cycles);
+    EXPECT_GT(phase_sum, 0.9 * p.total_cycles);
+  }
+}
+
+TEST_F(ObsTest, SongProfilesAccountForAllCycles) {
+  song::SongParams params;
+  params.k = 10;
+  params.queue_size = 64;
+  std::vector<song::SongQueryProfile> profiles;
+  gpusim::Device device;
+  song::SongSearchBatch(device, built_->graph, *base_, *queries_, params, 32,
+                        0, &profiles);
+  ASSERT_EQ(profiles.size(), queries_->size());
+  for (const song::SongQueryProfile& p : profiles) {
+    EXPECT_GT(p.hops, 0u);
+    EXPECT_GT(p.distance_computations, 0u);
+    EXPECT_GT(p.host_ops, 0u);
+    EXPECT_GT(p.total_cycles, 0.0);
+    double stage_sum = 0;
+    for (double c : p.stage_cycles) {
+      EXPECT_GE(c, 0.0);
+      stage_sum += c;
+    }
+    EXPECT_LE(stage_sum, p.total_cycles);
+    EXPECT_GT(stage_sum, 0.9 * p.total_cycles);
+  }
+}
+
+TEST_F(ObsTest, SearchBatchPopulatesMetricsRegistry) {
+  if (!TracingCompiledIn()) GTEST_SKIP() << "built with GANNS_TRACING=OFF";
+  SetMetricsEnabled(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& queries = registry.GetCounter("ganns.queries");
+  Histogram& hops = registry.GetHistogram("ganns.hops_per_query");
+  const std::uint64_t queries_before = queries.value();
+  const std::uint64_t hops_before = hops.count();
+
+  gpusim::Device device;
+  RunGanns(device);  // no profiles requested: metrics must still flow
+  SetMetricsEnabled(false);
+
+  EXPECT_EQ(queries.value() - queries_before, queries_->size());
+  EXPECT_EQ(hops.count() - hops_before, queries_->size());
+}
+
+TEST_F(ObsTest, DiagnosticsHistogramAndReachableSinks) {
+  const graph::GraphDiagnostics diag = graph::Diagnose(built_->graph, 0);
+  ASSERT_FALSE(diag.out_degree_histogram.empty());
+
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  for (std::size_t d = 0; d < diag.out_degree_histogram.size(); ++d) {
+    vertices += diag.out_degree_histogram[d];
+    edges += d * diag.out_degree_histogram[d];
+  }
+  EXPECT_EQ(vertices, diag.num_vertices);
+  EXPECT_EQ(edges, diag.num_edges);
+  EXPECT_EQ(diag.out_degree_histogram[0], diag.sinks);
+  EXPECT_LE(diag.reachable_sinks, diag.sinks);
+
+  if (!TracingCompiledIn()) return;
+  SetMetricsEnabled(true);
+  graph::PublishDiagnostics(diag, "test.obs.diag");
+  SetMetricsEnabled(false);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("test.obs.diag.vertices").value(),
+            diag.num_vertices);
+  EXPECT_EQ(registry.GetCounter("test.obs.diag.edges").value(),
+            diag.num_edges);
+  EXPECT_EQ(registry.GetCounter("test.obs.diag.reachable_sinks").value(),
+            diag.reachable_sinks);
+  EXPECT_EQ(registry.GetHistogram("test.obs.diag.out_degree").count(),
+            diag.num_vertices);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ganns

@@ -8,11 +8,23 @@
 //                [--hnsw]
 //   ganns search --index index.gix --base base.fvecs --queries queries.fvecs
 //                --k 10 [--ln 64] [--e 0] [--out results.ivecs]
+//                [--trace-out trace.json]
 //   ganns eval   --base base.fvecs --queries queries.fvecs
 //                --results results.ivecs --k 10 [--metric l2|cosine]
+//   ganns profile --dataset SIFT1M --n 10000 [--queries 100] [--seed 1]
+//                [--k 10] [--ln 64] [--e 0] [--algo ganns|song]
+//                [--trace-out trace.json] [--metrics-out metrics.json]
 //
-// All commands are deterministic for fixed inputs and seeds.
+// `profile` generates a synthetic corpus, builds an NSW graph with
+// GGraphCon, runs the search with full tracing + per-query profiling, and
+// prints a summary. --trace-out writes a Chrome/Perfetto trace_event JSON
+// (load at ui.perfetto.dev); --metrics-out writes the metrics registry.
+//
+// All commands are deterministic for fixed inputs and seeds (trace and
+// metrics files included: device events are timestamped in simulated
+// cycles).
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,9 +34,15 @@
 #include <vector>
 
 #include "core/ganns_index.h"
+#include "core/ganns_search.h"
+#include "core/ggraphcon.h"
 #include "data/ground_truth.h"
 #include "data/io.h"
 #include "data/synthetic.h"
+#include "graph/diagnostics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "song/song_search.h"
 
 namespace {
 
@@ -164,11 +182,26 @@ int CmdSearch(const Args& args) {
   params.l_n = static_cast<std::size_t>(args.Int("ln", 64));
   params.e = static_cast<std::size_t>(args.Int("e", 0));
 
+  const auto trace_out = args.Get("trace-out");
+  if (trace_out.has_value()) {
+    obs::SetTracingEnabled(true);
+    obs::SetMetricsEnabled(true);
+  }
+
   const auto rows = index->Search(queries, k, params);
   std::printf("searched %zu queries (k=%zu, l_n=%zu, e=%zu) at %.0f "
               "simulated QPS\n",
               queries.size(), k, params.l_n, params.EffectiveE(),
               index->timing().last_search_qps);
+
+  if (trace_out.has_value()) {
+    if (!obs::TraceRecorder::Global().WriteJson(*trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                obs::TraceRecorder::Global().size(), trace_out->c_str());
+  }
 
   if (const auto out = args.Get("out"); out.has_value()) {
     std::vector<std::vector<std::int32_t>> ids(rows.size());
@@ -219,9 +252,142 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
+int CmdProfile(const Args& args) {
+  const data::DatasetSpec& spec =
+      data::PaperDataset(args.Get("dataset").value_or("SIFT1M"));
+  const std::size_t n = static_cast<std::size_t>(args.Int("n", 10000));
+  const std::size_t num_queries =
+      static_cast<std::size_t>(args.Int("queries", 100));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Int("seed", 1));
+  const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
+  const std::string algo = args.Get("algo").value_or("ganns");
+
+  if (!obs::TracingCompiledIn()) {
+    std::fprintf(stderr,
+                 "note: built with GANNS_TRACING=OFF; trace and metrics "
+                 "output will be empty\n");
+  }
+  obs::SetTracingEnabled(true);
+  obs::SetMetricsEnabled(true);
+
+  const data::Dataset base = data::GenerateBase(spec, n, seed);
+  const data::Dataset queries =
+      data::GenerateQueries(spec, num_queries, n, seed);
+
+  gpusim::Device device;
+  core::GpuBuildParams build;
+  build.num_groups = static_cast<int>(args.Int("groups", 64));
+  const core::GpuBuildResult built =
+      core::BuildNswGGraphCon(device, base, build);
+  std::printf("built NSW graph over %zu points (%s, dim=%zu) in %.4f "
+              "simulated s\n",
+              n, spec.name.c_str(), base.dim(), built.sim_seconds);
+
+  const graph::GraphDiagnostics diag = graph::Diagnose(built.graph, 0);
+  graph::PublishDiagnostics(diag, "graph.nsw");
+  std::printf("graph: mean_deg=%.2f sinks=%zu reachable=%.4f\n",
+              diag.mean_out_degree, diag.sinks, diag.reachable_fraction);
+
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, k);
+
+  graph::BatchSearchResult batch;
+  if (algo == "song") {
+    song::SongParams params;
+    params.k = k;
+    params.queue_size = static_cast<std::size_t>(args.Int("queue", 64));
+    std::vector<song::SongQueryProfile> profiles;
+    batch = song::SongSearchBatch(device, built.graph, base, queries, params,
+                                  32, 0, &profiles);
+    double total = 0;
+    std::array<double, song::kNumSongStages> stage{};
+    std::uint64_t hops = 0, dists = 0;
+    for (const song::SongQueryProfile& p : profiles) {
+      hops += p.hops;
+      dists += p.distance_computations;
+      for (int i = 0; i < song::kNumSongStages; ++i) {
+        stage[i] += p.stage_cycles[i];
+        total += p.stage_cycles[i];
+      }
+    }
+    std::printf("SONG: %zu queries, mean hops=%.1f, mean dist evals=%.1f\n",
+                queries.size(),
+                static_cast<double>(hops) / static_cast<double>(queries.size()),
+                static_cast<double>(dists) /
+                    static_cast<double>(queries.size()));
+    std::printf("stages:");
+    for (int i = 0; i < song::kNumSongStages; ++i) {
+      std::printf(" %s=%.1f%%", song::SongStageName(i),
+                  total > 0 ? 100 * stage[i] / total : 0.0);
+    }
+    std::printf("\n");
+  } else if (algo == "ganns") {
+    core::GannsParams params;
+    params.k = k;
+    params.l_n = static_cast<std::size_t>(args.Int("ln", 64));
+    params.e = static_cast<std::size_t>(args.Int("e", 0));
+    std::vector<core::GannsQueryProfile> profiles;
+    batch = core::GannsSearchBatch(device, built.graph, base, queries, params,
+                                   32, 0, &profiles);
+    double total = 0;
+    std::array<double, core::kNumGannsPhases> phase{};
+    std::uint64_t hops = 0, dists = 0, redundant = 0;
+    for (const core::GannsQueryProfile& p : profiles) {
+      hops += p.hops;
+      dists += p.distance_computations;
+      redundant += p.redundant_distances;
+      for (int i = 0; i < core::kNumGannsPhases; ++i) {
+        phase[i] += p.phase_cycles[i];
+        total += p.phase_cycles[i];
+      }
+    }
+    std::printf("GANNS: %zu queries, mean hops=%.1f, mean dist evals=%.1f "
+                "(%.1f redundant)\n",
+                queries.size(),
+                static_cast<double>(hops) / static_cast<double>(queries.size()),
+                static_cast<double>(dists) /
+                    static_cast<double>(queries.size()),
+                static_cast<double>(redundant) /
+                    static_cast<double>(queries.size()));
+    std::printf("phases:");
+    for (int i = 0; i < core::kNumGannsPhases; ++i) {
+      std::printf(" %s=%.1f%%", core::GannsPhaseName(i),
+                  total > 0 ? 100 * phase[i] / total : 0.0);
+    }
+    std::printf("\n");
+  } else {
+    std::fprintf(stderr, "unknown --algo '%s' (use ganns|song)\n",
+                 algo.c_str());
+    return 2;
+  }
+
+  std::printf("recall@%zu = %.4f, %.0f simulated QPS, SM load imbalance "
+              "%.3f\n",
+              k, data::MeanRecall(batch.results, truth, k), batch.qps,
+              device.SmLoadImbalance());
+
+  if (const auto out = args.Get("trace-out"); out.has_value()) {
+    if (!obs::TraceRecorder::Global().WriteJson(*out)) {
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                obs::TraceRecorder::Global().size(), out->c_str());
+  }
+  if (const auto out = args.Get("metrics-out"); out.has_value()) {
+    obs::SnapshotRuntimeMetrics();
+    if (!obs::MetricsRegistry::Global().WriteJson(*out)) {
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("wrote metrics to %s\n", out->c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: ganns <gen|build|search|eval> --flag value ...\n"
+               "usage: ganns <gen|build|search|eval|profile> --flag value "
+               "...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
 }
@@ -236,5 +402,6 @@ int main(int argc, char** argv) {
   if (command == "build") return CmdBuild(args);
   if (command == "search") return CmdSearch(args);
   if (command == "eval") return CmdEval(args);
+  if (command == "profile") return CmdProfile(args);
   return Usage();
 }

@@ -1,0 +1,363 @@
+// schema_check — validates the observability JSON artifacts:
+//
+//   schema_check trace   <trace.json>     Chrome/Perfetto trace_event file
+//   schema_check metrics <metrics.json>   MetricsRegistry export
+//
+// Exit code 0 iff the file parses as JSON and matches the expected schema.
+// The parser is a small recursive-descent JSON reader (no dependencies);
+// it builds a DOM of variant nodes and the checkers walk it. Used by ctest
+// to gate the `ganns profile` pipeline.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM + parser.
+// ---------------------------------------------------------------------------
+
+struct Json;
+using JsonPtr = std::unique_ptr<Json>;
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonPtr> array;
+  std::map<std::string, JsonPtr> object;
+
+  bool Is(Kind k) const { return kind == k; }
+  const Json* Get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  JsonPtr Parse() {
+    JsonPtr value = ParseValue();
+    if (value == nullptr) return nullptr;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return value;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  JsonPtr Fail(const char* message) {
+    if (error_.empty()) {
+      std::ostringstream out;
+      out << message << " at offset " << pos_;
+      error_ = out.str();
+    }
+    return nullptr;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  JsonPtr ParseObject() {
+    if (!Consume('{')) return Fail("expected '{'");
+    auto node = std::make_unique<Json>();
+    node->kind = Json::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return node;
+    for (;;) {
+      JsonPtr key = ParseString();
+      if (key == nullptr) return nullptr;
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonPtr value = ParseValue();
+      if (value == nullptr) return nullptr;
+      node->object.emplace(std::move(key->string), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return node;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  JsonPtr ParseArray() {
+    if (!Consume('[')) return Fail("expected '['");
+    auto node = std::make_unique<Json>();
+    node->kind = Json::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return node;
+    for (;;) {
+      JsonPtr value = ParseValue();
+      if (value == nullptr) return nullptr;
+      node->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return node;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  JsonPtr ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    auto node = std::make_unique<Json>();
+    node->kind = Json::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            // Validated but not decoded — the checkers never compare
+            // non-ASCII content.
+            pos_ += 4;
+            c = '?';
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      }
+      node->string.push_back(c);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return node;
+  }
+
+  JsonPtr ParseBool() {
+    auto node = std::make_unique<Json>();
+    node->kind = Json::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      node->boolean = true;
+      pos_ += 4;
+      return node;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      node->boolean = false;
+      pos_ += 5;
+      return node;
+    }
+    return Fail("expected boolean");
+  }
+
+  JsonPtr ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_unique<Json>();
+    }
+    return Fail("expected null");
+  }
+
+  JsonPtr ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    auto node = std::make_unique<Json>();
+    node->kind = Json::Kind::kNumber;
+    node->number = std::strtod(text_.c_str() + start, nullptr);
+    return node;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Schema checkers.
+// ---------------------------------------------------------------------------
+
+int Complain(const char* what) {
+  std::fprintf(stderr, "schema error: %s\n", what);
+  return 1;
+}
+
+bool IsNumber(const Json* node) {
+  return node != nullptr && node->Is(Json::Kind::kNumber);
+}
+
+bool IsString(const Json* node) {
+  return node != nullptr && node->Is(Json::Kind::kString);
+}
+
+/// Chrome trace_event format: {"traceEvents": [...]} where every event has
+/// name/ph/pid/tid/ts; "X" events additionally carry a non-negative dur;
+/// "M" (metadata) events carry args.name.
+int CheckTrace(const Json& root) {
+  if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
+  const Json* events = root.Get("traceEvents");
+  if (events == nullptr || !events->Is(Json::Kind::kArray)) {
+    return Complain("missing traceEvents array");
+  }
+  std::size_t spans = 0;
+  for (const JsonPtr& event : events->array) {
+    if (!event->Is(Json::Kind::kObject)) {
+      return Complain("event is not an object");
+    }
+    if (!IsString(event->Get("name"))) return Complain("event missing name");
+    const Json* ph = event->Get("ph");
+    if (!IsString(ph)) return Complain("event missing ph");
+    if (!IsNumber(event->Get("pid"))) return Complain("event missing pid");
+    if (!IsNumber(event->Get("tid"))) return Complain("event missing tid");
+    if (ph->string == "X") {
+      if (!IsNumber(event->Get("ts"))) return Complain("X event missing ts");
+      const Json* dur = event->Get("dur");
+      if (!IsNumber(dur) || dur->number < 0) {
+        return Complain("X event missing non-negative dur");
+      }
+      ++spans;
+    } else if (ph->string == "i") {
+      if (!IsNumber(event->Get("ts"))) return Complain("i event missing ts");
+    } else if (ph->string == "M") {
+      const Json* args = event->Get("args");
+      if (args == nullptr || !args->Is(Json::Kind::kObject) ||
+          !IsString(args->Get("name"))) {
+        return Complain("M event missing args.name");
+      }
+    } else {
+      return Complain("unknown event phase (expect X/i/M)");
+    }
+  }
+  std::printf("trace ok: %zu events (%zu spans)\n", events->array.size(),
+              spans);
+  return 0;
+}
+
+/// MetricsRegistry export: {"counters":{name:int}, "gauges":{name:number},
+/// "histograms":{name:{count,sum,max,mean,bounds[],buckets[]}}} with
+/// len(buckets) == len(bounds) + 1 and count == sum of buckets.
+int CheckMetrics(const Json& root) {
+  if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
+  const Json* counters = root.Get("counters");
+  const Json* gauges = root.Get("gauges");
+  const Json* histograms = root.Get("histograms");
+  if (counters == nullptr || !counters->Is(Json::Kind::kObject)) {
+    return Complain("missing counters object");
+  }
+  if (gauges == nullptr || !gauges->Is(Json::Kind::kObject)) {
+    return Complain("missing gauges object");
+  }
+  if (histograms == nullptr || !histograms->Is(Json::Kind::kObject)) {
+    return Complain("missing histograms object");
+  }
+  for (const auto& [name, value] : counters->object) {
+    if (!IsNumber(value.get()) || value->number < 0) {
+      return Complain("counter is not a non-negative number");
+    }
+  }
+  for (const auto& [name, value] : gauges->object) {
+    if (!IsNumber(value.get())) return Complain("gauge is not a number");
+  }
+  for (const auto& [name, hist] : histograms->object) {
+    if (!hist->Is(Json::Kind::kObject)) {
+      return Complain("histogram is not an object");
+    }
+    for (const char* key : {"count", "sum", "max"}) {
+      if (!IsNumber(hist->Get(key))) {
+        return Complain("histogram missing count/sum/max");
+      }
+    }
+    const Json* bounds = hist->Get("bounds");
+    const Json* buckets = hist->Get("buckets");
+    if (bounds == nullptr || !bounds->Is(Json::Kind::kArray) ||
+        buckets == nullptr || !buckets->Is(Json::Kind::kArray)) {
+      return Complain("histogram missing bounds/buckets arrays");
+    }
+    if (buckets->array.size() != bounds->array.size() + 1) {
+      return Complain("histogram buckets size != bounds size + 1");
+    }
+    double bucket_total = 0;
+    for (const JsonPtr& b : buckets->array) {
+      if (!IsNumber(b.get())) return Complain("bucket is not a number");
+      bucket_total += b->number;
+    }
+    if (bucket_total != hist->Get("count")->number) {
+      return Complain("histogram count != sum of buckets");
+    }
+  }
+  std::printf("metrics ok: %zu counters, %zu gauges, %zu histograms\n",
+              counters->object.size(), gauges->object.size(),
+              histograms->object.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 || (std::strcmp(argv[1], "trace") != 0 &&
+                    std::strcmp(argv[1], "metrics") != 0)) {
+    std::fprintf(stderr, "usage: schema_check <trace|metrics> <file.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  Parser parser(buffer.str());
+  const JsonPtr root = parser.Parse();
+  if (root == nullptr) {
+    std::fprintf(stderr, "JSON parse error: %s\n", parser.error().c_str());
+    return 1;
+  }
+  return std::strcmp(argv[1], "trace") == 0 ? CheckTrace(*root)
+                                            : CheckMetrics(*root);
+}
