@@ -29,4 +29,11 @@ for b in table2_nsw_vs_cpu fig12_graph_quality fig13_vary_dmax \
   ./build/bench/$b
   echo
 done
+
+# Online serving engine: closed- and open-loop load over 1/2/4 shards on a
+# synthetic 100k x 128 corpus. Writes BENCH_serve.json.
+echo "===== bench/serve_throughput ====="
+GANNS_SCALE=100000 GANNS_QUERIES=500 ./build/bench/serve_throughput BENCH_serve.json
+echo
+
 echo "ALL_BENCHES_DONE"

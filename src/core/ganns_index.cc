@@ -11,7 +11,17 @@ namespace core {
 namespace {
 
 constexpr std::uint64_t kIndexMagic = 0x53584449534e4e47ULL;  // "GNNSIDXS"
-constexpr std::uint64_t kIndexVersion = 1;
+// v2: single self-contained file — header followed by the embedded graph
+// stream (ProximityGraph for NSW, HnswGraph for HNSW). v1 spread the layers
+// over sidecar files; those indexes must be rebuilt.
+constexpr std::uint64_t kIndexVersion = 2;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
 
@@ -93,48 +103,24 @@ std::vector<graph::Neighbor> GannsIndex::SearchOne(
 }
 
 bool GannsIndex::Save(const std::string& path) const {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
+  File file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) return false;
   const std::uint64_t kind = options_.kind == GraphKind::kNsw ? 0 : 1;
-  const std::uint64_t num_layers =
-      hnsw_ != nullptr ? static_cast<std::uint64_t>(hnsw_->max_level()) + 1
-                       : 1;
-  const std::uint64_t header[5] = {kIndexMagic, kIndexVersion, kind,
-                                   num_layers,
-                                   hnsw_ != nullptr ? hnsw_->entry() : 0};
-  const bool header_ok = std::fwrite(header, sizeof(header), 1, file) == 1;
-  std::fclose(file);
-  if (!header_ok) return false;
-
-  if (nsw_ != nullptr) return nsw_->SaveTo(path + ".layer0");
-  // HNSW: one graph file per layer plus the level array.
-  for (int l = 0; l <= hnsw_->max_level(); ++l) {
-    if (!hnsw_->layer(l).SaveTo(path + ".layer" + std::to_string(l))) {
-      return false;
-    }
-  }
-  std::FILE* levels_file = std::fopen((path + ".levels").c_str(), "wb");
-  if (levels_file == nullptr) return false;
-  std::vector<std::uint8_t> levels(base_.size());
-  for (std::size_t v = 0; v < base_.size(); ++v) {
-    levels[v] = static_cast<std::uint8_t>(
-        hnsw_->level(static_cast<VertexId>(v)));
-  }
-  const bool ok = std::fwrite(levels.data(), 1, levels.size(), levels_file) ==
-                  levels.size();
-  std::fclose(levels_file);
-  return ok;
+  const std::uint64_t header[3] = {kIndexMagic, kIndexVersion, kind};
+  if (std::fwrite(header, sizeof(header), 1, file.get()) != 1) return false;
+  if (nsw_ != nullptr) return nsw_->WriteTo(file.get());
+  return hnsw_->WriteTo(file.get());
 }
 
 std::optional<GannsIndex> GannsIndex::Load(const std::string& path,
                                            data::Dataset base,
                                            const Options& options) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
+  File file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) return std::nullopt;
-  std::uint64_t header[5] = {};
-  const bool header_ok = std::fread(header, sizeof(header), 1, file) == 1;
-  std::fclose(file);
-  if (!header_ok || header[0] != kIndexMagic || header[1] != kIndexVersion) {
+  std::uint64_t header[3] = {};
+  if (std::fread(header, sizeof(header), 1, file.get()) != 1 ||
+      header[0] != kIndexMagic || header[1] != kIndexVersion ||
+      header[2] > 1) {
     return std::nullopt;
   }
 
@@ -143,7 +129,7 @@ std::optional<GannsIndex> GannsIndex::Load(const std::string& path,
   GannsIndex index(std::move(base), adjusted);
 
   if (adjusted.kind == GraphKind::kNsw) {
-    auto graph = graph::ProximityGraph::LoadFrom(path + ".layer0");
+    auto graph = graph::ProximityGraph::ReadFrom(file.get());
     if (!graph.has_value() || graph->num_vertices() != index.base_.size()) {
       return std::nullopt;
     }
@@ -152,30 +138,11 @@ std::optional<GannsIndex> GannsIndex::Load(const std::string& path,
     return index;
   }
 
-  std::FILE* levels_file = std::fopen((path + ".levels").c_str(), "rb");
-  if (levels_file == nullptr) return std::nullopt;
-  std::vector<std::uint8_t> levels(index.base_.size());
-  const bool levels_ok =
-      std::fread(levels.data(), 1, levels.size(), levels_file) ==
-      levels.size();
-  std::fclose(levels_file);
-  if (!levels_ok) return std::nullopt;
-
-  index.hnsw_ = std::make_unique<graph::HnswGraph>(
-      index.base_.size(), adjusted.nsw.d_max, std::move(levels));
-  if (index.hnsw_->max_level() + 1 != static_cast<int>(header[3])) {
+  auto hnsw = graph::HnswGraph::ReadFrom(file.get());
+  if (!hnsw.has_value() || hnsw->num_vertices() != index.base_.size()) {
     return std::nullopt;
   }
-  for (int l = 0; l <= index.hnsw_->max_level(); ++l) {
-    auto layer = graph::ProximityGraph::LoadFrom(path + ".layer" +
-                                                 std::to_string(l));
-    if (!layer.has_value() ||
-        layer->num_vertices() != index.base_.size()) {
-      return std::nullopt;
-    }
-    index.hnsw_->layer(l) = *std::move(layer);
-  }
-  index.hnsw_->set_entry(static_cast<VertexId>(header[4]));
+  index.hnsw_ = std::make_unique<graph::HnswGraph>(*std::move(hnsw));
   return index;
 }
 

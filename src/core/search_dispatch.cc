@@ -13,6 +13,8 @@ const char* SearchKernelName(SearchKernel kernel) {
       return "GANNS";
     case SearchKernel::kSong:
       return "SONG";
+    case SearchKernel::kBeam:
+      return "beam";
   }
   return "?";
 }
@@ -28,6 +30,9 @@ std::vector<graph::Neighbor> DispatchSearch(
     params.k = k;
     params.l_n = gpusim::NextPow2(budget);
     return GannsSearchOne(block, graph, base, query, params, entry);
+  }
+  if (kernel == SearchKernel::kBeam) {
+    return graph::BeamSearch(graph, base, query, k, budget, entry);
   }
   song::SongParams params;
   params.k = k;

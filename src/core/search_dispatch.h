@@ -14,10 +14,14 @@ namespace ganns {
 namespace core {
 
 /// Which search kernel a construction algorithm embeds — the paper's
-/// GGraphCon_GANNS vs GGraphCon_SONG distinction (§V-B).
+/// GGraphCon_GANNS vs GGraphCon_SONG distinction (§V-B) — or, for the
+/// serving engine, which kernel answers online queries. kBeam is the CPU
+/// reference beam search (Algorithm 1) run on the host lane; it exists so
+/// the serving layer can fall back to a simulator-free engine.
 enum class SearchKernel {
   kGanns,
   kSong,
+  kBeam,
 };
 
 /// Human-readable kernel name ("GANNS" / "SONG") for benchmark tables.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -45,6 +47,84 @@ bool GreedyStep(const ganns::graph::ProximityGraph& layer,
 
 namespace ganns {
 namespace graph {
+
+namespace {
+
+constexpr std::uint64_t kHnswMagic = 0x57534e4847ULL;  // "GHNSW"
+constexpr std::uint64_t kHnswVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool HnswGraph::WriteTo(std::FILE* file) const {
+  const std::uint64_t header[6] = {kHnswMagic,
+                                   kHnswVersion,
+                                   levels_.size(),
+                                   layers_[0].d_max(),
+                                   static_cast<std::uint64_t>(max_level_) + 1,
+                                   entry_};
+  if (std::fwrite(header, sizeof(header), 1, file) != 1) return false;
+  if (std::fwrite(levels_.data(), 1, levels_.size(), file) != levels_.size()) {
+    return false;
+  }
+  for (const ProximityGraph& layer : layers_) {
+    if (!layer.WriteTo(file)) return false;
+  }
+  return true;
+}
+
+std::optional<HnswGraph> HnswGraph::ReadFrom(std::FILE* file) {
+  std::uint64_t header[6] = {};
+  if (std::fread(header, sizeof(header), 1, file) != 1) return std::nullopt;
+  if (header[0] != kHnswMagic || header[1] != kHnswVersion) {
+    return std::nullopt;
+  }
+  const std::uint64_t num_vertices = header[2];
+  const std::uint64_t d_max = header[3];
+  const std::uint64_t num_layers = header[4];
+  if (num_vertices > (std::uint64_t{1} << 40) || d_max == 0 ||
+      num_layers == 0 || num_layers > 256 || header[5] >= num_vertices) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> levels(num_vertices);
+  if (std::fread(levels.data(), 1, levels.size(), file) != levels.size()) {
+    return std::nullopt;
+  }
+  HnswGraph graph(num_vertices, d_max, std::move(levels));
+  // The level array determines the layer count; a file whose layer records
+  // disagree with its own levels is corrupt.
+  if (static_cast<std::uint64_t>(graph.max_level_) + 1 != num_layers) {
+    return std::nullopt;
+  }
+  for (int l = 0; l <= graph.max_level_; ++l) {
+    auto layer = ProximityGraph::ReadFrom(file);
+    if (!layer.has_value() || layer->num_vertices() != num_vertices ||
+        layer->d_max() != d_max) {
+      return std::nullopt;
+    }
+    graph.layers_[l] = *std::move(layer);
+  }
+  graph.entry_ = static_cast<VertexId>(header[5]);
+  return graph;
+}
+
+bool HnswGraph::SaveTo(const std::string& path) const {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  return WriteTo(file.get());
+}
+
+std::optional<HnswGraph> HnswGraph::LoadFrom(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) return std::nullopt;
+  return ReadFrom(file.get());
+}
 
 HnswGraph::HnswGraph(std::size_t num_vertices, std::size_t d_max,
                      std::vector<std::uint8_t> levels)

@@ -3,6 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -58,6 +61,19 @@ class HnswGraph {
   /// floor(-ln(U) * m_L); deterministic in (params.seed, vertex id).
   static std::vector<std::uint8_t> SampleLevels(std::size_t num_vertices,
                                                 const HnswParams& params);
+
+  /// Serializes the full hierarchy — per-vertex levels, entry point, and
+  /// every layer graph — to one binary file, mirroring
+  /// ProximityGraph::SaveTo. Returns false on IO failure.
+  bool SaveTo(const std::string& path) const;
+
+  /// Restores a graph written by SaveTo. Returns std::nullopt on open
+  /// failure, truncation, or format/version mismatch.
+  static std::optional<HnswGraph> LoadFrom(const std::string& path);
+
+  /// Stream-level variants for embedding in container formats (GannsIndex).
+  bool WriteTo(std::FILE* file) const;
+  static std::optional<HnswGraph> ReadFrom(std::FILE* file);
 
  private:
   std::vector<std::uint8_t> levels_;

@@ -110,49 +110,63 @@ std::size_t ProximityGraph::NumEdges() const {
   return total;
 }
 
-bool ProximityGraph::SaveTo(const std::string& path) const {
-  File file(std::fopen(path.c_str(), "wb"));
-  if (file == nullptr) return false;
+bool ProximityGraph::WriteTo(std::FILE* file) const {
   const std::uint64_t header[4] = {kMagic, kVersion, num_vertices_, d_max_};
-  if (std::fwrite(header, sizeof(header), 1, file.get()) != 1) return false;
-  if (std::fwrite(ids_.data(), sizeof(VertexId), ids_.size(), file.get()) !=
+  if (std::fwrite(header, sizeof(header), 1, file) != 1) return false;
+  if (std::fwrite(ids_.data(), sizeof(VertexId), ids_.size(), file) !=
       ids_.size()) {
     return false;
   }
-  if (std::fwrite(dists_.data(), sizeof(Dist), dists_.size(), file.get()) !=
+  if (std::fwrite(dists_.data(), sizeof(Dist), dists_.size(), file) !=
       dists_.size()) {
     return false;
   }
   if (std::fwrite(degrees_.data(), sizeof(std::uint32_t), degrees_.size(),
-                  file.get()) != degrees_.size()) {
+                  file) != degrees_.size()) {
     return false;
   }
   return true;
+}
+
+std::optional<ProximityGraph> ProximityGraph::ReadFrom(std::FILE* file) {
+  std::uint64_t header[4] = {};
+  if (std::fread(header, sizeof(header), 1, file) != 1) {
+    return std::nullopt;
+  }
+  if (header[0] != kMagic || header[1] != kVersion) return std::nullopt;
+  // Reject absurd sizes before allocating (a truncated or foreign file must
+  // fail cleanly, not bad_alloc).
+  if (header[2] > (std::uint64_t{1} << 40) || header[3] == 0 ||
+      header[3] > (std::uint64_t{1} << 20)) {
+    return std::nullopt;
+  }
+  ProximityGraph graph(header[2], header[3]);
+  if (std::fread(graph.ids_.data(), sizeof(VertexId), graph.ids_.size(),
+                 file) != graph.ids_.size()) {
+    return std::nullopt;
+  }
+  if (std::fread(graph.dists_.data(), sizeof(Dist), graph.dists_.size(),
+                 file) != graph.dists_.size()) {
+    return std::nullopt;
+  }
+  if (std::fread(graph.degrees_.data(), sizeof(std::uint32_t),
+                 graph.degrees_.size(), file) != graph.degrees_.size()) {
+    return std::nullopt;
+  }
+  return graph;
+}
+
+bool ProximityGraph::SaveTo(const std::string& path) const {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) return false;
+  return WriteTo(file.get());
 }
 
 std::optional<ProximityGraph> ProximityGraph::LoadFrom(
     const std::string& path) {
   File file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) return std::nullopt;
-  std::uint64_t header[4] = {};
-  if (std::fread(header, sizeof(header), 1, file.get()) != 1) {
-    return std::nullopt;
-  }
-  if (header[0] != kMagic || header[1] != kVersion) return std::nullopt;
-  ProximityGraph graph(header[2], header[3]);
-  if (std::fread(graph.ids_.data(), sizeof(VertexId), graph.ids_.size(),
-                 file.get()) != graph.ids_.size()) {
-    return std::nullopt;
-  }
-  if (std::fread(graph.dists_.data(), sizeof(Dist), graph.dists_.size(),
-                 file.get()) != graph.dists_.size()) {
-    return std::nullopt;
-  }
-  if (std::fread(graph.degrees_.data(), sizeof(std::uint32_t),
-                 graph.degrees_.size(), file.get()) != graph.degrees_.size()) {
-    return std::nullopt;
-  }
-  return graph;
+  return ReadFrom(file.get());
 }
 
 }  // namespace graph

@@ -2,6 +2,7 @@
 #define GANNS_GRAPH_PROXIMITY_GRAPH_H_
 
 #include <cstddef>
+#include <cstdio>
 #include <optional>
 #include <span>
 #include <string>
@@ -70,6 +71,16 @@ class ProximityGraph {
   /// Deserializes a graph written by SaveTo. Returns std::nullopt on open
   /// failure or format mismatch.
   static std::optional<ProximityGraph> LoadFrom(const std::string& path);
+
+  /// Appends this graph's binary record to an open stream, so container
+  /// formats (HnswGraph, GannsIndex) can embed layer graphs in one file.
+  /// Returns false on IO failure.
+  bool WriteTo(std::FILE* file) const;
+
+  /// Reads one record written by WriteTo from the stream's current position.
+  /// Returns std::nullopt on a short read or format mismatch (truncated or
+  /// foreign files fail cleanly, never crash).
+  static std::optional<ProximityGraph> ReadFrom(std::FILE* file);
 
  private:
   std::size_t Row(VertexId v) const { return std::size_t{v} * d_max_; }

@@ -1,0 +1,66 @@
+#ifndef GANNS_SERVE_MICRO_BATCHER_H_
+#define GANNS_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/request_queue.h"
+#include "serve/types.h"
+
+namespace ganns {
+namespace serve {
+
+/// Dynamic micro-batching policy over a BoundedQueue: a batch opens when the
+/// first request arrives and flushes when it holds `max_batch` requests or
+/// `window` has elapsed since it opened, whichever comes first.
+///
+/// This is the standard inference-serving coalescing shape: under light load
+/// a request waits at most one window before launching alone; under heavy
+/// load batches fill instantly and the window never binds, so throughput
+/// tracks kernel efficiency at full batch size.
+template <typename T>
+class MicroBatcher {
+ public:
+  MicroBatcher(BoundedQueue<T>& queue, std::size_t max_batch,
+               std::chrono::microseconds window)
+      : queue_(queue), max_batch_(max_batch), window_(window) {
+    GANNS_CHECK(max_batch >= 1);
+  }
+
+  /// Blocks for the next micro-batch. Returns an empty vector exactly once:
+  /// when the queue is closed and fully drained (shutdown).
+  std::vector<T> NextBatch() {
+    std::vector<T> batch;
+    T item;
+    // Wait (unbounded) for the batch-opening request.
+    if (queue_.Pop(item) != BoundedQueue<T>::PopResult::kItem) return batch;
+    batch.reserve(max_batch_);
+    batch.push_back(std::move(item));
+
+    // Fill until the size cap or the window closes. A zero window degrades
+    // to a greedy drain of whatever is already queued.
+    const auto flush_at = ServeClock::now() + window_;
+    while (batch.size() < max_batch_) {
+      switch (queue_.PopUntil(item, flush_at)) {
+        case BoundedQueue<T>::PopResult::kItem:
+          batch.push_back(std::move(item));
+          break;
+        case BoundedQueue<T>::PopResult::kTimeout:
+        case BoundedQueue<T>::PopResult::kClosed:
+          return batch;
+      }
+    }
+    return batch;
+  }
+
+ private:
+  BoundedQueue<T>& queue_;
+  const std::size_t max_batch_;
+  const std::chrono::microseconds window_;
+};
+
+}  // namespace serve
+}  // namespace ganns
+
+#endif  // GANNS_SERVE_MICRO_BATCHER_H_

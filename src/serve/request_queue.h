@@ -1,0 +1,111 @@
+#ifndef GANNS_SERVE_REQUEST_QUEUE_H_
+#define GANNS_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace serve {
+
+/// Thread-safe bounded FIFO between submitters and the batcher thread.
+///
+/// The bound is the engine's admission-control backpressure point: Push never
+/// blocks — a full queue rejects instead (the caller turns that into a
+/// kRejected response), so producer threads cannot pile up behind a slow
+/// consumer and every queued request has a bounded wait ahead of it.
+///
+/// Closing the queue (shutdown) fails subsequent pushes but lets consumers
+/// drain what was already admitted.
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+  enum class PopResult { kItem, kTimeout, kClosed };
+
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    GANNS_CHECK(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Non-blocking admission: enqueues and returns kOk, or reports why not.
+  PushResult Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available (kItem) or the queue is closed and
+  /// empty (kClosed).
+  PopResult Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return TakeLocked(out);
+  }
+
+  /// Pop with a deadline: an already-queued item returns immediately; an
+  /// empty queue is waited on until `deadline` (kTimeout on expiry). Used by
+  /// the micro-batcher to fill a batch within its window.
+  template <typename TimePoint>
+  PopResult PopUntil(T& out, TimePoint deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!ready_.wait_until(lock, deadline,
+                           [&] { return !items_.empty() || closed_; })) {
+      return PopResult::kTimeout;
+    }
+    return TakeLocked(out);
+  }
+
+  /// Fails future pushes and wakes every waiting consumer. Queued items
+  /// remain poppable (graceful drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  PopResult TakeLocked(T& out) {
+    if (items_.empty()) return PopResult::kClosed;  // closed_ must hold
+    out = std::move(items_.front());
+    items_.pop_front();
+    return PopResult::kItem;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace ganns
+
+#endif  // GANNS_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,198 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/micro_batcher.h"
+
+namespace ganns {
+namespace serve {
+namespace {
+
+double MicrosSince(ServeClock::time_point start, ServeClock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+QueryResponse TerminalResponse(std::uint64_t id, StatusCode status) {
+  QueryResponse response;
+  response.id = id;
+  response.status = status;
+  return response;
+}
+
+}  // namespace
+
+const char* StatusCodeName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kRejected:
+      return "rejected";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+ServeEngine::ServeEngine(ShardedIndex& index, ServeOptions options)
+    : index_(index), options_(options), queue_(options.queue_capacity) {}
+
+ServeEngine::~ServeEngine() { Shutdown(); }
+
+void ServeEngine::Start() {
+  GANNS_CHECK_MSG(!batcher_.joinable(), "ServeEngine started twice");
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
+  const std::uint64_t id = request.id;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.admitted_at = ServeClock::now();
+  std::future<QueryResponse> future = pending.promise.get_future();
+
+  switch (queue_.Push(std::move(pending))) {
+    case BoundedQueue<Pending>::PushResult::kOk: {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.admitted;
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global().GetCounter("serve.admitted").Add();
+      }
+      return future;
+    }
+    case BoundedQueue<Pending>::PushResult::kFull: {
+      // The rejected item (and its promise) died inside Push; answer on a
+      // fresh promise so the caller still gets a ready future.
+      std::promise<QueryResponse> rejected;
+      future = rejected.get_future();
+      rejected.set_value(TerminalResponse(id, StatusCode::kRejected));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.rejected;
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global().GetCounter("serve.rejected").Add();
+      }
+      return future;
+    }
+    case BoundedQueue<Pending>::PushResult::kClosed:
+    default: {
+      std::promise<QueryResponse> closed;
+      future = closed.get_future();
+      closed.set_value(TerminalResponse(id, StatusCode::kShutdown));
+      return future;
+    }
+  }
+}
+
+void ServeEngine::Shutdown() {
+  queue_.Close();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+ServeCounters ServeEngine::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return counters_;
+}
+
+double ServeEngine::total_sim_seconds() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return total_sim_seconds_;
+}
+
+void ServeEngine::BatchLoop() {
+  MicroBatcher<Pending> batcher(
+      queue_, options_.max_batch,
+      std::chrono::microseconds(options_.batch_window_us));
+  while (true) {
+    std::vector<Pending> batch = batcher.NextBatch();
+    if (batch.empty()) return;  // closed and drained
+    ProcessBatch(batch);
+  }
+}
+
+void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
+  const ServeClock::time_point formed_at = ServeClock::now();
+  const bool metrics = obs::MetricsEnabled();
+  obs::MetricsRegistry* registry =
+      metrics ? &obs::MetricsRegistry::Global() : nullptr;
+
+  // Partition out requests whose deadline passed while they queued: they
+  // are answered kDeadlineExceeded and never occupy a kernel slot (the
+  // batch the live requests see is correspondingly smaller).
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  std::uint64_t expired = 0;
+  for (Pending& pending : batch) {
+    if (pending.request.deadline <= formed_at) {
+      QueryResponse response =
+          TerminalResponse(pending.request.id, StatusCode::kDeadlineExceeded);
+      response.queue_wait_us = MicrosSince(pending.admitted_at, formed_at);
+      response.latency_us = response.queue_wait_us;
+      pending.promise.set_value(std::move(response));
+      ++expired;
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (expired > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    counters_.expired += expired;
+    if (metrics) registry->GetCounter("serve.expired").Add(expired);
+  }
+  if (live.empty()) return;
+
+  std::vector<RoutedQuery> queries;
+  queries.reserve(live.size());
+  for (const Pending& pending : live) {
+    RoutedQuery routed;
+    routed.query = pending.request.query;
+    routed.k = pending.request.k;
+    routed.budget = pending.request.budget;
+    queries.push_back(routed);
+  }
+
+  RouteStats stats;
+  std::vector<std::vector<graph::Neighbor>> rows;
+  {
+    ScopedWallSpan span("serve.batch");
+    rows = index_.SearchBatch(queries, options_.kernel, &stats);
+  }
+
+  const ServeClock::time_point done_at = ServeClock::now();
+  const auto batch_size = static_cast<std::uint32_t>(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    QueryResponse response;
+    response.id = live[i].request.id;
+    response.status = StatusCode::kOk;
+    response.neighbors = std::move(rows[i]);
+    response.queue_wait_us = MicrosSince(live[i].admitted_at, formed_at);
+    response.latency_us = MicrosSince(live[i].admitted_at, done_at);
+    response.batch_size = batch_size;
+    if (metrics) {
+      registry->GetHistogram("serve.queue_wait_us")
+          .Record(static_cast<std::uint64_t>(
+              std::max(0.0, response.queue_wait_us)));
+      registry->GetHistogram("serve.latency_us")
+          .Record(
+              static_cast<std::uint64_t>(std::max(0.0, response.latency_us)));
+    }
+    live[i].promise.set_value(std::move(response));
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  counters_.served += live.size();
+  total_sim_seconds_ += stats.sim_seconds;
+  if (metrics) {
+    registry->GetCounter("serve.served").Add(live.size());
+    registry->GetHistogram("serve.batch_size").Record(batch_size);
+  }
+}
+
+}  // namespace serve
+}  // namespace ganns

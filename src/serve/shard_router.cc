@@ -1,0 +1,218 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/hnsw_gpu.h"
+#include "serve/topk_merge.h"
+
+namespace ganns {
+namespace serve {
+
+std::size_t ShardedIndex::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->base.size();
+  return total;
+}
+
+std::size_t ShardedIndex::dim() const { return shards_[0]->base.dim(); }
+
+const graph::ProximityGraph& ShardedIndex::shard_graph(std::size_t s) const {
+  return shards_[s]->bottom();
+}
+
+std::size_t ShardedIndex::PerShardBudget(std::size_t budget,
+                                         std::size_t k) const {
+  return std::max(k, budget / shards_.size());
+}
+
+data::Dataset ShardedIndex::SliceDataset(const data::Dataset& base,
+                                         VertexId begin, VertexId end) {
+  data::Dataset slice(base.name() + ".shard", base.dim(), base.metric());
+  slice.Reserve(end - begin);
+  for (VertexId v = begin; v < end; ++v) slice.Append(base.Point(v));
+  return slice;
+}
+
+ShardedIndex::Shard ShardedIndex::BuildShard(const data::Dataset& base,
+                                             VertexId begin, VertexId end,
+                                             const ShardBuildOptions& options) {
+  Shard shard(SliceDataset(base, begin, end));
+  shard.offset = begin;
+  shard.device = std::make_unique<gpusim::Device>(options.device);
+
+  core::GpuBuildParams build;
+  build.nsw = options.nsw;
+  build.kernel = options.construction_kernel;
+  build.block_lanes = options.block_lanes;
+  // Keep GGraphCon groups meaningful on small slices (>= ~32 points each).
+  build.num_groups = static_cast<int>(std::clamp<std::size_t>(
+      shard.base.size() / 32, 1, static_cast<std::size_t>(options.num_groups)));
+
+  if (options.kind == core::GraphKind::kNsw) {
+    core::GpuBuildResult result =
+        core::BuildNswGGraphCon(*shard.device, shard.base, build);
+    shard.nsw =
+        std::make_unique<graph::ProximityGraph>(std::move(result.graph));
+  } else {
+    graph::HnswParams hnsw = options.hnsw;
+    hnsw.nsw = options.nsw;
+    core::GpuHnswBuildResult result =
+        core::BuildHnswGGraphCon(*shard.device, shard.base, hnsw, build);
+    shard.hnsw = std::make_unique<graph::HnswGraph>(std::move(result.graph));
+  }
+  return shard;
+}
+
+ShardedIndex ShardedIndex::Build(const data::Dataset& base,
+                                 std::size_t num_shards,
+                                 const ShardBuildOptions& options) {
+  GANNS_CHECK(num_shards >= 1);
+  GANNS_CHECK_MSG(base.size() >= num_shards,
+                  "cannot split " << base.size() << " points into "
+                                  << num_shards << " shards");
+  ShardedIndex index;
+  index.options_ = options;
+  index.shards_.reserve(num_shards);
+  // Contiguous split with the remainder spread over the leading shards, so
+  // shard sizes differ by at most one point.
+  const std::size_t per_shard = base.size() / num_shards;
+  const std::size_t remainder = base.size() % num_shards;
+  VertexId begin = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const VertexId end = begin + static_cast<VertexId>(per_shard) +
+                         (s < remainder ? 1 : 0);
+    index.shards_.push_back(
+        std::make_unique<Shard>(BuildShard(base, begin, end, options)));
+    begin = end;
+  }
+  return index;
+}
+
+double ShardedIndex::SearchShard(std::size_t s,
+                                 std::span<const RoutedQuery> queries,
+                                 core::SearchKernel kernel,
+                                 std::span<std::vector<graph::Neighbor>> rows) {
+  Shard& shard = *shards_[s];
+  const VertexId offset = shard.offset;
+  const gpusim::KernelStats stats = shard.device->Launch(
+      "serve.shard_search", static_cast<int>(queries.size()),
+      options_.block_lanes, [&](gpusim::BlockContext& block) {
+        const std::size_t q = static_cast<std::size_t>(block.block_id());
+        const RoutedQuery& request = queries[q];
+        // Hierarchical shards pick a per-query layer-0 entry; flat shards
+        // enter at their first inserted point.
+        const VertexId entry =
+            shard.hnsw != nullptr
+                ? shard.hnsw->DescendToLayer0(shard.base, request.query)
+                : 0;
+        rows[q] = core::DispatchSearch(
+            block, kernel, shard.bottom(), shard.base, request.query,
+            request.k, PerShardBudget(request.budget, request.k), entry);
+        // Rebase shard-local ids onto the global numbering.
+        for (graph::Neighbor& neighbor : rows[q]) neighbor.id += offset;
+      });
+  kernel_queries_->fetch_add(queries.size(), std::memory_order_relaxed);
+  return stats.sim_cycles;
+}
+
+std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchBatch(
+    std::span<const RoutedQuery> queries, core::SearchKernel kernel,
+    RouteStats* stats) {
+  const std::size_t num_queries = queries.size();
+  const std::size_t num_shards = shards_.size();
+  // per_shard[s][q] — written only by shard s's task, read after the join.
+  std::vector<std::vector<std::vector<graph::Neighbor>>> per_shard(num_shards);
+  for (auto& rows : per_shard) rows.resize(num_queries);
+  std::vector<double> shard_cycles(num_shards, 0.0);
+
+  // One task per shard: each claims a worker and runs its kernel launch
+  // inline (Device::Launch's nested ParallelFor detects the worker context),
+  // so shards execute concurrently — the host-side analogue of n GPUs
+  // serving in parallel.
+  ThreadPool::Global().ParallelFor(num_shards, [&](std::size_t s) {
+    shard_cycles[s] = SearchShard(s, queries, kernel, per_shard[s]);
+  });
+
+  if (stats != nullptr) {
+    stats->sim_cycles =
+        *std::max_element(shard_cycles.begin(), shard_cycles.end());
+    stats->sim_seconds = shards_[0]->device->CyclesToSeconds(stats->sim_cycles);
+  }
+
+  std::vector<std::vector<graph::Neighbor>> merged(num_queries);
+  std::vector<std::vector<graph::Neighbor>> heads(num_shards);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      heads[s] = std::move(per_shard[s][q]);
+    }
+    merged[q] = MergeTopK(heads, queries[q].k);
+  }
+  return merged;
+}
+
+std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchSerial(
+    std::span<const RoutedQuery> queries, core::SearchKernel kernel) {
+  std::vector<std::vector<graph::Neighbor>> merged(queries.size());
+  std::vector<std::vector<graph::Neighbor>> heads(shards_.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      SearchShard(s, queries.subspan(q, 1), kernel,
+                  std::span<std::vector<graph::Neighbor>>(&heads[s], 1));
+    }
+    merged[q] = MergeTopK(heads, queries[q].k);
+  }
+  return merged;
+}
+
+bool ShardedIndex::SaveShards(const std::string& prefix) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string path = prefix + ".shard" + std::to_string(s);
+    const Shard& shard = *shards_[s];
+    const bool ok = shard.nsw != nullptr ? shard.nsw->SaveTo(path)
+                                         : shard.hnsw->SaveTo(path);
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<ShardedIndex> ShardedIndex::LoadShards(
+    const std::string& prefix, const data::Dataset& base,
+    std::size_t num_shards, const ShardBuildOptions& options) {
+  if (num_shards < 1 || base.size() < num_shards) return std::nullopt;
+  ShardedIndex index;
+  index.options_ = options;
+  const std::size_t per_shard = base.size() / num_shards;
+  const std::size_t remainder = base.size() % num_shards;
+  VertexId begin = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const VertexId end = begin + static_cast<VertexId>(per_shard) +
+                         (s < remainder ? 1 : 0);
+    auto shard = std::make_unique<Shard>(SliceDataset(base, begin, end));
+    shard->offset = begin;
+    shard->device = std::make_unique<gpusim::Device>(options.device);
+    const std::string path = prefix + ".shard" + std::to_string(s);
+    if (options.kind == core::GraphKind::kNsw) {
+      auto graph = graph::ProximityGraph::LoadFrom(path);
+      if (!graph.has_value() ||
+          graph->num_vertices() != shard->base.size()) {
+        return std::nullopt;
+      }
+      shard->nsw = std::make_unique<graph::ProximityGraph>(*std::move(graph));
+    } else {
+      auto graph = graph::HnswGraph::LoadFrom(path);
+      if (!graph.has_value() ||
+          graph->num_vertices() != shard->base.size()) {
+        return std::nullopt;
+      }
+      shard->hnsw = std::make_unique<graph::HnswGraph>(*std::move(graph));
+    }
+    index.shards_.push_back(std::move(shard));
+    begin = end;
+  }
+  return index;
+}
+
+}  // namespace serve
+}  // namespace ganns

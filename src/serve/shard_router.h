@@ -1,0 +1,155 @@
+#ifndef GANNS_SERVE_SHARD_ROUTER_H_
+#define GANNS_SERVE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ganns_index.h"
+#include "core/ggraphcon.h"
+#include "data/dataset.h"
+#include "gpusim/device.h"
+#include "graph/hnsw.h"
+#include "graph/proximity_graph.h"
+#include "serve/types.h"
+
+namespace ganns {
+namespace serve {
+
+/// Construction-side configuration of a sharded index. Every shard is built
+/// by the existing GGraphCon paths over its slice of the corpus and owns a
+/// private simulated device — n shards model n GPUs serving one collection.
+struct ShardBuildOptions {
+  core::GraphKind kind = core::GraphKind::kNsw;
+  graph::NswParams nsw;
+  graph::HnswParams hnsw;
+  /// GGraphCon grouping (scaled down automatically for small shards).
+  int num_groups = 64;
+  core::SearchKernel construction_kernel = core::SearchKernel::kGanns;
+  int block_lanes = 32;
+  /// Device spec replicated per shard.
+  gpusim::DeviceSpec device;
+};
+
+/// One query of a routed batch (borrowed views — the engine owns the
+/// request storage for the duration of the call).
+struct RoutedQuery {
+  std::span<const float> query;
+  std::size_t k = 10;
+  /// Total visited budget; the router derives the per-shard beam width.
+  std::size_t budget = 64;
+};
+
+/// Simulated-device timing of one routed batch.
+struct RouteStats {
+  /// Batch duration: shards execute on parallel devices, so the batch ends
+  /// when the slowest shard's kernel drains.
+  double sim_cycles = 0;
+  double sim_seconds = 0;
+};
+
+/// A dataset split into `num_shards` contiguous partitions, each carrying
+/// its own proximity graph and simulated device. Shard s owns global ids
+/// [offset(s), offset(s) + shard_size(s)); search results are rebased onto
+/// global ids before the deterministic top-k merge.
+class ShardedIndex {
+ public:
+  /// Splits `base` into contiguous slices and builds one graph per shard
+  /// (GGraphCon NSW or HNSW per `options.kind`). Deterministic in
+  /// (base, num_shards, options).
+  static ShardedIndex Build(const data::Dataset& base, std::size_t num_shards,
+                            const ShardBuildOptions& options);
+
+  ShardedIndex(ShardedIndex&&) = default;
+  ShardedIndex& operator=(ShardedIndex&&) = default;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Total corpus points across shards.
+  std::size_t size() const;
+  std::size_t dim() const;
+  VertexId shard_offset(std::size_t s) const { return shards_[s]->offset; }
+  const graph::ProximityGraph& shard_graph(std::size_t s) const;
+
+  /// The beam width each shard receives for a request with `budget`:
+  /// max(k, budget / num_shards), so total candidate capacity is held
+  /// constant as the shard count varies.
+  std::size_t PerShardBudget(std::size_t budget, std::size_t k) const;
+
+  /// Routes a batch across every shard — shards run concurrently on the
+  /// host ThreadPool, one simulated kernel launch per shard with one block
+  /// per query — then k-way merges each query's per-shard rows.
+  /// Results are aggregated by (shard, query) index, never by completion
+  /// order, so the output is bit-identical to SearchSerial.
+  std::vector<std::vector<graph::Neighbor>> SearchBatch(
+      std::span<const RoutedQuery> queries, core::SearchKernel kernel,
+      RouteStats* stats = nullptr);
+
+  /// Single-threaded reference execution: one launch per (query, shard),
+  /// strictly in index order. Exists to state (and test) the determinism
+  /// contract: batching, micro-batch composition, and shard parallelism
+  /// never change what a query returns.
+  std::vector<std::vector<graph::Neighbor>> SearchSerial(
+      std::span<const RoutedQuery> queries, core::SearchKernel kernel);
+
+  /// Lifetime count of (query, shard) kernel searches dispatched. Expired
+  /// requests must never increment this — asserted by the serving tests.
+  std::uint64_t kernel_queries() const {
+    return kernel_queries_->load(std::memory_order_relaxed);
+  }
+
+  /// Persists every shard graph as `<prefix>.shard<N>` via the graph
+  /// serialization layer. Returns false on IO failure.
+  bool SaveShards(const std::string& prefix) const;
+
+  /// Rebuild-free load: restores shard graphs written by SaveShards over the
+  /// same corpus and options. Returns std::nullopt on missing/truncated/
+  /// mismatched files.
+  static std::optional<ShardedIndex> LoadShards(
+      const std::string& prefix, const data::Dataset& base,
+      std::size_t num_shards, const ShardBuildOptions& options);
+
+ private:
+  /// One partition: a corpus slice, its graph(s), and a private device.
+  /// unique_ptr keeps shard addresses stable under vector moves.
+  struct Shard {
+    explicit Shard(data::Dataset slice) : base(std::move(slice)) {}
+
+    data::Dataset base;
+    VertexId offset = 0;
+    std::unique_ptr<gpusim::Device> device;
+    std::unique_ptr<graph::ProximityGraph> nsw;  // kind == kNsw
+    std::unique_ptr<graph::HnswGraph> hnsw;      // kind == kHnsw
+
+    const graph::ProximityGraph& bottom() const {
+      return nsw != nullptr ? *nsw : hnsw->layer(0);
+    }
+  };
+
+  ShardedIndex() = default;
+
+  /// Runs one shard's batch as a single simulated kernel launch, writing
+  /// global-id rows into rows[q]. Returns the launch's simulated cycles.
+  double SearchShard(std::size_t s, std::span<const RoutedQuery> queries,
+                     core::SearchKernel kernel,
+                     std::span<std::vector<graph::Neighbor>> rows);
+
+  static Shard BuildShard(const data::Dataset& base, VertexId begin,
+                          VertexId end, const ShardBuildOptions& options);
+  static data::Dataset SliceDataset(const data::Dataset& base, VertexId begin,
+                                    VertexId end);
+
+  ShardBuildOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Heap-held so the index stays movable (std::atomic is not).
+  std::unique_ptr<std::atomic<std::uint64_t>> kernel_queries_ =
+      std::make_unique<std::atomic<std::uint64_t>>(0);
+};
+
+}  // namespace serve
+}  // namespace ganns
+
+#endif  // GANNS_SERVE_SHARD_ROUTER_H_

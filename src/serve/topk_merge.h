@@ -1,0 +1,31 @@
+#ifndef GANNS_SERVE_TOPK_MERGE_H_
+#define GANNS_SERVE_TOPK_MERGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/beam_search.h"
+
+namespace ganns {
+namespace serve {
+
+/// Deterministic k-way merge of per-shard top-k rows.
+///
+/// Inputs are the shards' result rows for one query, each sorted ascending
+/// by (dist, id) with globally disjoint id ranges (the router rebases shard
+/// ids onto the global numbering before merging). The output is the best k
+/// of the union under the same strict weak order.
+///
+/// Determinism argument: (dist, id) is a total order over the union — ids
+/// are unique across shards, so no comparison ever ties — hence the merged
+/// row is a pure function of the input *sets*, independent of shard order,
+/// thread schedule, or batch composition. This is what makes sharded serving
+/// results bit-identical to a serial shard-at-a-time execution.
+std::vector<graph::Neighbor> MergeTopK(
+    std::span<const std::vector<graph::Neighbor>> shard_rows, std::size_t k);
+
+}  // namespace serve
+}  // namespace ganns
+
+#endif  // GANNS_SERVE_TOPK_MERGE_H_

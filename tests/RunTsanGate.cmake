@@ -1,0 +1,37 @@
+# Configures and builds a ThreadSanitizer-instrumented tree of this project
+# and runs the concurrency-sensitive tests in it. Invoked by the
+# `tsan_serve_and_common` ctest entry (see tests/CMakeLists.txt) with:
+#   -DGANNS_SRC=<source dir> -DGANNS_TSAN_BUILD=<subbuild dir>
+#
+# The whole tree is instrumented (GANNS_SANITIZE=thread applies
+# add_compile_options globally) — mixing instrumented tests with
+# uninstrumented libraries would hide the ThreadPool/queue synchronization
+# from TSan and report false races.
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${GANNS_SRC} -B ${GANNS_TSAN_BUILD}
+          -DGANNS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "TSan subbuild configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${GANNS_TSAN_BUILD}
+          --target serve_test common_concurrency_test
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "TSan subbuild compile failed")
+endif()
+
+execute_process(COMMAND ${GANNS_TSAN_BUILD}/tests/common_concurrency_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "common_concurrency_test failed under TSan")
+endif()
+
+execute_process(COMMAND ${GANNS_TSAN_BUILD}/tests/serve_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve_test failed under TSan")
+endif()

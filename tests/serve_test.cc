@@ -1,0 +1,349 @@
+// Tests for the online serving subsystem (src/serve): the deterministic
+// sharded merge, the bounded queue / micro-batcher concurrency, admission
+// control, deadline enforcement, graceful shutdown, and shard persistence.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/ground_truth.h"
+#include "data/synthetic.h"
+#include "graph/hnsw.h"
+#include "serve/micro_batcher.h"
+#include "serve/request_queue.h"
+#include "serve/serve_engine.h"
+#include "serve/shard_router.h"
+#include "serve/topk_merge.h"
+
+namespace ganns {
+namespace serve {
+namespace {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 600;
+  static constexpr std::size_t kQueries = 20;
+  static constexpr std::size_t kK = 10;
+
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), kN, 11));
+    queries_ = std::make_unique<data::Dataset>(
+        data::GenerateQueries(data::PaperDataset("SIFT1M"), kQueries, kN, 11));
+  }
+
+  QueryRequest MakeRequest(std::size_t q, std::size_t budget) const {
+    QueryRequest request;
+    request.id = q;
+    const auto point = queries_->Point(static_cast<VertexId>(q));
+    request.query.assign(point.begin(), point.end());
+    request.k = kK;
+    request.budget = budget;
+    return request;
+  }
+
+  std::vector<RoutedQuery> RoutedQueries(std::size_t budget) const {
+    std::vector<RoutedQuery> routed(kQueries);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      routed[q].query = queries_->Point(static_cast<VertexId>(q));
+      routed[q].k = kK;
+      routed[q].budget = budget;
+    }
+    return routed;
+  }
+
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<data::Dataset> queries_;
+};
+
+TEST(TopKMergeTest, MergesDisjointSortedRows) {
+  const std::vector<std::vector<graph::Neighbor>> rows = {
+      {{0.1f, 0}, {0.5f, 2}},
+      {{0.2f, 10}, {0.5f, 11}, {0.9f, 12}},
+      {},
+  };
+  const auto merged = MergeTopK(rows, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 0u);
+  EXPECT_EQ(merged[1].id, 10u);
+  // Equal distances break ties by id: 2 < 11.
+  EXPECT_EQ(merged[2].id, 2u);
+  EXPECT_EQ(merged[3].id, 11u);
+}
+
+TEST(TopKMergeTest, ShardOrderDoesNotMatter) {
+  std::vector<std::vector<graph::Neighbor>> rows = {
+      {{0.1f, 0}, {0.5f, 2}},
+      {{0.2f, 10}, {0.9f, 12}},
+  };
+  const auto forward = MergeTopK(rows, 3);
+  std::swap(rows[0], rows[1]);
+  EXPECT_EQ(MergeTopK(rows, 3), forward);
+}
+
+// (a) With an exhaustive budget (every shard can visit its whole slice),
+// the sharded merge must equal brute-force ground truth exactly — and
+// therefore any two shard counts are bit-identical to each other.
+TEST_F(ServeTest, ShardedMergeMatchesSingleShardGroundTruth) {
+  const data::GroundTruth truth = data::BruteForceKnn(*base_, *queries_, kK);
+  // Per-shard budget >= shard size for both shard counts (1024 for n=1,
+  // 341 for n=3), so every shard's beam covers its whole slice — while
+  // staying inside the kernel's simulated shared-memory limit.
+  const std::size_t exhaustive = 1024;
+  const auto routed = RoutedQueries(exhaustive);
+
+  std::vector<std::vector<std::vector<graph::Neighbor>>> per_count;
+  for (const std::size_t shards : {1u, 3u}) {
+    ShardedIndex index = ShardedIndex::Build(*base_, shards, {});
+    per_count.push_back(index.SearchBatch(routed, core::SearchKernel::kGanns));
+    ASSERT_EQ(per_count.back().size(), kQueries);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      const auto& row = per_count.back()[q];
+      ASSERT_EQ(row.size(), kK) << "shards=" << shards << " q=" << q;
+      for (std::size_t i = 0; i < kK; ++i) {
+        EXPECT_EQ(row[i].id, truth.neighbors[q][i])
+            << "shards=" << shards << " q=" << q << " rank=" << i;
+      }
+    }
+  }
+  EXPECT_EQ(per_count[0], per_count[1]);
+}
+
+// Batched concurrent execution must be bit-identical to the single-threaded
+// index-ordered reference, at a non-exhaustive budget where approximation
+// (but not scheduling) shapes the result.
+TEST_F(ServeTest, BatchExecutionMatchesSerialReference) {
+  ShardedIndex index = ShardedIndex::Build(*base_, 3, {});
+  const auto routed = RoutedQueries(64);
+  const auto batched = index.SearchBatch(routed, core::SearchKernel::kGanns);
+  const auto serial = index.SearchSerial(routed, core::SearchKernel::kGanns);
+  EXPECT_EQ(batched, serial);
+}
+
+// (b) Concurrent submitters racing into the engine get exactly the answers
+// the offline router computes; batching composition never leaks into
+// results.
+TEST_F(ServeTest, ConcurrentSubmittersGetDeterministicResults) {
+  constexpr std::size_t kSubmitters = 4;
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  const auto expected =
+      index.SearchSerial(RoutedQueries(64), core::SearchKernel::kGanns);
+
+  ServeOptions options;
+  options.max_batch = 7;  // force batches that mix submitter streams
+  ServeEngine engine(index, options);
+  engine.Start();
+
+  std::vector<std::future<QueryResponse>> futures(kQueries);
+  std::mutex futures_mutex;
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t q = t; q < kQueries; q += kSubmitters) {
+        auto future = engine.Submit(MakeRequest(q, 64));
+        std::lock_guard<std::mutex> lock(futures_mutex);
+        futures[q] = std::move(future);
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const QueryResponse response = futures[q].get();
+    EXPECT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.id, q);
+    EXPECT_EQ(response.neighbors, expected[q]) << "q=" << q;
+    EXPECT_GE(response.batch_size, 1u);
+  }
+  engine.Shutdown();
+  EXPECT_EQ(engine.counters().served, kQueries);
+}
+
+// (c) Admission control: beyond queue_capacity pending requests,
+// submissions are rejected immediately with kRejected. Submitting before
+// Start() makes the fill deterministic.
+TEST_F(ServeTest, AdmissionControlRejectsAtCapacity) {
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeOptions options;
+  options.queue_capacity = 3;
+  ServeEngine engine(index, options);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (std::size_t q = 0; q < 8; ++q) {
+    futures.push_back(engine.Submit(MakeRequest(q, 64)));
+  }
+  // The overflow futures are already resolved, before the engine even runs.
+  for (std::size_t q = options.queue_capacity; q < 8; ++q) {
+    ASSERT_EQ(futures[q].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[q].get().status, StatusCode::kRejected);
+  }
+
+  engine.Start();
+  for (std::size_t q = 0; q < options.queue_capacity; ++q) {
+    EXPECT_EQ(futures[q].get().status, StatusCode::kOk);
+  }
+  engine.Shutdown();
+  const ServeCounters counters = engine.counters();
+  EXPECT_EQ(counters.admitted, options.queue_capacity);
+  EXPECT_EQ(counters.rejected, 8 - options.queue_capacity);
+  EXPECT_EQ(counters.served, options.queue_capacity);
+}
+
+// (d) A request whose deadline passed while it queued is answered
+// kDeadlineExceeded and never dispatched to a kernel.
+TEST_F(ServeTest, ExpiredRequestsNeverReachAKernel) {
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  const std::uint64_t searches_before = index.kernel_queries();
+
+  ServeEngine engine(index, {});
+  std::vector<std::future<QueryResponse>> futures;
+  for (std::size_t q = 0; q < 5; ++q) {
+    QueryRequest request = MakeRequest(q, 64);
+    request.deadline = ServeClock::now() - std::chrono::milliseconds(1);
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+  engine.Start();
+  for (auto& future : futures) {
+    const QueryResponse response = future.get();
+    EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(response.neighbors.empty());
+    EXPECT_EQ(response.batch_size, 0u);
+  }
+  engine.Shutdown();
+  EXPECT_EQ(index.kernel_queries(), searches_before);
+  EXPECT_EQ(engine.counters().expired, 5u);
+  EXPECT_EQ(engine.counters().served, 0u);
+}
+
+// (e) Shutdown closes admission but drains everything already accepted;
+// submissions after shutdown resolve immediately with kShutdown.
+TEST_F(ServeTest, ShutdownDrainsInFlightWork) {
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeEngine engine(index, {});
+  std::vector<std::future<QueryResponse>> futures;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    futures.push_back(engine.Submit(MakeRequest(q, 64)));
+  }
+  engine.Start();
+  engine.Shutdown();  // close + drain + join
+
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().status, StatusCode::kOk);
+  }
+  EXPECT_EQ(engine.counters().served, kQueries);
+
+  auto late = engine.Submit(MakeRequest(0, 64));
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(late.get().status, StatusCode::kShutdown);
+}
+
+TEST_F(ServeTest, ShardPersistenceRoundtrip) {
+  const std::string prefix = ::testing::TempDir() + "/serve_shards";
+  ShardedIndex built = ShardedIndex::Build(*base_, 2, {});
+  const auto routed = RoutedQueries(64);
+  const auto before = built.SearchBatch(routed, core::SearchKernel::kGanns);
+  ASSERT_TRUE(built.SaveShards(prefix));
+
+  auto loaded = ShardedIndex::LoadShards(prefix, *base_, 2, {});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->SearchBatch(routed, core::SearchKernel::kGanns), before);
+
+  // Truncation is detected, not crashed on.
+  ASSERT_EQ(std::remove((prefix + ".shard1").c_str()), 0);
+  std::FILE* stub = std::fopen((prefix + ".shard1").c_str(), "wb");
+  ASSERT_NE(stub, nullptr);
+  std::fputs("short", stub);
+  std::fclose(stub);
+  EXPECT_FALSE(ShardedIndex::LoadShards(prefix, *base_, 2, {}).has_value());
+  std::remove((prefix + ".shard0").c_str());
+  std::remove((prefix + ".shard1").c_str());
+}
+
+TEST_F(ServeTest, HnswGraphStreamRoundtrip) {
+  graph::HnswParams params;
+  const graph::HnswGraph built =
+      std::move(graph::BuildHnswCpu(*base_, params).graph);
+  const std::string path = ::testing::TempDir() + "/hnsw.bin";
+  ASSERT_TRUE(built.SaveTo(path));
+
+  const auto loaded = graph::HnswGraph::LoadFrom(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), built.num_vertices());
+  EXPECT_EQ(loaded->max_level(), built.max_level());
+  EXPECT_EQ(loaded->entry(), built.entry());
+  for (VertexId v = 0; v < static_cast<VertexId>(kN); ++v) {
+    ASSERT_EQ(loaded->level(v), built.level(v)) << "v=" << v;
+  }
+  for (int l = 0; l <= built.max_level(); ++l) {
+    for (VertexId v = 0; v < static_cast<VertexId>(kN); ++v) {
+      if (built.level(v) < l) continue;
+      const auto a = built.layer(l).Neighbors(v);
+      const auto b = loaded->layer(l).Neighbors(v);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "l=" << l << " v=" << v;
+    }
+  }
+
+  // A truncated file is rejected cleanly.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  std::FILE* stub = std::fopen(path.c_str(), "wb");
+  const std::uint64_t magic_only = 0x57534e4847ULL;
+  std::fwrite(&magic_only, sizeof(magic_only), 1, stub);
+  std::fclose(stub);
+  EXPECT_FALSE(graph::HnswGraph::LoadFrom(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(BoundedQueueTest, PushPopCloseSemantics) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.Push(1), BoundedQueue<int>::PushResult::kOk);
+  EXPECT_EQ(queue.Push(2), BoundedQueue<int>::PushResult::kOk);
+  EXPECT_EQ(queue.Push(3), BoundedQueue<int>::PushResult::kFull);
+
+  queue.Close();
+  EXPECT_EQ(queue.Push(4), BoundedQueue<int>::PushResult::kClosed);
+
+  int out = 0;
+  EXPECT_EQ(queue.Pop(out), BoundedQueue<int>::PopResult::kItem);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.Pop(out), BoundedQueue<int>::PopResult::kItem);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(queue.Pop(out), BoundedQueue<int>::PopResult::kClosed);
+}
+
+TEST(MicroBatcherTest, FlushesOnSizeCap) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(queue.Push(i), BoundedQueue<int>::PushResult::kOk);
+  MicroBatcher<int> batcher(queue, 4, std::chrono::microseconds(0));
+  EXPECT_EQ(batcher.NextBatch().size(), 4u);
+  EXPECT_EQ(batcher.NextBatch().size(), 4u);
+  EXPECT_EQ(batcher.NextBatch().size(), 2u);  // greedy drain of the rest
+  queue.Close();
+  EXPECT_TRUE(batcher.NextBatch().empty());
+}
+
+TEST(MicroBatcherTest, WindowBoundsTheWait) {
+  BoundedQueue<int> queue(16);
+  ASSERT_EQ(queue.Push(42), BoundedQueue<int>::PushResult::kOk);
+  MicroBatcher<int> batcher(queue, 8, std::chrono::microseconds(2000));
+  const auto start = ServeClock::now();
+  const auto batch = batcher.NextBatch();
+  const auto waited = ServeClock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);  // window expired with one request
+  EXPECT_GE(waited, std::chrono::microseconds(1500));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ganns

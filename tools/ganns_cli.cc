@@ -14,6 +14,19 @@
 //   ganns profile --dataset SIFT1M --n 10000 [--queries 100] [--seed 1]
 //                [--k 10] [--ln 64] [--e 0] [--algo ganns|song]
 //                [--trace-out trace.json] [--metrics-out metrics.json]
+//   ganns serve-bench --dataset SIFT1M --n 20000 [--queries 500] [--seed 1]
+//                [--shards 2] [--k 10] [--budget 64]
+//                [--kernel ganns|song|beam] [--hnsw]
+//                [--max-batch 32] [--window-us 200] [--queue-cap 1024]
+//                [--deadline-us 0] [--save prefix | --load prefix]
+//                [--json out.json]
+//
+// `serve-bench` builds (or reloads via --load) a sharded index over a
+// synthetic corpus, starts the online serving engine, submits every query
+// closed-loop, and reports QPS + latency percentiles + recall as JSON.
+// --save/--load persist the per-shard graphs (`<prefix>.shardN`); a
+// truncated or version-mismatched file fails the load with a non-zero
+// exit.
 //
 // `profile` generates a synthetic corpus, builds an NSW graph with
 // GGraphCon, runs the search with full tracing + per-query profiling, and
@@ -24,10 +37,13 @@
 // metrics files included: device events are timestamped in simulated
 // cycles).
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
 #include <optional>
 #include <string>
@@ -42,6 +58,7 @@
 #include "graph/diagnostics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/serve_engine.h"
 #include "song/song_search.h"
 
 namespace {
@@ -172,7 +189,9 @@ int CmdSearch(const Args& args) {
 
   auto index = core::GannsIndex::Load(args.Require("index"), std::move(base));
   if (!index.has_value()) {
-    std::fprintf(stderr, "failed to load index %s\n",
+    std::fprintf(stderr,
+                 "failed to load index %s: missing, truncated, or "
+                 "version-mismatched (rebuild with `ganns build`)\n",
                  args.Require("index").c_str());
     return 1;
   }
@@ -384,10 +403,171 @@ int CmdProfile(const Args& args) {
   return 0;
 }
 
+core::SearchKernel ParseServeKernel(const Args& args) {
+  const std::string name = args.Get("kernel").value_or("ganns");
+  if (name == "ganns") return core::SearchKernel::kGanns;
+  if (name == "song") return core::SearchKernel::kSong;
+  if (name == "beam") return core::SearchKernel::kBeam;
+  std::fprintf(stderr, "unknown kernel '%s' (use ganns|song|beam)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/// Latency percentile over a sorted sample (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int CmdServeBench(const Args& args) {
+  const data::DatasetSpec& spec =
+      data::PaperDataset(args.Get("dataset").value_or("SIFT1M"));
+  const std::size_t n = static_cast<std::size_t>(args.Int("n", 20000));
+  const std::size_t num_queries =
+      static_cast<std::size_t>(args.Int("queries", 500));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Int("seed", 1));
+  const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
+  const std::size_t budget = static_cast<std::size_t>(args.Int("budget", 64));
+  const std::size_t num_shards =
+      static_cast<std::size_t>(args.Int("shards", 2));
+  const long deadline_us = args.Int("deadline-us", 0);
+
+  const data::Dataset base = data::GenerateBase(spec, n, seed);
+  const data::Dataset queries =
+      data::GenerateQueries(spec, num_queries, n, seed);
+
+  serve::ShardBuildOptions build_options;
+  build_options.num_groups = static_cast<int>(args.Int("groups", 64));
+  build_options.construction_kernel = ParseServeKernel(args);
+  if (build_options.construction_kernel == core::SearchKernel::kBeam) {
+    build_options.construction_kernel = core::SearchKernel::kGanns;
+  }
+  if (args.Flag("hnsw")) build_options.kind = core::GraphKind::kHnsw;
+
+  std::optional<serve::ShardedIndex> index;
+  if (const auto load = args.Get("load"); load.has_value()) {
+    index = serve::ShardedIndex::LoadShards(*load, base, num_shards,
+                                            build_options);
+    if (!index.has_value()) {
+      std::fprintf(stderr,
+                   "failed to load shard files %s.shard0..%zu: missing, "
+                   "truncated, or version-mismatched (rebuild with --save)\n",
+                   load->c_str(), num_shards - 1);
+      return 1;
+    }
+    std::printf("loaded %zu shard graphs from %s.shard*\n", num_shards,
+                load->c_str());
+  } else {
+    index = serve::ShardedIndex::Build(base, num_shards, build_options);
+    if (const auto save = args.Get("save"); save.has_value()) {
+      if (!index->SaveShards(*save)) {
+        std::fprintf(stderr, "failed to save shard files to %s.shard*\n",
+                     save->c_str());
+        return 1;
+      }
+      std::printf("saved %zu shard graphs to %s.shard*\n", num_shards,
+                  save->c_str());
+    }
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.max_batch = static_cast<std::size_t>(args.Int("max-batch", 32));
+  serve_options.batch_window_us = args.Int("window-us", 200);
+  serve_options.queue_capacity =
+      static_cast<std::size_t>(args.Int("queue-cap", 1024));
+  serve_options.kernel = ParseServeKernel(args);
+
+  serve::ServeEngine engine(*index, serve_options);
+  engine.Start();
+
+  const auto bench_start = serve::ServeClock::now();
+  std::vector<std::future<serve::QueryResponse>> futures;
+  futures.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    serve::QueryRequest request;
+    request.id = q;
+    const auto point = queries.Point(static_cast<VertexId>(q));
+    request.query.assign(point.begin(), point.end());
+    request.k = k;
+    request.budget = budget;
+    if (deadline_us > 0) {
+      request.deadline = serve::DeadlineAfterMicros(deadline_us);
+    }
+    futures.push_back(engine.Submit(std::move(request)));
+  }
+
+  std::vector<std::vector<VertexId>> ids(num_queries);
+  std::vector<double> latencies;
+  latencies.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    serve::QueryResponse response = futures[q].get();
+    if (response.status != serve::StatusCode::kOk) continue;
+    latencies.push_back(response.latency_us);
+    for (const auto& neighbor : response.neighbors) {
+      ids[response.id].push_back(neighbor.id);
+    }
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(serve::ServeClock::now() - bench_start)
+          .count();
+  engine.Shutdown();
+
+  const serve::ServeCounters counters = engine.counters();
+  const double sim_seconds = engine.total_sim_seconds();
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, k);
+  const double recall = data::MeanRecall(ids, truth, k);
+  std::sort(latencies.begin(), latencies.end());
+
+  std::string json = "{\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  \"shards\": %zu,\n", num_shards);
+  json += line;
+  std::snprintf(line, sizeof(line), "  \"queries\": %zu,\n", num_queries);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"served\": %llu, \"rejected\": %llu, \"expired\": %llu,\n",
+                static_cast<unsigned long long>(counters.served),
+                static_cast<unsigned long long>(counters.rejected),
+                static_cast<unsigned long long>(counters.expired));
+  json += line;
+  std::snprintf(line, sizeof(line), "  \"recall\": %.4f,\n", recall);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"sim_qps\": %.0f, \"wall_qps\": %.0f,\n",
+                sim_seconds > 0 ? static_cast<double>(counters.served) /
+                                      sim_seconds
+                                : 0.0,
+                wall_seconds > 0 ? static_cast<double>(counters.served) /
+                                       wall_seconds
+                                 : 0.0);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"latency_us\": {\"p50\": %.1f, \"p95\": %.1f, "
+                "\"p99\": %.1f}\n}\n",
+                Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+                Percentile(latencies, 0.99));
+  json += line;
+
+  if (const auto out = args.Get("json"); out.has_value()) {
+    std::FILE* file = std::fopen(out->c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
+      if (file != nullptr) std::fclose(file);
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::fclose(file);
+    std::printf("wrote %s\n", out->c_str());
+  }
+  std::fputs(json.c_str(), stdout);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: ganns <gen|build|search|eval|profile> --flag value "
-               "...\n"
+               "usage: ganns <gen|build|search|eval|profile|serve-bench> "
+               "--flag value ...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
 }
@@ -403,5 +583,6 @@ int main(int argc, char** argv) {
   if (command == "search") return CmdSearch(args);
   if (command == "eval") return CmdEval(args);
   if (command == "profile") return CmdProfile(args);
+  if (command == "serve-bench") return CmdServeBench(args);
   return Usage();
 }
