@@ -69,6 +69,25 @@ graph::ProximityGraph CachedNswGraph(const Workload& workload,
   return std::move(built.graph);
 }
 
+std::string ProvenanceJson() {
+  const auto field = [](const char* env) {
+    const char* value = std::getenv(env);
+    std::string clean = value != nullptr && *value != '\0' ? value : "unknown";
+    // The fields land inside a JSON string; drop anything that would need
+    // escaping rather than implementing an escaper for host names.
+    std::erase_if(clean, [](char c) {
+      return c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+    });
+    return clean;
+  };
+  std::string json = "{";
+  json += "\"git_sha\": \"" + field("GANNS_PROV_GIT_SHA") + "\", ";
+  json += "\"date\": \"" + field("GANNS_PROV_DATE") + "\", ";
+  json += "\"host\": \"" + field("GANNS_PROV_HOST") + "\", ";
+  json += "\"flags\": \"" + field("GANNS_PROV_FLAGS") + "\"}";
+  return json;
+}
+
 void PrintHeader(const std::string& bench_name, const BenchConfig& config) {
   std::printf("# %s\n", bench_name.c_str());
   std::printf("# scale=%zu queries=%zu seed=%llu\n", config.scale,

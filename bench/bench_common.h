@@ -54,6 +54,13 @@ graph::ProximityGraph CachedNswGraph(const Workload& workload,
 /// Prints the standard bench header (config echo) to stdout.
 void PrintHeader(const std::string& bench_name, const BenchConfig& config);
 
+/// JSON object recording what produced a BENCH_*.json: git sha, date, host,
+/// and build flags, read from the GANNS_PROV_GIT_SHA / GANNS_PROV_DATE /
+/// GANNS_PROV_HOST / GANNS_PROV_FLAGS environment (exported by
+/// run_benches.sh). Unset fields render as "unknown". bench_diff prints the
+/// block in regression reports and never gates on it.
+std::string ProvenanceJson();
+
 }  // namespace bench
 }  // namespace ganns
 

@@ -154,7 +154,8 @@ int main(int argc, char** argv) {
   const char* offered = std::getenv("GANNS_SERVE_QPS");
   const double offered_qps = offered != nullptr ? std::atof(offered) : 0.0;
 
-  std::string json = "{\n  \"results\": [\n";
+  std::string json =
+      "{\n  \"provenance\": " + bench::ProvenanceJson() + ",\n  \"results\": [\n";
   bool first = true;
   for (const std::size_t shards : {1u, 2u, 4u}) {
     serve::ShardBuildOptions build_options;

@@ -10,6 +10,14 @@
 cd "$(dirname "$0")"
 exec > bench_output.txt 2>&1
 
+# Provenance, stamped into every BENCH_*.json the binaries write (see
+# bench::ProvenanceJson), so a regression report names the commit, time,
+# host, and build flags that produced the numbers.
+export GANNS_PROV_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export GANNS_PROV_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+export GANNS_PROV_HOST="$(hostname 2>/dev/null || echo unknown)"
+export GANNS_PROV_FLAGS="$(grep -E '^CMAKE_BUILD_TYPE|^GANNS_(TRACING|SANITIZE|NATIVE_ARCH)' build/CMakeCache.txt 2>/dev/null | tr '\n' ' ' || echo unknown)"
+
 export GANNS_QUERIES=200
 export GANNS_SCALE=10000
 for b in table1_datasets fig06_throughput_recall fig07_time_breakdown \

@@ -1,0 +1,134 @@
+#include "obs/hdr_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace obs {
+
+// Index layout (B = kSubBucketCount, b = kSubBucketBits):
+//   values < 2B            -> index = value            (exact, one per value)
+//   values in [2^(b+s), 2^(b+1+s)), s >= 1
+//                          -> index = (s+1)*B + (value >> s) - B
+// so each octave above the exact region occupies one block of B indices.
+std::size_t HdrHistogram::BucketIndex(std::uint64_t value) {
+  const int width = std::bit_width(value);
+  if (width <= kSubBucketBits + 1) return static_cast<std::size_t>(value);
+  const int shift = width - (kSubBucketBits + 1);
+  return static_cast<std::size_t>(shift + 1) * kSubBucketCount +
+         static_cast<std::size_t>(value >> shift) - kSubBucketCount;
+}
+
+std::uint64_t HdrHistogram::BucketUpperBound(std::size_t index) {
+  if (index < 2 * kSubBucketCount) return index;
+  const int shift = static_cast<int>(index / kSubBucketCount) - 1;
+  const std::uint64_t sub = index % kSubBucketCount + kSubBucketCount;
+  return ((sub + 1) << shift) - 1;
+}
+
+std::size_t HdrHistogram::NumBuckets() {
+  // The widest value (64 bits) has shift 64 - (b+1); one block of B indices
+  // per shift plus the 2B exact indices.
+  constexpr int kMaxShift = 64 - (kSubBucketBits + 1);
+  return static_cast<std::size_t>(kMaxShift + 1) * kSubBucketCount +
+         kSubBucketCount;
+}
+
+HdrHistogram::HdrHistogram() : buckets_(NumBuckets()) {}
+
+void HdrHistogram::RecordWithExemplar(std::uint64_t value,
+                                      std::uint64_t exemplar_id) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  if (exemplar_id != kNoExemplar) OfferExemplar(value, exemplar_id);
+}
+
+void HdrHistogram::OfferExemplar(std::uint64_t value, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplars_.push_back({value, id});
+  // Largest values first; equal values keep the smaller id, so the set is
+  // independent of recording order.
+  std::sort(exemplars_.begin(), exemplars_.end(),
+            [](const Exemplar& a, const Exemplar& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.id < b.id;
+            });
+  if (exemplars_.size() > kMaxExemplars) exemplars_.resize(kMaxExemplars);
+}
+
+std::uint64_t HdrHistogram::min() const {
+  const std::uint64_t value = min_.load(std::memory_order_relaxed);
+  return value == ~0ull ? 0 : value;
+}
+
+std::uint64_t HdrHistogram::ValueAtQuantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return std::min(BucketUpperBound(i), max());
+  }
+  return max();
+}
+
+std::uint64_t HdrHistogram::HighestEquivalent(std::uint64_t value) {
+  return BucketUpperBound(BucketIndex(value));
+}
+
+void HdrHistogram::MergeFrom(const HdrHistogram& other) {
+  GANNS_CHECK(&other != this);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  const std::uint64_t other_max = other.max();
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+  const std::uint64_t other_min = other.min_.load(std::memory_order_relaxed);
+  seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  for (const Exemplar& exemplar : other.exemplars()) {
+    OfferExemplar(exemplar.value, exemplar.id);
+  }
+}
+
+std::vector<HdrHistogram::Exemplar> HdrHistogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return exemplars_;
+}
+
+void HdrHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplars_.clear();
+}
+
+}  // namespace obs
+}  // namespace ganns

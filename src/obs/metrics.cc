@@ -28,7 +28,20 @@ struct RegistryState {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdr;
 };
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+/// (the registry's dots) to '_' and prefix the project namespace.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "ganns_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
 
 RegistryState& State() {
   static RegistryState* state = new RegistryState();
@@ -126,12 +139,24 @@ Histogram& MetricsRegistry::GetHistogram(
   return *it->second;
 }
 
+HdrHistogram& MetricsRegistry::GetHdr(std::string_view name) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.hdr.find(name);
+  if (it == state.hdr.end()) {
+    it = state.hdr.emplace(std::string(name), std::make_unique<HdrHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 void MetricsRegistry::Reset() {
   RegistryState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
   for (auto& [name, counter] : state.counters) counter->Reset();
   for (auto& [name, gauge] : state.gauges) gauge->Reset();
   for (auto& [name, histogram] : state.histograms) histogram->Reset();
+  for (auto& [name, hdr] : state.hdr) hdr->Reset();
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -173,8 +198,90 @@ std::string MetricsRegistry::ToJson() const {
     }
     out += "]}";
   }
+  out += "\n},\n\"hdr\":{";
+  first = true;
+  for (const auto& [name, hdr] : state.hdr) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"" + name + "\":{\"count\":" + std::to_string(hdr->count()) +
+           ",\"sum\":" + std::to_string(hdr->sum()) +
+           ",\"min\":" + std::to_string(hdr->min()) +
+           ",\"max\":" + std::to_string(hdr->max()) + ",\"mean\":";
+    AppendDouble(out, hdr->mean());
+    out += ",\"p50\":" + std::to_string(hdr->ValueAtQuantile(0.50)) +
+           ",\"p90\":" + std::to_string(hdr->ValueAtQuantile(0.90)) +
+           ",\"p95\":" + std::to_string(hdr->ValueAtQuantile(0.95)) +
+           ",\"p99\":" + std::to_string(hdr->ValueAtQuantile(0.99)) +
+           ",\"p999\":" + std::to_string(hdr->ValueAtQuantile(0.999)) +
+           ",\"exemplars\":[";
+    bool first_exemplar = true;
+    for (const HdrHistogram::Exemplar& exemplar : hdr->exemplars()) {
+      if (!first_exemplar) out += ",";
+      first_exemplar = false;
+      out += "{\"id\":" + std::to_string(exemplar.id) +
+             ",\"value\":" + std::to_string(exemplar.value) + "}";
+    }
+    out += "]}";
+  }
   out += "\n}\n}\n";
   return out;
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::string out;
+  for (const auto& [name, counter] : state.counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : state.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendDouble(out, gauge->value());
+    out += "\n";
+  }
+  for (const auto& [name, histogram] : state.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    const auto bounds = histogram->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += histogram->bucket_count(i);
+      out += prom + "_bucket{le=\"" + std::to_string(bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(histogram->count()) +
+           "\n";
+    out += prom + "_sum " + std::to_string(histogram->sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  for (const auto& [name, hdr] : state.hdr) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.9", 0.90},
+          {"0.95", 0.95},
+          {"0.99", 0.99},
+          {"0.999", 0.999}}) {
+      out += prom + "{quantile=\"" + label + "\"} " +
+             std::to_string(hdr->ValueAtQuantile(q)) + "\n";
+    }
+    out += prom + "_sum " + std::to_string(hdr->sum()) + "\n";
+    out += prom + "_count " + std::to_string(hdr->count()) + "\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::WritePrometheus(const std::string& path) const {
+  const std::string text = ToPrometheus();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  return std::fclose(file) == 0 && written == text.size();
 }
 
 bool MetricsRegistry::WriteJson(const std::string& path) const {

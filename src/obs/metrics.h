@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+
 namespace ganns {
 namespace obs {
 
@@ -90,14 +92,28 @@ class MetricsRegistry {
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name,
                           std::span<const std::uint64_t> bounds = Pow2Bounds());
+  /// High-resolution log-linear histogram (serving latency SLOs). Same
+  /// interning contract as the other Get* accessors.
+  HdrHistogram& GetHdr(std::string_view name);
 
   /// Zeroes every registered metric (entries and references survive).
   void Reset();
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys sorted.
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"hdr":{...}} with
+  /// keys sorted. Every hdr entry carries count/sum/min/max/mean, the
+  /// p50/p90/p95/p99/p999 quantiles, and its exemplar links
+  /// ([{"id":...,"value":...}] — the trace ids of the slowest requests).
   std::string ToJson() const;
 
   bool WriteJson(const std::string& path) const;
+
+  /// Prometheus text exposition format: counters and gauges as-is, bucketed
+  /// histograms as cumulative `_bucket{le=...}` series, hdr histograms as
+  /// summaries with quantile labels. Metric names are sanitized to
+  /// [a-zA-Z0-9_] and prefixed "ganns_".
+  std::string ToPrometheus() const;
+
+  bool WritePrometheus(const std::string& path) const;
 };
 
 /// Copies process-level runtime counters (ThreadPool scheduling stats) into

@@ -181,6 +181,12 @@ std::size_t TraceRecorder::size() const {
   return state.events.size();
 }
 
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  RecorderState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.events;
+}
+
 std::string TraceRecorder::ToJson() const {
   RecorderState& state = State();
   std::vector<TraceEvent> events;
@@ -225,7 +231,8 @@ std::string TraceRecorder::ToJson() const {
   }
   for (const auto& [pid, pname] :
        std::map<std::int32_t, const char*>{{kDevicePid, "simulated device"},
-                                           {kHostPid, "host"}}) {
+                                           {kHostPid, "host"},
+                                           {kServePid, "serving"}}) {
     comma();
     out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
     out += std::to_string(pid);

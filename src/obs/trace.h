@@ -20,16 +20,33 @@ NameId InternName(std::string_view name);
 std::string_view NameOf(NameId id);
 
 /// Trace "processes". Device events are timestamped in *simulated cycles*
-/// (deterministic for a fixed seed); host events are wall-clock microseconds
-/// since process start (reference only, never part of determinism claims).
+/// (deterministic for a fixed seed); host and serving events are wall-clock
+/// microseconds since process start (reference only, never part of
+/// determinism claims).
 inline constexpr std::int32_t kDevicePid = 0;
 inline constexpr std::int32_t kHostPid = 1;
+/// The online serving engine: per-request span trees plus batcher/shard
+/// tracks, all on the wall-clock timeline.
+inline constexpr std::int32_t kServePid = 2;
 
 /// Device-process track 0 carries kernel-level spans (kernel launches,
 /// GGraphCon merge rounds, HNSW layers); tracks 1..num_sms carry per-SM
 /// block and phase spans.
 inline constexpr std::int32_t kKernelTrack = 0;
 inline constexpr std::int32_t FirstSmTrack() { return 1; }
+
+/// Serving-process track layout: track 0 is the batcher (batch-level spans),
+/// tracks 1..num_shards the per-shard kernels, and every sampled request
+/// owns the track kServeRequestTrackBase + (request id mod 2^20) carrying
+/// its span tree (serve.request root with the queue/batch/fan-out/merge
+/// stages nested inside).
+inline constexpr std::int32_t kServeBatcherTrack = 0;
+inline constexpr std::int32_t FirstServeShardTrack() { return 1; }
+inline constexpr std::int32_t kServeRequestTrackBase = 1024;
+inline constexpr std::int32_t ServeRequestTrack(std::uint64_t request_id) {
+  return kServeRequestTrackBase +
+         static_cast<std::int32_t>(request_id & ((1u << 20) - 1));
+}
 
 /// One completed span (dur > 0) or instant event (dur == 0).
 struct TraceEvent {
@@ -84,6 +101,10 @@ class TraceRecorder {
   void Clear();
 
   std::size_t size() const;
+
+  /// Copy of every recorded event, in recording order. For tests and
+  /// in-process trace validation; export goes through ToJson().
+  std::vector<TraceEvent> Snapshot() const;
 
   /// Chrome/Perfetto trace_event JSON ("traceEvents" array of "X" complete
   /// events plus thread_name metadata). Load via ui.perfetto.dev or

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <vector>
 
 #include "common/logging.h"
@@ -25,7 +26,94 @@ QueryResponse TerminalResponse(std::uint64_t id, StatusCode status) {
   return response;
 }
 
+/// Interned names of every serving-trace event, resolved once per process.
+struct ServeTraceNames {
+  obs::NameId request = obs::InternName("serve.request");
+  obs::NameId queue_wait = obs::InternName("serve.queue_wait");
+  obs::NameId batch_form = obs::InternName("serve.batch_form");
+  obs::NameId shard_fanout = obs::InternName("serve.shard_fanout");
+  obs::NameId shard_search = obs::InternName("serve.shard_search");
+  obs::NameId merge = obs::InternName("serve.merge");
+  obs::NameId batch = obs::InternName("serve.batch");
+  obs::NameId expired = obs::InternName("serve.expired");
+  obs::NameId rejected = obs::InternName("serve.rejected");
+  obs::NameId shutdown = obs::InternName("serve.shutdown");
+  obs::NameId arg_request = obs::InternName("request");
+  obs::NameId arg_shard = obs::InternName("shard");
+  obs::NameId arg_batch = obs::InternName("batch");
+};
+
+const ServeTraceNames& TraceNames() {
+  static const ServeTraceNames* names = new ServeTraceNames();
+  return *names;
+}
+
+/// A serving-pid span on track `tid` covering [start_us, end_us]. Duration
+/// is clamped to a nanosecond so back-to-back clock reads still export as a
+/// complete ('X') event rather than collapsing into an instant.
+obs::TraceEvent MakeServeSpan(obs::NameId name, std::int32_t tid,
+                              double start_us, double end_us,
+                              std::int64_t arg = obs::TraceEvent::kNoArg,
+                              obs::NameId arg_name = 0) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.pid = obs::kServePid;
+  event.tid = tid;
+  event.ts = start_us;
+  event.dur = std::max(end_us - start_us, 1e-3);
+  event.arg = arg;
+  event.arg_name = arg_name;
+  return event;
+}
+
+/// A serving-pid instant event marking a terminal outcome on a request track.
+obs::TraceEvent MakeServeInstant(obs::NameId name, std::int32_t tid,
+                                 double ts_us) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.pid = obs::kServePid;
+  event.tid = tid;
+  event.ts = ts_us;
+  event.dur = 0;
+  return event;
+}
+
+/// Emits the span tree of a request that never reached a kernel: a
+/// serve.request root closed at `end_us` with a terminal instant
+/// (serve.rejected / serve.expired / serve.shutdown) at its end, plus the
+/// queue-wait span when the request did queue (`formed_us` >= 0). Terminal
+/// trees never contain fan-out, shard, or merge spans — asserted by
+/// serve_test and schema_check.
+void EmitTerminalTree(std::uint64_t id, const TraceContext& trace,
+                      obs::NameId terminal, double end_us,
+                      double formed_us = -1.0) {
+  if (!trace.sampled) return;
+  const ServeTraceNames& names = TraceNames();
+  const std::int32_t tid = obs::ServeRequestTrack(id);
+  std::vector<obs::TraceEvent> events;
+  events.push_back(MakeServeSpan(names.request, tid, trace.submit_us, end_us,
+                                 static_cast<std::int64_t>(id),
+                                 names.arg_request));
+  if (formed_us >= 0.0) {
+    events.push_back(
+        MakeServeSpan(names.queue_wait, tid, trace.submit_us, formed_us));
+  }
+  events.push_back(
+      MakeServeInstant(terminal, tid, events.front().ts + events.front().dur));
+  obs::TraceRecorder::Global().AddBatch(std::move(events));
+}
+
 }  // namespace
+
+std::uint64_t ParseTraceSample(const char* spec) {
+  if (spec == nullptr || *spec == '\0') return 1;
+  const char* digits = spec;
+  if (digits[0] == '1' && digits[1] == '/') digits += 2;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(digits, &end, 10);
+  if (end == digits || *end != '\0' || n == 0) return 1;
+  return static_cast<std::uint64_t>(n);
+}
 
 const char* StatusCodeName(StatusCode status) {
   switch (status) {
@@ -42,12 +130,25 @@ const char* StatusCodeName(StatusCode status) {
 }
 
 ServeEngine::ServeEngine(ShardedIndex& index, ServeOptions options)
-    : index_(index), options_(options), queue_(options.queue_capacity) {}
+    : index_(index),
+      options_(options),
+      trace_sample_n_(options.trace_sample != 0
+                          ? options.trace_sample
+                          : ParseTraceSample(
+                                std::getenv("GANNS_TRACE_SAMPLE"))),
+      queue_(options.queue_capacity) {}
 
 ServeEngine::~ServeEngine() { Shutdown(); }
 
 void ServeEngine::Start() {
   GANNS_CHECK_MSG(!batcher_.joinable(), "ServeEngine started twice");
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.SetThreadName(obs::kServePid, obs::kServeBatcherTrack, "batcher");
+  for (std::size_t s = 0; s < index_.num_shards(); ++s) {
+    recorder.SetThreadName(
+        obs::kServePid, obs::FirstServeShardTrack() + static_cast<int>(s),
+        "shard" + std::to_string(s));
+  }
   batcher_ = std::thread([this] { BatchLoop(); });
 }
 
@@ -56,6 +157,13 @@ std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.admitted_at = ServeClock::now();
+  // Sampling is deterministic in the request id, so a given id is either
+  // always traced or never traced across runs with the same sample period.
+  // Untraced requests take the single modulo below and nothing else.
+  pending.trace.sampled =
+      obs::TracingEnabled() && (id % trace_sample_n_ == 0);
+  if (pending.trace.sampled) pending.trace.submit_us = WallSpanNow() * 1e6;
+  const TraceContext trace = pending.trace;
   std::future<QueryResponse> future = pending.promise.get_future();
 
   switch (queue_.Push(std::move(pending))) {
@@ -73,6 +181,7 @@ std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
       std::promise<QueryResponse> rejected;
       future = rejected.get_future();
       rejected.set_value(TerminalResponse(id, StatusCode::kRejected));
+      EmitTerminalTree(id, trace, TraceNames().rejected, WallSpanNow() * 1e6);
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.rejected;
       if (obs::MetricsEnabled()) {
@@ -85,6 +194,7 @@ std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
       std::promise<QueryResponse> closed;
       future = closed.get_future();
       closed.set_value(TerminalResponse(id, StatusCode::kShutdown));
+      EmitTerminalTree(id, trace, TraceNames().shutdown, WallSpanNow() * 1e6);
       return future;
     }
   }
@@ -119,12 +229,18 @@ void ServeEngine::BatchLoop() {
 void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
   const ServeClock::time_point formed_at = ServeClock::now();
   const bool metrics = obs::MetricsEnabled();
+  const bool tracing = obs::TracingEnabled();
+  // Batch-formation timestamp on the wall-span timeline, read only when
+  // tracing so untraced runs skip every extra clock read in this function.
+  const double formed_us = tracing ? WallSpanNow() * 1e6 : 0.0;
   obs::MetricsRegistry* registry =
       metrics ? &obs::MetricsRegistry::Global() : nullptr;
 
   // Partition out requests whose deadline passed while they queued: they
   // are answered kDeadlineExceeded and never occupy a kernel slot (the
-  // batch the live requests see is correspondingly smaller).
+  // batch the live requests see is correspondingly smaller). Sampled
+  // expired requests emit a terminal span tree — queue wait plus a
+  // serve.expired instant, never fan-out/shard/merge spans.
   std::vector<Pending> live;
   live.reserve(batch.size());
   std::uint64_t expired = 0;
@@ -135,6 +251,8 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
       response.queue_wait_us = MicrosSince(pending.admitted_at, formed_at);
       response.latency_us = response.queue_wait_us;
       pending.promise.set_value(std::move(response));
+      EmitTerminalTree(pending.request.id, pending.trace,
+                       TraceNames().expired, formed_us, formed_us);
       ++expired;
     } else {
       live.push_back(std::move(pending));
@@ -165,7 +283,9 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
   }
 
   const ServeClock::time_point done_at = ServeClock::now();
+  const double done_us = tracing ? WallSpanNow() * 1e6 : 0.0;
   const auto batch_size = static_cast<std::uint32_t>(live.size());
+  std::vector<obs::TraceEvent> events;
   for (std::size_t i = 0; i < live.size(); ++i) {
     QueryResponse response;
     response.id = live[i].request.id;
@@ -175,14 +295,39 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
     response.latency_us = MicrosSince(live[i].admitted_at, done_at);
     response.batch_size = batch_size;
     if (metrics) {
-      registry->GetHistogram("serve.queue_wait_us")
+      registry->GetHdr("serve.queue_wait_us")
           .Record(static_cast<std::uint64_t>(
               std::max(0.0, response.queue_wait_us)));
-      registry->GetHistogram("serve.latency_us")
-          .Record(
-              static_cast<std::uint64_t>(std::max(0.0, response.latency_us)));
+      // The latency exemplar carries the request id, so histogram snapshots
+      // link their slowest observations back to full span trees.
+      registry->GetHdr("serve.latency_us")
+          .RecordWithExemplar(
+              static_cast<std::uint64_t>(std::max(0.0, response.latency_us)),
+              response.id);
+    }
+    if (live[i].trace.sampled) {
+      AppendRequestTree(events, live[i], stats, formed_us, done_us);
     }
     live[i].promise.set_value(std::move(response));
+  }
+  if (tracing) {
+    const ServeTraceNames& names = TraceNames();
+    // Batch-level view: one span on the batcher track plus one per shard
+    // kernel, mirroring what each sampled request sees from its own track.
+    events.push_back(MakeServeSpan(names.batch, obs::kServeBatcherTrack,
+                                   formed_us, done_us,
+                                   static_cast<std::int64_t>(batch_size),
+                                   names.arg_batch));
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      events.push_back(MakeServeSpan(
+          names.shard_search,
+          obs::FirstServeShardTrack() + static_cast<int>(s),
+          stats.shards[s].start_us, stats.shards[s].end_us,
+          static_cast<std::int64_t>(s), names.arg_shard));
+    }
+  }
+  if (!events.empty()) {
+    obs::TraceRecorder::Global().AddBatch(std::move(events));
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -190,8 +335,38 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
   total_sim_seconds_ += stats.sim_seconds;
   if (metrics) {
     registry->GetCounter("serve.served").Add(live.size());
-    registry->GetHistogram("serve.batch_size").Record(batch_size);
+    registry->GetHdr("serve.batch_size").Record(batch_size);
   }
+}
+
+void ServeEngine::AppendRequestTree(std::vector<obs::TraceEvent>& events,
+                                    const Pending& pending,
+                                    const RouteStats& stats, double formed_us,
+                                    double done_us) const {
+  const ServeTraceNames& names = TraceNames();
+  const std::uint64_t id = pending.request.id;
+  const std::int32_t tid = obs::ServeRequestTrack(id);
+  const double submit_us = pending.trace.submit_us;
+  // Root span covering the whole request journey, keyed by request id.
+  events.push_back(MakeServeSpan(names.request, tid, submit_us, done_us,
+                                 static_cast<std::int64_t>(id),
+                                 names.arg_request));
+  // Nested stages in journey order: queued -> batch formation -> shard
+  // fan-out (with one child per shard kernel) -> deterministic merge.
+  events.push_back(MakeServeSpan(names.queue_wait, tid, submit_us, formed_us));
+  events.push_back(MakeServeSpan(names.batch_form, tid, formed_us,
+                                 stats.fanout_start_us));
+  events.push_back(MakeServeSpan(names.shard_fanout, tid,
+                                 stats.fanout_start_us, stats.fanout_end_us));
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    events.push_back(MakeServeSpan(names.shard_search, tid,
+                                   stats.shards[s].start_us,
+                                   stats.shards[s].end_us,
+                                   static_cast<std::int64_t>(s),
+                                   names.arg_shard));
+  }
+  events.push_back(MakeServeSpan(names.merge, tid, stats.merge_start_us,
+                                 stats.merge_end_us));
 }
 
 }  // namespace serve

@@ -5,7 +5,9 @@
 #include <future>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "obs/trace.h"
 #include "serve/request_queue.h"
 #include "serve/shard_router.h"
 #include "serve/types.h"
@@ -73,19 +75,32 @@ class ServeEngine {
   const ServeOptions& options() const { return options_; }
 
  private:
-  /// Queue element: the request plus its response channel and the admission
-  /// timestamp that anchors queue-wait accounting.
+  /// Queue element: the request plus its response channel, the admission
+  /// timestamp that anchors queue-wait accounting, and the trace context
+  /// that rides with the request through the batcher and router.
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     ServeClock::time_point admitted_at;
+    TraceContext trace;
   };
 
   void BatchLoop();
   void ProcessBatch(std::vector<Pending>& batch);
 
+  /// Appends one sampled request's complete span tree (serve.request root
+  /// with queue/batch/fan-out/shard/merge stages nested inside) onto
+  /// `events`, all on the request's own serving-pid track.
+  void AppendRequestTree(std::vector<obs::TraceEvent>& events,
+                         const Pending& pending, const RouteStats& stats,
+                         double formed_us, double done_us) const;
+
   ShardedIndex& index_;
   const ServeOptions options_;
+  /// Resolved sampling period: requests with id % trace_sample_n_ == 0 emit
+  /// span trees while tracing is on (options.trace_sample, else
+  /// GANNS_TRACE_SAMPLE, else 1).
+  const std::uint64_t trace_sample_n_;
   BoundedQueue<Pending> queue_;
   std::thread batcher_;
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/hnsw_gpu.h"
 #include "serve/topk_merge.h"
 
@@ -127,18 +128,34 @@ std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchBatch(
   for (auto& rows : per_shard) rows.resize(num_queries);
   std::vector<double> shard_cycles(num_shards, 0.0);
 
+  // Stage timestamps for request tracing: cheap clock reads (a handful per
+  // batch), taken regardless of sampling so the engine can project them
+  // into any sampled request's span tree. Pure observation — nothing below
+  // reads them back.
+  if (stats != nullptr) {
+    stats->shards.assign(num_shards, RouteStats::ShardSpan{});
+    stats->fanout_start_us = WallSpanNow() * 1e6;
+  }
+
   // One task per shard: each claims a worker and runs its kernel launch
   // inline (Device::Launch's nested ParallelFor detects the worker context),
   // so shards execute concurrently — the host-side analogue of n GPUs
   // serving in parallel.
   ThreadPool::Global().ParallelFor(num_shards, [&](std::size_t s) {
+    const double start_us = WallSpanNow() * 1e6;
     shard_cycles[s] = SearchShard(s, queries, kernel, per_shard[s]);
+    if (stats != nullptr) {
+      // Each task writes only its own slot; read after the join.
+      stats->shards[s] = {start_us, WallSpanNow() * 1e6, shard_cycles[s]};
+    }
   });
 
   if (stats != nullptr) {
+    stats->fanout_end_us = WallSpanNow() * 1e6;
     stats->sim_cycles =
         *std::max_element(shard_cycles.begin(), shard_cycles.end());
     stats->sim_seconds = shards_[0]->device->CyclesToSeconds(stats->sim_cycles);
+    stats->merge_start_us = stats->fanout_end_us;
   }
 
   std::vector<std::vector<graph::Neighbor>> merged(num_queries);
@@ -149,6 +166,7 @@ std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchBatch(
     }
     merged[q] = MergeTopK(heads, queries[q].k);
   }
+  if (stats != nullptr) stats->merge_end_us = WallSpanNow() * 1e6;
   return merged;
 }
 

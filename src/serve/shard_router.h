@@ -44,12 +44,31 @@ struct RoutedQuery {
   std::size_t budget = 64;
 };
 
-/// Simulated-device timing of one routed batch.
+/// Simulated-device timing of one routed batch, plus the wall-clock stage
+/// intervals request tracing projects into per-request span trees. Wall
+/// timestamps are on the obs wall-span timeline (microseconds); recording
+/// them is observation only — they never feed back into results or
+/// simulated cycles.
 struct RouteStats {
   /// Batch duration: shards execute on parallel devices, so the batch ends
   /// when the slowest shard's kernel drains.
   double sim_cycles = 0;
   double sim_seconds = 0;
+
+  /// Wall interval of one shard's kernel execution within the fan-out.
+  struct ShardSpan {
+    double start_us = 0;
+    double end_us = 0;
+    double sim_cycles = 0;
+  };
+  /// [fan-out start, fan-out end]: all shards dispatched to all shards done.
+  double fanout_start_us = 0;
+  double fanout_end_us = 0;
+  /// [merge start, merge end]: the deterministic k-way merge over shard rows.
+  double merge_start_us = 0;
+  double merge_end_us = 0;
+  /// One entry per shard, indexed by shard number.
+  std::vector<ShardSpan> shards;
 };
 
 /// A dataset split into `num_shards` contiguous partitions, each carrying

@@ -53,6 +53,25 @@ inline ServeClock::time_point DeadlineAfterMicros(std::int64_t micros) {
   return ServeClock::now() + std::chrono::microseconds(micros);
 }
 
+/// Per-request trace context, stamped at admission and propagated with the
+/// request through RequestQueue -> MicroBatcher -> ShardRouter -> kernel ->
+/// topk_merge so the whole journey lands in one span tree (obs::kServePid,
+/// track ServeRequestTrack(id)). When `sampled` is false the request
+/// carries only this struct — no events are recorded and no extra cycles
+/// are ever charged (instrumentation observes, it never participates).
+struct TraceContext {
+  /// Whether this request emits a span tree. Decided deterministically at
+  /// submission: tracing enabled and request id % sample_n == 0.
+  bool sampled = false;
+  /// Submission timestamp on the obs wall-span timeline (microseconds).
+  double submit_us = 0;
+};
+
+/// Parses a GANNS_TRACE_SAMPLE specification: "1/N" (trace every Nth
+/// request) or a bare "N". Returns 1 (trace everything) for null, empty,
+/// zero, or malformed specs.
+std::uint64_t ParseTraceSample(const char* spec);
+
 /// Answer to one QueryRequest.
 struct QueryResponse {
   std::uint64_t id = 0;
@@ -83,6 +102,11 @@ struct ServeOptions {
   std::size_t queue_capacity = 1024;
   /// Search kernel answering online queries (GANNS / SONG / beam).
   core::SearchKernel kernel = core::SearchKernel::kGanns;
+  /// Request-trace sampling: every Nth request (by id) emits a span tree
+  /// while tracing is enabled. 0 = resolve from the GANNS_TRACE_SAMPLE
+  /// environment variable ("1/N" or "N"; default 1 = every request), so
+  /// full-rate serve-bench runs can cap trace volume without code changes.
+  std::uint64_t trace_sample = 0;
 };
 
 }  // namespace serve

@@ -18,7 +18,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${GANNS_TSAN_BUILD}
-          --target serve_test common_concurrency_test
+          --target serve_test obs_concurrency_test common_concurrency_test
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "TSan subbuild compile failed")
@@ -30,8 +30,20 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "common_concurrency_test failed under TSan")
 endif()
 
-execute_process(COMMAND ${GANNS_TSAN_BUILD}/tests/serve_test
+# GANNS_TRACING=1 turns tracing and metrics on for the whole run, so the
+# request-trace recorder, HDR histogram atomics, and exemplar locking are
+# exercised concurrently under the race detector — not just the queue and
+# batcher.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_TSAN_BUILD}/tests/serve_test
                 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "serve_test failed under TSan")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_TSAN_BUILD}/tests/obs_concurrency_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_concurrency_test failed under TSan")
 endif()

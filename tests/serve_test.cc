@@ -5,9 +5,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <future>
+#include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -16,6 +20,9 @@
 #include "data/ground_truth.h"
 #include "data/synthetic.h"
 #include "graph/hnsw.h"
+#include "obs/hdr_histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/micro_batcher.h"
 #include "serve/request_queue.h"
 #include "serve/serve_engine.h"
@@ -342,6 +349,277 @@ TEST(MicroBatcherTest, WindowBoundsTheWait) {
   const auto waited = ServeClock::now() - start;
   EXPECT_EQ(batch.size(), 1u);  // window expired with one request
   EXPECT_GE(waited, std::chrono::microseconds(1500));
+}
+
+// ---------------------------------------------------------------------------
+// Request-level tracing and SLO accounting.
+// ---------------------------------------------------------------------------
+
+TEST(ParseTraceSampleTest, AcceptsBothFormsAndRejectsGarbage) {
+  EXPECT_EQ(ParseTraceSample(nullptr), 1u);
+  EXPECT_EQ(ParseTraceSample(""), 1u);
+  EXPECT_EQ(ParseTraceSample("0"), 1u);
+  EXPECT_EQ(ParseTraceSample("junk"), 1u);
+  EXPECT_EQ(ParseTraceSample("7"), 7u);
+  EXPECT_EQ(ParseTraceSample("1/16"), 16u);
+}
+
+/// Saves and restores the process-wide tracing/metrics switches and clears
+/// the global recorder/registry, so assertions see only this test's events.
+class ServeTraceTest : public ServeTest {
+ protected:
+  void SetUp() override {
+    ServeTest::SetUp();
+    was_tracing_ = obs::TracingEnabled();
+    was_metrics_ = obs::MetricsEnabled();
+    obs::TraceRecorder::Global().Clear();
+    obs::MetricsRegistry::Global().Reset();
+  }
+
+  void TearDown() override {
+    obs::SetTracingEnabled(was_tracing_);
+    obs::SetMetricsEnabled(was_metrics_);
+    obs::TraceRecorder::Global().Clear();
+  }
+
+  /// Submits requests 0..count-1 before Start — with the default max_batch
+  /// of 32 they form one deterministic batch — then drains and returns the
+  /// responses in id order.
+  std::vector<QueryResponse> RunAll(ServeEngine& engine, std::size_t count) {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(count);
+    for (std::size_t q = 0; q < count; ++q) {
+      futures.push_back(engine.Submit(MakeRequest(q, 64)));
+    }
+    engine.Start();
+    engine.Shutdown();
+    std::vector<QueryResponse> responses;
+    responses.reserve(count);
+    for (auto& future : futures) responses.push_back(future.get());
+    return responses;
+  }
+
+  /// Recorded events on per-request tracks of the serving process, keyed by
+  /// track id.
+  static std::map<std::int32_t, std::vector<obs::TraceEvent>> RequestTracks() {
+    std::map<std::int32_t, std::vector<obs::TraceEvent>> tracks;
+    for (const obs::TraceEvent& event : obs::TraceRecorder::Global().Snapshot()) {
+      if (event.pid == obs::kServePid &&
+          event.tid >= obs::kServeRequestTrackBase) {
+        tracks[event.tid].push_back(event);
+      }
+    }
+    return tracks;
+  }
+
+  static std::size_t CountByName(const std::vector<obs::TraceEvent>& events,
+                                 std::string_view name) {
+    std::size_t count = 0;
+    for (const obs::TraceEvent& event : events) {
+      if (obs::NameOf(event.name) == name) ++count;
+    }
+    return count;
+  }
+
+  bool was_tracing_ = false;
+  bool was_metrics_ = false;
+};
+
+// Every served request resolves to exactly one complete span tree on its own
+// track: a serve.request root carrying the id, with queue-wait, batch
+// formation, shard fan-out (one child per shard), and merge nested inside.
+TEST_F(ServeTraceTest, TracedRequestsYieldCompleteSpanTrees) {
+  obs::SetTracingEnabled(true);
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeEngine engine(index, {});
+  const auto responses = RunAll(engine, kQueries);
+  for (const auto& response : responses) {
+    ASSERT_EQ(response.status, StatusCode::kOk);
+  }
+
+  const auto tracks = RequestTracks();
+  ASSERT_EQ(tracks.size(), kQueries);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const auto it = tracks.find(obs::ServeRequestTrack(q));
+    ASSERT_NE(it, tracks.end()) << "q=" << q;
+    const auto& events = it->second;
+
+    const obs::TraceEvent* root = nullptr;
+    for (const obs::TraceEvent& event : events) {
+      if (obs::NameOf(event.name) == "serve.request") {
+        EXPECT_EQ(root, nullptr) << "duplicate root, q=" << q;
+        root = &event;
+      }
+    }
+    ASSERT_NE(root, nullptr) << "q=" << q;
+    EXPECT_EQ(root->arg, static_cast<std::int64_t>(q));
+
+    EXPECT_EQ(CountByName(events, "serve.queue_wait"), 1u) << "q=" << q;
+    EXPECT_EQ(CountByName(events, "serve.batch_form"), 1u) << "q=" << q;
+    EXPECT_EQ(CountByName(events, "serve.shard_fanout"), 1u) << "q=" << q;
+    EXPECT_EQ(CountByName(events, "serve.shard_search"), 2u) << "q=" << q;
+    EXPECT_EQ(CountByName(events, "serve.merge"), 1u) << "q=" << q;
+    // Every stage nests inside the root's [submit, done] interval.
+    for (const obs::TraceEvent& event : events) {
+      EXPECT_GE(event.ts, root->ts - 0.1);
+      EXPECT_LE(event.ts + event.dur, root->ts + root->dur + 0.1);
+    }
+  }
+}
+
+// Requests that never reach a kernel close their tree with a terminal
+// instant (serve.expired / serve.rejected) and never emit fan-out, shard, or
+// merge spans.
+TEST_F(ServeTraceTest, TerminalRequestsEmitTerminalSpansOnly) {
+  obs::SetTracingEnabled(true);
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+
+  {
+    ServeEngine engine(index, {});
+    std::vector<std::future<QueryResponse>> futures;
+    for (std::size_t q = 0; q < 5; ++q) {
+      QueryRequest request = MakeRequest(q, 64);
+      request.deadline = ServeClock::now() - std::chrono::milliseconds(1);
+      futures.push_back(engine.Submit(std::move(request)));
+    }
+    engine.Start();
+    engine.Shutdown();
+    for (auto& future : futures) {
+      EXPECT_EQ(future.get().status, StatusCode::kDeadlineExceeded);
+    }
+
+    const auto tracks = RequestTracks();
+    ASSERT_EQ(tracks.size(), 5u);
+    for (const auto& [tid, events] : tracks) {
+      EXPECT_EQ(CountByName(events, "serve.request"), 1u);
+      EXPECT_EQ(CountByName(events, "serve.expired"), 1u);
+      EXPECT_EQ(CountByName(events, "serve.shard_fanout"), 0u);
+      EXPECT_EQ(CountByName(events, "serve.shard_search"), 0u);
+      EXPECT_EQ(CountByName(events, "serve.merge"), 0u);
+    }
+  }
+
+  obs::TraceRecorder::Global().Clear();
+  {
+    ServeOptions options;
+    options.queue_capacity = 3;
+    ServeEngine engine(index, options);
+    std::vector<std::future<QueryResponse>> futures;
+    for (std::size_t q = 0; q < 8; ++q) {
+      futures.push_back(engine.Submit(MakeRequest(q, 64)));
+    }
+    engine.Start();
+    engine.Shutdown();
+
+    const auto tracks = RequestTracks();
+    for (std::size_t q = options.queue_capacity; q < 8; ++q) {
+      EXPECT_EQ(futures[q].get().status, StatusCode::kRejected);
+      const auto it = tracks.find(obs::ServeRequestTrack(q));
+      ASSERT_NE(it, tracks.end()) << "q=" << q;
+      EXPECT_EQ(CountByName(it->second, "serve.request"), 1u);
+      EXPECT_EQ(CountByName(it->second, "serve.rejected"), 1u);
+      EXPECT_EQ(CountByName(it->second, "serve.shard_search"), 0u);
+      EXPECT_EQ(CountByName(it->second, "serve.merge"), 0u);
+    }
+  }
+}
+
+// Sampling is a pure function of the request id: with trace_sample = 3,
+// exactly the ids divisible by 3 own span trees.
+TEST_F(ServeTraceTest, TraceSamplingIsDeterministicByRequestId) {
+  obs::SetTracingEnabled(true);
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeOptions options;
+  options.trace_sample = 3;
+  ServeEngine engine(index, options);
+  RunAll(engine, kQueries);
+
+  const auto tracks = RequestTracks();
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    const bool sampled = q % 3 == 0;
+    EXPECT_EQ(tracks.count(obs::ServeRequestTrack(q)), sampled ? 1u : 0u)
+        << "q=" << q;
+  }
+  EXPECT_EQ(tracks.size(), (kQueries + 2) / 3);
+}
+
+// Instrumentation observes, it never participates: enabling tracing and
+// metrics changes neither the neighbors any request receives nor the
+// simulated cycle total the batch is charged.
+TEST_F(ServeTraceTest, InstrumentationChargesNoCyclesAndPreservesResults) {
+  // Disable before Build too: under GANNS_TRACING=1 construction kernels
+  // would otherwise fill the recorder before the baseline run.
+  obs::SetTracingEnabled(false);
+  obs::SetMetricsEnabled(false);
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+
+  std::vector<std::vector<graph::Neighbor>> baseline;
+  double baseline_sim_seconds = 0;
+  {
+    ServeEngine engine(index, {});
+    for (const auto& response : RunAll(engine, kQueries)) {
+      ASSERT_EQ(response.status, StatusCode::kOk);
+      baseline.push_back(response.neighbors);
+    }
+    baseline_sim_seconds = engine.total_sim_seconds();
+  }
+  EXPECT_EQ(obs::TraceRecorder::Global().size(), 0u);
+
+  obs::SetTracingEnabled(true);
+  obs::SetMetricsEnabled(true);
+  {
+    ServeEngine engine(index, {});
+    const auto responses = RunAll(engine, kQueries);
+    ASSERT_EQ(responses.size(), baseline.size());
+    for (std::size_t q = 0; q < responses.size(); ++q) {
+      EXPECT_EQ(responses[q].neighbors, baseline[q]) << "q=" << q;
+    }
+    // Same batch composition => bit-identical simulated device time.
+    EXPECT_EQ(engine.total_sim_seconds(), baseline_sim_seconds);
+  }
+  EXPECT_GT(obs::TraceRecorder::Global().size(), 0u);
+}
+
+// The serve.latency_us HDR histogram reports exactly the documented
+// nearest-rank quantiles of the recorded (truncated) response latencies, and
+// its exemplars link the tail back to real request ids.
+TEST_F(ServeTraceTest, ServeLatencyHdrMatchesOfflineQuantiles) {
+  obs::SetMetricsEnabled(true);
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeEngine engine(index, {});
+  const auto responses = RunAll(engine, kQueries);
+
+  std::vector<std::uint64_t> latencies;
+  std::map<std::uint64_t, std::uint64_t> latency_by_id;
+  for (const auto& response : responses) {
+    ASSERT_EQ(response.status, StatusCode::kOk);
+    const auto truncated =
+        static_cast<std::uint64_t>(std::max(0.0, response.latency_us));
+    latencies.push_back(truncated);
+    latency_by_id[response.id] = truncated;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  const obs::HdrHistogram& hdr =
+      obs::MetricsRegistry::Global().GetHdr("serve.latency_us");
+  EXPECT_EQ(hdr.count(), kQueries);
+  for (const double q : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies.size())));
+    if (rank < 1) rank = 1;
+    const std::uint64_t expected = std::min(
+        obs::HdrHistogram::HighestEquivalent(latencies[rank - 1]),
+        latencies.back());
+    EXPECT_EQ(hdr.ValueAtQuantile(q), expected) << "q=" << q;
+  }
+
+  const auto exemplars = hdr.exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  EXPECT_EQ(exemplars[0].value, latencies.back());
+  for (const auto& exemplar : exemplars) {
+    ASSERT_TRUE(latency_by_id.count(exemplar.id)) << exemplar.id;
+    EXPECT_EQ(latency_by_id[exemplar.id], exemplar.value);
+  }
 }
 
 }  // namespace

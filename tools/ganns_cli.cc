@@ -19,14 +19,25 @@
 //                [--kernel ganns|song|beam] [--hnsw]
 //                [--max-batch 32] [--window-us 200] [--queue-cap 1024]
 //                [--deadline-us 0] [--save prefix | --load prefix]
-//                [--json out.json]
+//                [--json out.json] [--trace-out trace.json]
+//                [--stats-out stats.json] [--prom-out metrics.prom]
+//                [--sample 1/N]
+//   ganns stat   <stats.json> [--metric serve.latency_us] [--quantile p99]
 //
 // `serve-bench` builds (or reloads via --load) a sharded index over a
 // synthetic corpus, starts the online serving engine, submits every query
 // closed-loop, and reports QPS + latency percentiles + recall as JSON.
 // --save/--load persist the per-shard graphs (`<prefix>.shardN`); a
 // truncated or version-mismatched file fails the load with a non-zero
-// exit.
+// exit. --trace-out enables request tracing and writes the Perfetto trace
+// (per-request span trees on the serving process, optionally sampled with
+// --sample); --stats-out writes the metrics registry JSON with HDR
+// latency percentiles and exemplar links; --prom-out writes the same
+// registry in Prometheus text exposition format.
+//
+// `stat` reads a --stats-out file back and prints SLO summaries; with
+// --metric and --quantile it prints a single number (scriptable, used by
+// the ctest gate to cross-check p99 against offline percentiles).
 //
 // `profile` generates a synthetic corpus, builds an NSW graph with
 // GGraphCon, runs the search with full tracing + per-query profiling, and
@@ -60,6 +71,7 @@
 #include "obs/trace.h"
 #include "serve/serve_engine.h"
 #include "song/song_search.h"
+#include "tools/json_reader.h"
 
 namespace {
 
@@ -477,6 +489,20 @@ int CmdServeBench(const Args& args) {
   serve_options.queue_capacity =
       static_cast<std::size_t>(args.Int("queue-cap", 1024));
   serve_options.kernel = ParseServeKernel(args);
+  if (const auto sample = args.Get("sample"); sample.has_value()) {
+    serve_options.trace_sample = serve::ParseTraceSample(sample->c_str());
+  }
+
+  // Observability artifacts are opt-in per flag; requesting one turns the
+  // matching subsystem on for this run (results are identical either way —
+  // instrumentation never charges simulated cycles).
+  const auto trace_out = args.Get("trace-out");
+  const auto stats_out = args.Get("stats-out");
+  const auto prom_out = args.Get("prom-out");
+  if (trace_out.has_value()) obs::SetTracingEnabled(true);
+  if (stats_out.has_value() || prom_out.has_value()) {
+    obs::SetMetricsEnabled(true);
+  }
 
   serve::ServeEngine engine(*index, serve_options);
   engine.Start();
@@ -561,12 +587,114 @@ int CmdServeBench(const Args& args) {
     std::printf("wrote %s\n", out->c_str());
   }
   std::fputs(json.c_str(), stdout);
+
+  if (trace_out.has_value()) {
+    if (!obs::TraceRecorder::Global().WriteJson(*trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                obs::TraceRecorder::Global().size(), trace_out->c_str());
+  }
+  if (stats_out.has_value()) {
+    if (!obs::MetricsRegistry::Global().WriteJson(*stats_out)) {
+      std::fprintf(stderr, "failed to write %s\n", stats_out->c_str());
+      return 1;
+    }
+    std::printf("wrote serving stats to %s\n", stats_out->c_str());
+  }
+  if (prom_out.has_value()) {
+    if (!obs::MetricsRegistry::Global().WritePrometheus(*prom_out)) {
+      std::fprintf(stderr, "failed to write %s\n", prom_out->c_str());
+      return 1;
+    }
+    std::printf("wrote Prometheus metrics to %s\n", prom_out->c_str());
+  }
+  return 0;
+}
+
+/// `ganns stat`: reads a --stats-out registry export and prints its SLO
+/// summaries. With --metric and --quantile it prints exactly one number so
+/// shell scripts (and the ctest percentile cross-check) can consume it.
+int CmdStat(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr,
+                 "usage: ganns stat <stats.json> [--metric NAME] "
+                 "[--quantile p50|p90|p95|p99|p999]\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  const Args args(argc, argv, 3);
+
+  std::string error;
+  const tools::JsonPtr root = tools::ParseJsonFile(path, &error);
+  if (root == nullptr) {
+    std::fprintf(stderr, "JSON parse error: %s\n", error.c_str());
+    return 1;
+  }
+  const tools::Json* hdr = root->Get("hdr");
+  if (hdr == nullptr || !hdr->Is(tools::Json::Kind::kObject)) {
+    std::fprintf(stderr, "%s has no hdr section (write it with "
+                 "`ganns serve-bench --stats-out`)\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const auto metric = args.Get("metric");
+  const auto quantile = args.Get("quantile");
+  if (quantile.has_value() && !metric.has_value()) {
+    std::fprintf(stderr, "--quantile requires --metric\n");
+    return 2;
+  }
+
+  for (const auto& [name, entry] : hdr->object) {
+    if (metric.has_value() && name != *metric) continue;
+    if (!entry->Is(tools::Json::Kind::kObject)) continue;
+    if (quantile.has_value()) {
+      const tools::Json* value = entry->Get(*quantile);
+      if (value == nullptr || !value->Is(tools::Json::Kind::kNumber)) {
+        std::fprintf(stderr, "metric %s has no field '%s'\n", name.c_str(),
+                     quantile->c_str());
+        return 1;
+      }
+      std::printf("%.0f\n", value->number);
+      return 0;
+    }
+    const auto num = [&](const char* key) {
+      const tools::Json* value = entry->Get(key);
+      return value != nullptr && value->Is(tools::Json::Kind::kNumber)
+                 ? value->number
+                 : 0.0;
+    };
+    std::printf("%s: count=%.0f mean=%.1f min=%.0f p50=%.0f p90=%.0f "
+                "p95=%.0f p99=%.0f p999=%.0f max=%.0f\n",
+                name.c_str(), num("count"), num("mean"), num("min"),
+                num("p50"), num("p90"), num("p95"), num("p99"), num("p999"),
+                num("max"));
+    const tools::Json* exemplars = entry->Get("exemplars");
+    if (exemplars != nullptr && exemplars->Is(tools::Json::Kind::kArray) &&
+        !exemplars->array.empty()) {
+      std::printf("  slowest:");
+      for (const tools::JsonPtr& exemplar : exemplars->array) {
+        const tools::Json* id = exemplar->Get("id");
+        const tools::Json* value = exemplar->Get("value");
+        if (id == nullptr || value == nullptr) continue;
+        std::printf(" id=%.0f(%.0fus)", id->number, value->number);
+      }
+      std::printf("  <- request ids resolve to span trees in the trace\n");
+    }
+  }
+  if (metric.has_value() && hdr->Get(*metric) == nullptr) {
+    std::fprintf(stderr, "metric %s not found in %s\n", metric->c_str(),
+                 path.c_str());
+    return 1;
+  }
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ganns <gen|build|search|eval|profile|serve-bench> "
+               "usage: ganns <gen|build|search|eval|profile|serve-bench|stat> "
                "--flag value ...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
@@ -577,6 +705,7 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "stat") return CmdStat(argc, argv);
   const Args args(argc, argv, 2);
   if (command == "gen") return CmdGen(args);
   if (command == "build") return CmdBuild(args);

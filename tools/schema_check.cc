@@ -2,228 +2,49 @@
 //
 //   schema_check trace   <trace.json>     Chrome/Perfetto trace_event file
 //   schema_check metrics <metrics.json>   MetricsRegistry export
+//   schema_check stats   <stats.json>     serving stats export (registry
+//                                         JSON whose hdr section must hold
+//                                         coherent percentile summaries)
 //
 // Exit code 0 iff the file parses as JSON and matches the expected schema.
-// The parser is a small recursive-descent JSON reader (no dependencies);
-// it builds a DOM of variant nodes and the checkers walk it. Used by ctest
-// to gate the `ganns profile` pipeline.
+// The JSON DOM/parser lives in tools/json_reader.h (shared with bench_diff
+// and `ganns stat`). Used by ctest to gate the `ganns profile` pipeline and
+// the serving trace/stats artifacts.
+//
+// Beyond per-event field checks, `trace` validates the serving process
+// (pid 2): every request track (tid >= 1024) must carry exactly one
+// serve.request root span, every other event on the track must fall inside
+// the root, and tracks ending in a terminal instant (serve.rejected /
+// serve.expired / serve.shutdown) must not contain fan-out, shard, or merge
+// spans — the request never reached a kernel.
 
-#include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "tools/json_reader.h"
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON DOM + parser.
-// ---------------------------------------------------------------------------
+using ganns::tools::Json;
+using ganns::tools::JsonPtr;
 
-struct Json;
-using JsonPtr = std::unique_ptr<Json>;
-
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string string;
-  std::vector<JsonPtr> array;
-  std::map<std::string, JsonPtr> object;
-
-  bool Is(Kind k) const { return kind == k; }
-  const Json* Get(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : it->second.get();
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string text) : text_(std::move(text)) {}
-
-  JsonPtr Parse() {
-    JsonPtr value = ParseValue();
-    if (value == nullptr) return nullptr;
-    SkipSpace();
-    if (pos_ != text_.size()) return Fail("trailing characters");
-    return value;
-  }
-
-  const std::string& error() const { return error_; }
-
- private:
-  JsonPtr Fail(const char* message) {
-    if (error_.empty()) {
-      std::ostringstream out;
-      out << message << " at offset " << pos_;
-      error_ = out.str();
-    }
-    return nullptr;
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonPtr ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Fail("unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    return ParseNumber();
-  }
-
-  JsonPtr ParseObject() {
-    if (!Consume('{')) return Fail("expected '{'");
-    auto node = std::make_unique<Json>();
-    node->kind = Json::Kind::kObject;
-    SkipSpace();
-    if (Consume('}')) return node;
-    for (;;) {
-      JsonPtr key = ParseString();
-      if (key == nullptr) return nullptr;
-      if (!Consume(':')) return Fail("expected ':'");
-      JsonPtr value = ParseValue();
-      if (value == nullptr) return nullptr;
-      node->object.emplace(std::move(key->string), std::move(value));
-      if (Consume(',')) continue;
-      if (Consume('}')) return node;
-      return Fail("expected ',' or '}'");
-    }
-  }
-
-  JsonPtr ParseArray() {
-    if (!Consume('[')) return Fail("expected '['");
-    auto node = std::make_unique<Json>();
-    node->kind = Json::Kind::kArray;
-    SkipSpace();
-    if (Consume(']')) return node;
-    for (;;) {
-      JsonPtr value = ParseValue();
-      if (value == nullptr) return nullptr;
-      node->array.push_back(std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return node;
-      return Fail("expected ',' or ']'");
-    }
-  }
-
-  JsonPtr ParseString() {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return Fail("expected string");
-    }
-    ++pos_;
-    auto node = std::make_unique<Json>();
-    node->kind = Json::Kind::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return Fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
-            // Validated but not decoded — the checkers never compare
-            // non-ASCII content.
-            pos_ += 4;
-            c = '?';
-            break;
-          }
-          default:
-            return Fail("bad escape");
-        }
-      }
-      node->string.push_back(c);
-    }
-    if (pos_ >= text_.size()) return Fail("unterminated string");
-    ++pos_;  // closing quote
-    return node;
-  }
-
-  JsonPtr ParseBool() {
-    auto node = std::make_unique<Json>();
-    node->kind = Json::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      node->boolean = true;
-      pos_ += 4;
-      return node;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      node->boolean = false;
-      pos_ += 5;
-      return node;
-    }
-    return Fail("expected boolean");
-  }
-
-  JsonPtr ParseNull() {
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return std::make_unique<Json>();
-    }
-    return Fail("expected null");
-  }
-
-  JsonPtr ParseNumber() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return Fail("expected value");
-    auto node = std::make_unique<Json>();
-    node->kind = Json::Kind::kNumber;
-    node->number = std::strtod(text_.c_str() + start, nullptr);
-    return node;
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-// ---------------------------------------------------------------------------
-// Schema checkers.
-// ---------------------------------------------------------------------------
+// Mirrors the track layout in src/obs/trace.h.
+constexpr double kServePid = 2;
+constexpr double kServeRequestTrackBase = 1024;
+// Wall timestamps are %.3f microseconds; allow one printed quantum of slop
+// at containment boundaries.
+constexpr double kContainEps = 0.01;
 
 int Complain(const char* what) {
   std::fprintf(stderr, "schema error: %s\n", what);
+  return 1;
+}
+
+int ComplainTrack(const char* what, double tid) {
+  std::fprintf(stderr, "schema error: %s (serving track %.0f)\n", what, tid);
   return 1;
 }
 
@@ -235,9 +56,69 @@ bool IsString(const Json* node) {
   return node != nullptr && node->Is(Json::Kind::kString);
 }
 
+/// One serving-pid event reduced to what the shape check needs.
+struct ServeEvent {
+  std::string name;
+  bool is_span = false;  // X (span) vs i (instant)
+  double ts = 0;
+  double dur = 0;
+};
+
+/// Validates the per-request span trees on the serving process. Returns 0
+/// and reports the number of complete trees on success.
+int CheckServingShape(
+    const std::map<double, std::vector<ServeEvent>>& tracks) {
+  std::size_t trees = 0;
+  for (const auto& [tid, events] : tracks) {
+    const ServeEvent* root = nullptr;
+    bool terminal = false;
+    bool kernel_stage = false;
+    for (const ServeEvent& event : events) {
+      if (event.name == "serve.request") {
+        if (!event.is_span) {
+          return ComplainTrack("serve.request is not a span", tid);
+        }
+        if (root != nullptr) {
+          return ComplainTrack("more than one serve.request root", tid);
+        }
+        root = &event;
+      } else if (event.name == "serve.rejected" ||
+                 event.name == "serve.expired" ||
+                 event.name == "serve.shutdown") {
+        terminal = true;
+      } else if (event.name == "serve.shard_fanout" ||
+                 event.name == "serve.shard_search" ||
+                 event.name == "serve.merge") {
+        kernel_stage = true;
+      }
+    }
+    if (root == nullptr) {
+      return ComplainTrack("request track has no serve.request root", tid);
+    }
+    if (terminal && kernel_stage) {
+      return ComplainTrack(
+          "terminal request carries fan-out/shard/merge spans", tid);
+    }
+    const double begin = root->ts - kContainEps;
+    const double end = root->ts + root->dur + kContainEps;
+    for (const ServeEvent& event : events) {
+      if (&event == root) continue;
+      if (event.ts < begin || event.ts + event.dur > end) {
+        return ComplainTrack("event escapes its serve.request root", tid);
+      }
+    }
+    ++trees;
+  }
+  if (trees > 0) {
+    std::printf("serving ok: %zu request span trees\n", trees);
+  }
+  return 0;
+}
+
 /// Chrome trace_event format: {"traceEvents": [...]} where every event has
 /// name/ph/pid/tid/ts; "X" events additionally carry a non-negative dur;
-/// "M" (metadata) events carry args.name.
+/// "M" (metadata) events carry args.name. Serving-pid request tracks are
+/// additionally shape-checked (see CheckServingShape).
 int CheckTrace(const Json& root) {
   if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
   const Json* events = root.Get("traceEvents");
@@ -245,15 +126,19 @@ int CheckTrace(const Json& root) {
     return Complain("missing traceEvents array");
   }
   std::size_t spans = 0;
+  std::map<double, std::vector<ServeEvent>> serve_tracks;
   for (const JsonPtr& event : events->array) {
     if (!event->Is(Json::Kind::kObject)) {
       return Complain("event is not an object");
     }
-    if (!IsString(event->Get("name"))) return Complain("event missing name");
+    const Json* name = event->Get("name");
+    if (!IsString(name)) return Complain("event missing name");
     const Json* ph = event->Get("ph");
     if (!IsString(ph)) return Complain("event missing ph");
-    if (!IsNumber(event->Get("pid"))) return Complain("event missing pid");
-    if (!IsNumber(event->Get("tid"))) return Complain("event missing tid");
+    const Json* pid = event->Get("pid");
+    const Json* tid = event->Get("tid");
+    if (!IsNumber(pid)) return Complain("event missing pid");
+    if (!IsNumber(tid)) return Complain("event missing tid");
     if (ph->string == "X") {
       if (!IsNumber(event->Get("ts"))) return Complain("X event missing ts");
       const Json* dur = event->Get("dur");
@@ -269,19 +154,71 @@ int CheckTrace(const Json& root) {
           !IsString(args->Get("name"))) {
         return Complain("M event missing args.name");
       }
+      continue;
     } else {
       return Complain("unknown event phase (expect X/i/M)");
     }
+    if (pid->number == kServePid && tid->number >= kServeRequestTrackBase) {
+      ServeEvent reduced;
+      reduced.name = name->string;
+      reduced.is_span = ph->string == "X";
+      reduced.ts = event->Get("ts")->number;
+      reduced.dur = reduced.is_span ? event->Get("dur")->number : 0;
+      serve_tracks[tid->number].push_back(std::move(reduced));
+    }
   }
+  const int serving = CheckServingShape(serve_tracks);
+  if (serving != 0) return serving;
   std::printf("trace ok: %zu events (%zu spans)\n", events->array.size(),
               spans);
   return 0;
 }
 
+/// One hdr summary: count/sum/min/max/mean plus monotone percentiles and
+/// exemplars carrying {id, value} links back to request traces.
+int CheckHdrEntry(const std::string& name, const Json& hdr) {
+  const std::string where = "hdr." + name;
+  if (!hdr.Is(Json::Kind::kObject)) {
+    return Complain((where + " is not an object").c_str());
+  }
+  for (const char* key :
+       {"count", "sum", "min", "max", "mean", "p50", "p90", "p95", "p99",
+        "p999"}) {
+    if (!IsNumber(hdr.Get(key))) {
+      return Complain((where + " missing " + key).c_str());
+    }
+  }
+  if (hdr.Get("count")->number > 0) {
+    const double quantiles[] = {
+        hdr.Get("min")->number, hdr.Get("p50")->number,
+        hdr.Get("p90")->number, hdr.Get("p95")->number,
+        hdr.Get("p99")->number, hdr.Get("p999")->number,
+        hdr.Get("max")->number};
+    for (std::size_t i = 1; i < std::size(quantiles); ++i) {
+      if (quantiles[i] < quantiles[i - 1]) {
+        return Complain((where + " percentiles are not monotone").c_str());
+      }
+    }
+  }
+  const Json* exemplars = hdr.Get("exemplars");
+  if (exemplars == nullptr || !exemplars->Is(Json::Kind::kArray)) {
+    return Complain((where + " missing exemplars array").c_str());
+  }
+  for (const JsonPtr& exemplar : exemplars->array) {
+    if (!exemplar->Is(Json::Kind::kObject) ||
+        !IsNumber(exemplar->Get("id")) || !IsNumber(exemplar->Get("value"))) {
+      return Complain((where + " exemplar is not {id, value}").c_str());
+    }
+  }
+  return 0;
+}
+
 /// MetricsRegistry export: {"counters":{name:int}, "gauges":{name:number},
 /// "histograms":{name:{count,sum,max,mean,bounds[],buckets[]}}} with
-/// len(buckets) == len(bounds) + 1 and count == sum of buckets.
-int CheckMetrics(const Json& root) {
+/// len(buckets) == len(bounds) + 1 and count == sum of buckets. When
+/// require_hdr is set (stats mode) the "hdr" object must exist, be
+/// non-empty, and every entry must pass CheckHdrEntry.
+int CheckMetrics(const Json& root, bool require_hdr) {
   if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
   const Json* counters = root.Get("counters");
   const Json* gauges = root.Get("gauges");
@@ -330,9 +267,23 @@ int CheckMetrics(const Json& root) {
       return Complain("histogram count != sum of buckets");
     }
   }
-  std::printf("metrics ok: %zu counters, %zu gauges, %zu histograms\n",
+  const Json* hdr = root.Get("hdr");
+  std::size_t hdr_count = 0;
+  if (require_hdr &&
+      (hdr == nullptr || !hdr->Is(Json::Kind::kObject) ||
+       hdr->object.empty())) {
+    return Complain("stats file missing non-empty hdr object");
+  }
+  if (hdr != nullptr && hdr->Is(Json::Kind::kObject)) {
+    for (const auto& [name, entry] : hdr->object) {
+      const int rc = CheckHdrEntry(name, *entry);
+      if (rc != 0) return rc;
+      ++hdr_count;
+    }
+  }
+  std::printf("metrics ok: %zu counters, %zu gauges, %zu histograms, %zu hdr\n",
               counters->object.size(), gauges->object.size(),
-              histograms->object.size());
+              histograms->object.size(), hdr_count);
   return 0;
 }
 
@@ -340,24 +291,18 @@ int CheckMetrics(const Json& root) {
 
 int main(int argc, char** argv) {
   if (argc != 3 || (std::strcmp(argv[1], "trace") != 0 &&
-                    std::strcmp(argv[1], "metrics") != 0)) {
-    std::fprintf(stderr, "usage: schema_check <trace|metrics> <file.json>\n");
+                    std::strcmp(argv[1], "metrics") != 0 &&
+                    std::strcmp(argv[1], "stats") != 0)) {
+    std::fprintf(stderr,
+                 "usage: schema_check <trace|metrics|stats> <file.json>\n");
     return 2;
   }
-  std::ifstream in(argv[2], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[2]);
-    return 1;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-
-  Parser parser(buffer.str());
-  const JsonPtr root = parser.Parse();
+  std::string error;
+  const JsonPtr root = ganns::tools::ParseJsonFile(argv[2], &error);
   if (root == nullptr) {
-    std::fprintf(stderr, "JSON parse error: %s\n", parser.error().c_str());
+    std::fprintf(stderr, "JSON parse error: %s\n", error.c_str());
     return 1;
   }
-  return std::strcmp(argv[1], "trace") == 0 ? CheckTrace(*root)
-                                            : CheckMetrics(*root);
+  if (std::strcmp(argv[1], "trace") == 0) return CheckTrace(*root);
+  return CheckMetrics(*root, std::strcmp(argv[1], "stats") == 0);
 }
