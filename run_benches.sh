@@ -44,4 +44,10 @@ echo "===== bench/serve_throughput ====="
 GANNS_SCALE=100000 GANNS_QUERIES=500 ./build/bench/serve_throughput BENCH_serve.json
 echo
 
+# Mutable index lifecycle: baseline / mixed insert+remove / post-compaction
+# phases over 1 and 2 shards. Writes BENCH_update.json.
+echo "===== bench/update_workload ====="
+GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/update_workload BENCH_update.json
+echo
+
 echo "ALL_BENCHES_DONE"

@@ -122,6 +122,8 @@ std::vector<graph::Neighbor> EagerSearchOne(
   out.reserve(params.k);
   for (std::size_t i = 0; i < l_n && out.size() < params.k; ++i) {
     if (result_array[i].id == kInvalidVertex) break;
+    // Tombstoned vertices route the walk but never reach the result set.
+    if (!graph.IsLive(result_array[i].id)) continue;
     out.push_back({result_array[i].dist, result_array[i].id});
   }
   warp.cost().Charge(gpusim::CostCategory::kOther,

@@ -13,8 +13,12 @@ namespace {
 constexpr std::uint64_t kIndexMagic = 0x53584449534e4e47ULL;  // "GNNSIDXS"
 // v2: single self-contained file — header followed by the embedded graph
 // stream (ProximityGraph for NSW, HnswGraph for HNSW). v1 spread the layers
-// over sidecar files; those indexes must be rebuilt.
-constexpr std::uint64_t kIndexVersion = 2;
+// over sidecar files; those indexes must be rebuilt. v3 marks the unified
+// GraphStore generation: the embedded graph stream is the v3 slot record
+// (capacity, slot states, free list). v2 containers still load — the graph
+// reader dispatches on the record version it finds.
+constexpr std::uint64_t kIndexVersion = 3;
+constexpr std::uint64_t kIndexVersionCompat = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -119,7 +123,8 @@ std::optional<GannsIndex> GannsIndex::Load(const std::string& path,
   if (file == nullptr) return std::nullopt;
   std::uint64_t header[3] = {};
   if (std::fread(header, sizeof(header), 1, file.get()) != 1 ||
-      header[0] != kIndexMagic || header[1] != kIndexVersion ||
+      header[0] != kIndexMagic ||
+      (header[1] != kIndexVersion && header[1] != kIndexVersionCompat) ||
       header[2] > 1) {
     return std::nullopt;
   }

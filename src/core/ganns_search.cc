@@ -229,10 +229,14 @@ std::vector<graph::Neighbor> GannsSearchOne(
   }
 
   // Result write-back: the first k valid entries of N (already sorted).
+  // Tombstoned vertices stay traversable during the walk (their rows route
+  // the search) but are filtered here, so a search over a mutated graph
+  // returns only live points; with no deletions the filter passes everything.
   std::vector<graph::Neighbor> out;
   out.reserve(params.k);
   for (std::size_t i = 0; i < l_n && out.size() < params.k; ++i) {
     if (result_array[i].id == kInvalidVertex) break;
+    if (!graph.IsLive(result_array[i].id)) continue;
     out.push_back({result_array[i].dist, result_array[i].id});
   }
   warp.cost().Charge(gpusim::CostCategory::kOther,

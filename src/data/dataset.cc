@@ -1,5 +1,6 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -14,6 +15,16 @@ void Dataset::Append(std::span<const float> point) {
                                << "-dim dataset");
   values_.insert(values_.end(), point.begin(), point.end());
   values_.resize(values_.size() + (padded_dim_ - dim_), 0.0f);
+}
+
+void Dataset::SetRow(VertexId i, std::span<const float> point) {
+  GANNS_CHECK_MSG(std::size_t{i} < size(),
+                  "row " << i << " out of range (size " << size() << ")");
+  GANNS_CHECK_MSG(point.size() == dim_,
+                  "writing " << point.size() << "-dim point to " << dim_
+                             << "-dim dataset");
+  std::copy(point.begin(), point.end(),
+            values_.data() + std::size_t{i} * padded_dim_);
 }
 
 void Dataset::NormalizeRows() {

@@ -74,6 +74,10 @@ class Dataset {
   /// Appends one vector; must have exactly dim() components.
   void Append(std::span<const float> point);
 
+  /// Overwrites row i in place (padding floats stay zero). Used by the index
+  /// lifecycle when an insert reuses a compacted slot.
+  void SetRow(VertexId i, std::span<const float> point);
+
   /// Reserves storage for n points.
   void Reserve(std::size_t n) { values_.reserve(n * padded_dim_); }
 

@@ -95,6 +95,12 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
   }
 
   std::sort(results.begin(), results.end());
+  // Tombstoned vertices route the walk but never reach the result set (the
+  // branch is never taken on an unmutated graph).
+  if (graph.HasTombstones()) {
+    std::erase_if(results,
+                  [&](const Neighbor& n) { return !graph.IsLive(n.id); });
+  }
   if (results.size() > k) results.resize(k);
   if (stats != nullptr) stats->Add(local_stats);
   return results;

@@ -1,17 +1,11 @@
 #include "graph/proximity_graph.h"
 
 #include <cstdio>
-#include <cstring>
 #include <memory>
-
-#include "common/logging.h"
 
 namespace ganns {
 namespace graph {
 namespace {
-
-constexpr std::uint32_t kMagic = 0x474e4e53;  // "GNNS"
-constexpr std::uint32_t kVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -21,140 +15,6 @@ struct FileCloser {
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
 }  // namespace
-
-ProximityGraph::ProximityGraph(std::size_t num_vertices, std::size_t d_max)
-    : num_vertices_(num_vertices),
-      d_max_(d_max),
-      ids_(num_vertices * d_max, kInvalidVertex),
-      dists_(num_vertices * d_max, kInfDist),
-      degrees_(num_vertices, 0) {
-  GANNS_CHECK(d_max >= 1);
-}
-
-void ProximityGraph::InsertNeighbor(VertexId v, VertexId u, Dist dist) {
-  GANNS_CHECK(v < num_vertices_ && u < num_vertices_);
-  VertexId* row_ids = ids_.data() + Row(v);
-  Dist* row_dists = dists_.data() + Row(v);
-  const std::size_t degree = degrees_[v];
-
-  // Locate the insertion position by binary search over (dist, id).
-  std::size_t lo = 0;
-  std::size_t hi = degree;
-  while (lo < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (row_dists[mid] < dist ||
-        (row_dists[mid] == dist && row_ids[mid] < u)) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  if (lo == d_max_) return;  // worse than every kept neighbor; full row
-
-  // Reject duplicates (u may already be present at the same distance).
-  for (std::size_t i = 0; i < degree; ++i) {
-    if (row_ids[i] == u) return;
-  }
-
-  const std::size_t new_degree = degree < d_max_ ? degree + 1 : d_max_;
-  // Shift the tail right by one, discarding the last slot if full.
-  for (std::size_t i = new_degree - 1; i > lo; --i) {
-    row_ids[i] = row_ids[i - 1];
-    row_dists[i] = row_dists[i - 1];
-  }
-  row_ids[lo] = u;
-  row_dists[lo] = dist;
-  degrees_[v] = static_cast<std::uint32_t>(new_degree);
-}
-
-void ProximityGraph::SetNeighbors(VertexId v, std::span<const Edge> edges) {
-  GANNS_CHECK(v < num_vertices_);
-  GANNS_CHECK(edges.size() <= d_max_);
-  VertexId* row_ids = ids_.data() + Row(v);
-  Dist* row_dists = dists_.data() + Row(v);
-  std::size_t count = 0;
-  for (const Edge& edge : edges) {
-    if (edge.id == kInvalidVertex) continue;
-    GANNS_CHECK(edge.id < num_vertices_);
-    if (count > 0) {
-      GANNS_CHECK_MSG(row_dists[count - 1] < edge.dist ||
-                          (row_dists[count - 1] == edge.dist &&
-                           row_ids[count - 1] < edge.id),
-                      "SetNeighbors input not sorted for vertex " << v);
-    }
-    row_ids[count] = edge.id;
-    row_dists[count] = edge.dist;
-    ++count;
-  }
-  for (std::size_t i = count; i < d_max_; ++i) {
-    row_ids[i] = kInvalidVertex;
-    row_dists[i] = kInfDist;
-  }
-  degrees_[v] = static_cast<std::uint32_t>(count);
-}
-
-void ProximityGraph::ClearVertex(VertexId v) {
-  GANNS_CHECK(v < num_vertices_);
-  VertexId* row_ids = ids_.data() + Row(v);
-  Dist* row_dists = dists_.data() + Row(v);
-  for (std::size_t i = 0; i < d_max_; ++i) {
-    row_ids[i] = kInvalidVertex;
-    row_dists[i] = kInfDist;
-  }
-  degrees_[v] = 0;
-}
-
-std::size_t ProximityGraph::NumEdges() const {
-  std::size_t total = 0;
-  for (std::uint32_t d : degrees_) total += d;
-  return total;
-}
-
-bool ProximityGraph::WriteTo(std::FILE* file) const {
-  const std::uint64_t header[4] = {kMagic, kVersion, num_vertices_, d_max_};
-  if (std::fwrite(header, sizeof(header), 1, file) != 1) return false;
-  if (std::fwrite(ids_.data(), sizeof(VertexId), ids_.size(), file) !=
-      ids_.size()) {
-    return false;
-  }
-  if (std::fwrite(dists_.data(), sizeof(Dist), dists_.size(), file) !=
-      dists_.size()) {
-    return false;
-  }
-  if (std::fwrite(degrees_.data(), sizeof(std::uint32_t), degrees_.size(),
-                  file) != degrees_.size()) {
-    return false;
-  }
-  return true;
-}
-
-std::optional<ProximityGraph> ProximityGraph::ReadFrom(std::FILE* file) {
-  std::uint64_t header[4] = {};
-  if (std::fread(header, sizeof(header), 1, file) != 1) {
-    return std::nullopt;
-  }
-  if (header[0] != kMagic || header[1] != kVersion) return std::nullopt;
-  // Reject absurd sizes before allocating (a truncated or foreign file must
-  // fail cleanly, not bad_alloc).
-  if (header[2] > (std::uint64_t{1} << 40) || header[3] == 0 ||
-      header[3] > (std::uint64_t{1} << 20)) {
-    return std::nullopt;
-  }
-  ProximityGraph graph(header[2], header[3]);
-  if (std::fread(graph.ids_.data(), sizeof(VertexId), graph.ids_.size(),
-                 file) != graph.ids_.size()) {
-    return std::nullopt;
-  }
-  if (std::fread(graph.dists_.data(), sizeof(Dist), graph.dists_.size(),
-                 file) != graph.dists_.size()) {
-    return std::nullopt;
-  }
-  if (std::fread(graph.degrees_.data(), sizeof(std::uint32_t),
-                 graph.degrees_.size(), file) != graph.degrees_.size()) {
-    return std::nullopt;
-  }
-  return graph;
-}
 
 bool ProximityGraph::SaveTo(const std::string& path) const {
   File file(std::fopen(path.c_str(), "wb"));
@@ -167,6 +27,12 @@ std::optional<ProximityGraph> ProximityGraph::LoadFrom(
   File file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) return std::nullopt;
   return ReadFrom(file.get());
+}
+
+std::optional<ProximityGraph> ProximityGraph::ReadFrom(std::FILE* file) {
+  std::optional<GraphStore> store = GraphStore::ReadFrom(file);
+  if (!store.has_value()) return std::nullopt;
+  return ProximityGraph(*std::move(store));
 }
 
 }  // namespace graph

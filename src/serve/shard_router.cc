@@ -1,6 +1,8 @@
 #include "serve/shard_router.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -10,22 +12,97 @@
 
 namespace ganns {
 namespace serve {
+namespace {
+
+std::shared_ptr<const std::vector<VertexId>> IotaGlobalIds(VertexId offset,
+                                                           std::size_t n) {
+  auto ids = std::make_shared<std::vector<VertexId>>(n);
+  std::iota(ids->begin(), ids->end(), offset);
+  return ids;
+}
+
+}  // namespace
+
+/// The builders produce exactly-sized graphs; the serving layer
+/// over-provisions so online inserts have slots to claim.
+graph::ProximityGraph ShardedIndex::WithCapacity(graph::ProximityGraph built,
+                                                 std::size_t capacity) {
+  if (capacity <= built.num_vertices()) return built;
+  graph::ProximityGraph grown(built.num_vertices(), built.d_max(), capacity);
+  std::vector<graph::ProximityGraph::Edge> row;
+  row.reserve(built.d_max());
+  for (VertexId v = 0; v < built.num_vertices(); ++v) {
+    row.clear();
+    const auto ids = built.Neighbors(v);
+    const auto dists = built.NeighborDists(v);
+    const std::size_t degree = built.Degree(v);
+    for (std::size_t i = 0; i < degree; ++i) row.push_back({ids[i], dists[i]});
+    grown.SetNeighbors(v, row);
+  }
+  return grown;
+}
+
+ShardedIndex::~ShardedIndex() { StopCompactor(); }
 
 std::size_t ShardedIndex::size() const {
   std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard->base.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto snap = PinSnapshot(s);
+    total += snap->graph != nullptr ? snap->graph->num_live()
+                                    : snap->base->size();
+  }
   return total;
 }
 
-std::size_t ShardedIndex::dim() const { return shards_[0]->base.dim(); }
+std::size_t ShardedIndex::dim() const {
+  return PinSnapshot(0)->base->dim();
+}
 
 const graph::ProximityGraph& ShardedIndex::shard_graph(std::size_t s) const {
-  return shards_[s]->bottom();
+  const Shard& shard = *shards_[s];
+  if (shard.hnsw != nullptr) return shard.hnsw->layer(0);
+  return *PinSnapshot(s)->graph;
+}
+
+double ShardedIndex::TombstoneFraction(std::size_t s) const {
+  const auto snap = PinSnapshot(s);
+  return snap->graph != nullptr ? snap->graph->TombstoneFraction() : 0.0;
+}
+
+std::uint64_t ShardedIndex::ShardEpoch(std::size_t s) const {
+  return PinSnapshot(s)->epoch;
+}
+
+std::uint64_t ShardedIndex::inserts() const {
+  return writes_->inserts.load(std::memory_order_relaxed);
+}
+std::uint64_t ShardedIndex::removes() const {
+  return writes_->removes.load(std::memory_order_relaxed);
+}
+std::uint64_t ShardedIndex::compactions() const {
+  return writes_->compactions.load(std::memory_order_relaxed);
+}
+double ShardedIndex::update_sim_seconds() const {
+  return writes_->update_sim_seconds.load(std::memory_order_relaxed);
 }
 
 std::size_t ShardedIndex::PerShardBudget(std::size_t budget,
                                          std::size_t k) const {
   return std::max(k, budget / shards_.size());
+}
+
+std::shared_ptr<const ShardedIndex::Snapshot> ShardedIndex::PinSnapshot(
+    std::size_t s) const {
+  const Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+  return shard.snapshot;
+}
+
+void ShardedIndex::PublishSnapshot(std::size_t s,
+                                   std::shared_ptr<const Snapshot> next) {
+  Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.snapshot_mutex);
+  shard.snapshot = std::move(next);
 }
 
 data::Dataset ShardedIndex::SliceDataset(const data::Dataset& base,
@@ -36,33 +113,61 @@ data::Dataset ShardedIndex::SliceDataset(const data::Dataset& base,
   return slice;
 }
 
-ShardedIndex::Shard ShardedIndex::BuildShard(const data::Dataset& base,
-                                             VertexId begin, VertexId end,
-                                             const ShardBuildOptions& options) {
-  Shard shard(SliceDataset(base, begin, end));
-  shard.offset = begin;
-  shard.device = std::make_unique<gpusim::Device>(options.device);
-
+core::GpuBuildParams ShardedIndex::MakeBuildParams(
+    const ShardBuildOptions& options, std::size_t shard_size) {
   core::GpuBuildParams build;
   build.nsw = options.nsw;
   build.kernel = options.construction_kernel;
   build.block_lanes = options.block_lanes;
   // Keep GGraphCon groups meaningful on small slices (>= ~32 points each).
   build.num_groups = static_cast<int>(std::clamp<std::size_t>(
-      shard.base.size() / 32, 1, static_cast<std::size_t>(options.num_groups)));
+      shard_size / 32, 1, static_cast<std::size_t>(options.num_groups)));
+  return build;
+}
+
+core::UpdateParams ShardedIndex::MakeUpdateParams() const {
+  core::UpdateParams params;
+  params.d_min = options_.update.d_min_insert != 0 ? options_.update.d_min_insert
+                                                   : options_.nsw.d_min;
+  params.ef = options_.update.ef_insert;
+  params.kernel = options_.construction_kernel;
+  params.block_lanes = options_.block_lanes;
+  return params;
+}
+
+std::unique_ptr<ShardedIndex::Shard> ShardedIndex::BuildShard(
+    const data::Dataset& base, VertexId begin, VertexId end,
+    const ShardBuildOptions& options) {
+  auto shard = std::make_unique<Shard>();
+  data::Dataset slice = SliceDataset(base, begin, end);
+  shard->offset = begin;
+  shard->initial_size = slice.size();
+  shard->device = std::make_unique<gpusim::Device>(options.device);
+  shard->update_device = std::make_unique<gpusim::Device>(options.device);
+
+  const core::GpuBuildParams build = MakeBuildParams(options, slice.size());
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->entry = slice.size() > 0 ? 0 : kInvalidVertex;
+  snapshot->global_ids = IotaGlobalIds(begin, slice.size());
 
   if (options.kind == core::GraphKind::kNsw) {
     core::GpuBuildResult result =
-        core::BuildNswGGraphCon(*shard.device, shard.base, build);
-    shard.nsw =
-        std::make_unique<graph::ProximityGraph>(std::move(result.graph));
+        core::BuildNswGGraphCon(*shard->device, slice, build);
+    const std::size_t capacity =
+        slice.size() + static_cast<std::size_t>(std::ceil(
+                           static_cast<double>(slice.size()) *
+                           std::max(0.0, options.update.capacity_slack)));
+    snapshot->graph = std::make_shared<graph::ProximityGraph>(
+        WithCapacity(std::move(result.graph), capacity));
   } else {
     graph::HnswParams hnsw = options.hnsw;
     hnsw.nsw = options.nsw;
     core::GpuHnswBuildResult result =
-        core::BuildHnswGGraphCon(*shard.device, shard.base, hnsw, build);
-    shard.hnsw = std::make_unique<graph::HnswGraph>(std::move(result.graph));
+        core::BuildHnswGGraphCon(*shard->device, slice, hnsw, build);
+    shard->hnsw = std::make_unique<graph::HnswGraph>(std::move(result.graph));
   }
+  snapshot->base = std::make_shared<data::Dataset>(std::move(slice));
+  shard->snapshot = std::move(snapshot);
   return shard;
 }
 
@@ -75,6 +180,8 @@ ShardedIndex ShardedIndex::Build(const data::Dataset& base,
                                   << num_shards << " shards");
   ShardedIndex index;
   index.options_ = options;
+  index.initial_total_ = base.size();
+  index.writes_->next_global_id = static_cast<VertexId>(base.size());
   index.shards_.reserve(num_shards);
   // Contiguous split with the remainder spread over the leading shards, so
   // shard sizes differ by at most one point.
@@ -84,8 +191,7 @@ ShardedIndex ShardedIndex::Build(const data::Dataset& base,
   for (std::size_t s = 0; s < num_shards; ++s) {
     const VertexId end = begin + static_cast<VertexId>(per_shard) +
                          (s < remainder ? 1 : 0);
-    index.shards_.push_back(
-        std::make_unique<Shard>(BuildShard(base, begin, end, options)));
+    index.shards_.push_back(BuildShard(base, begin, end, options));
     begin = end;
   }
   return index;
@@ -96,23 +202,36 @@ double ShardedIndex::SearchShard(std::size_t s,
                                  core::SearchKernel kernel,
                                  std::span<std::vector<graph::Neighbor>> rows) {
   Shard& shard = *shards_[s];
-  const VertexId offset = shard.offset;
+  // Pin the shard's current epoch for the whole launch: concurrent writers
+  // publish replacement snapshots but never mutate a published one, so the
+  // batch sees a single consistent (graph, vectors, id map) triple.
+  const std::shared_ptr<const Snapshot> snap = PinSnapshot(s);
+  const data::Dataset& base = *snap->base;
+  const std::vector<VertexId>& global_ids = *snap->global_ids;
+  if (shard.hnsw == nullptr && snap->entry == kInvalidVertex) {
+    // Every point of this shard was deleted: nothing to search, no kernel.
+    return 0.0;
+  }
+  const graph::ProximityGraph& bottom =
+      shard.hnsw != nullptr ? shard.hnsw->layer(0) : *snap->graph;
   const gpusim::KernelStats stats = shard.device->Launch(
       "serve.shard_search", static_cast<int>(queries.size()),
       options_.block_lanes, [&](gpusim::BlockContext& block) {
         const std::size_t q = static_cast<std::size_t>(block.block_id());
         const RoutedQuery& request = queries[q];
         // Hierarchical shards pick a per-query layer-0 entry; flat shards
-        // enter at their first inserted point.
+        // enter at the snapshot's entry vertex.
         const VertexId entry =
             shard.hnsw != nullptr
-                ? shard.hnsw->DescendToLayer0(shard.base, request.query)
-                : 0;
+                ? shard.hnsw->DescendToLayer0(base, request.query)
+                : snap->entry;
         rows[q] = core::DispatchSearch(
-            block, kernel, shard.bottom(), shard.base, request.query,
-            request.k, PerShardBudget(request.budget, request.k), entry);
-        // Rebase shard-local ids onto the global numbering.
-        for (graph::Neighbor& neighbor : rows[q]) neighbor.id += offset;
+            block, kernel, bottom, base, request.query, request.k,
+            PerShardBudget(request.budget, request.k), entry);
+        // Rebase shard-local slots onto the global numbering.
+        for (graph::Neighbor& neighbor : rows[q]) {
+          neighbor.id = global_ids[neighbor.id];
+        }
       });
   kernel_queries_->fetch_add(queries.size(), std::memory_order_relaxed);
   return stats.sim_cycles;
@@ -176,60 +295,13 @@ std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchSerial(
   std::vector<std::vector<graph::Neighbor>> heads(shards_.size());
   for (std::size_t q = 0; q < queries.size(); ++q) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
+      heads[s].clear();
       SearchShard(s, queries.subspan(q, 1), kernel,
                   std::span<std::vector<graph::Neighbor>>(&heads[s], 1));
     }
     merged[q] = MergeTopK(heads, queries[q].k);
   }
   return merged;
-}
-
-bool ShardedIndex::SaveShards(const std::string& prefix) const {
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const std::string path = prefix + ".shard" + std::to_string(s);
-    const Shard& shard = *shards_[s];
-    const bool ok = shard.nsw != nullptr ? shard.nsw->SaveTo(path)
-                                         : shard.hnsw->SaveTo(path);
-    if (!ok) return false;
-  }
-  return true;
-}
-
-std::optional<ShardedIndex> ShardedIndex::LoadShards(
-    const std::string& prefix, const data::Dataset& base,
-    std::size_t num_shards, const ShardBuildOptions& options) {
-  if (num_shards < 1 || base.size() < num_shards) return std::nullopt;
-  ShardedIndex index;
-  index.options_ = options;
-  const std::size_t per_shard = base.size() / num_shards;
-  const std::size_t remainder = base.size() % num_shards;
-  VertexId begin = 0;
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    const VertexId end = begin + static_cast<VertexId>(per_shard) +
-                         (s < remainder ? 1 : 0);
-    auto shard = std::make_unique<Shard>(SliceDataset(base, begin, end));
-    shard->offset = begin;
-    shard->device = std::make_unique<gpusim::Device>(options.device);
-    const std::string path = prefix + ".shard" + std::to_string(s);
-    if (options.kind == core::GraphKind::kNsw) {
-      auto graph = graph::ProximityGraph::LoadFrom(path);
-      if (!graph.has_value() ||
-          graph->num_vertices() != shard->base.size()) {
-        return std::nullopt;
-      }
-      shard->nsw = std::make_unique<graph::ProximityGraph>(*std::move(graph));
-    } else {
-      auto graph = graph::HnswGraph::LoadFrom(path);
-      if (!graph.has_value() ||
-          graph->num_vertices() != shard->base.size()) {
-        return std::nullopt;
-      }
-      shard->hnsw = std::make_unique<graph::HnswGraph>(*std::move(graph));
-    }
-    index.shards_.push_back(std::move(shard));
-    begin = end;
-  }
-  return index;
 }
 
 }  // namespace serve

@@ -2,15 +2,20 @@
 #define GANNS_SERVE_SHARD_ROUTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ganns_index.h"
 #include "core/ggraphcon.h"
+#include "core/mutate.h"
 #include "data/dataset.h"
 #include "gpusim/device.h"
 #include "graph/hnsw.h"
@@ -19,6 +24,23 @@
 
 namespace ganns {
 namespace serve {
+
+/// Lifecycle configuration of a mutable (NSW) sharded index.
+struct IndexUpdateOptions {
+  /// Extra adjacency capacity per shard as a fraction of its initial size:
+  /// slack 0.5 lets a shard grow 50% before inserts need compacted slots.
+  double capacity_slack = 0.5;
+  /// Visited budget of the insert neighbor-selection search.
+  std::size_t ef_insert = 64;
+  /// Edges linked per insert; 0 uses the construction d_min.
+  std::size_t d_min_insert = 0;
+  /// Tombstone fraction at which a shard is scheduled for compaction.
+  double compact_threshold = 0.25;
+  /// Run the background compaction task (manual Compact() otherwise).
+  bool auto_compact = true;
+  /// Use the host insert/remove paths instead of the charged device paths.
+  bool host_updates = false;
+};
 
 /// Construction-side configuration of a sharded index. Every shard is built
 /// by the existing GGraphCon paths over its slice of the corpus and owns a
@@ -33,6 +55,8 @@ struct ShardBuildOptions {
   int block_lanes = 32;
   /// Device spec replicated per shard.
   gpusim::DeviceSpec device;
+  /// Online insert/delete behavior (NSW shards only).
+  IndexUpdateOptions update;
 };
 
 /// One query of a routed batch (borrowed views — the engine owns the
@@ -72,9 +96,22 @@ struct RouteStats {
 };
 
 /// A dataset split into `num_shards` contiguous partitions, each carrying
-/// its own proximity graph and simulated device. Shard s owns global ids
-/// [offset(s), offset(s) + shard_size(s)); search results are rebased onto
-/// global ids before the deterministic top-k merge.
+/// its own proximity graph and simulated device. Shard s initially owns
+/// global ids [offset(s), offset(s) + initial_size(s)); inserted vectors
+/// receive fresh global ids past the initial corpus. Search results are
+/// rebased onto global ids before the deterministic top-k merge.
+///
+/// Mutability (NSW shards): readers pin an immutable per-shard snapshot
+/// (epoch, graph, base vectors, id map) for the duration of a batch;
+/// writers clone the state they change, apply the update, and publish a new
+/// snapshot under a brief mutex — an RCU-style swap, so writers never block
+/// in-flight batches and a batch never observes a torn graph. Deletions
+/// tombstone in place; a background task compacts a shard (rebuilding its
+/// graph over the survivors on the shard's update device) once its
+/// tombstone fraction crosses the configured threshold.
+///
+/// After the first write the index must stay at its address (the background
+/// compactor holds a reference); move it only while read-only.
 class ShardedIndex {
  public:
   /// Splits `base` into contiguous slices and builds one graph per shard
@@ -84,13 +121,18 @@ class ShardedIndex {
                             const ShardBuildOptions& options);
 
   ShardedIndex(ShardedIndex&&) = default;
-  ShardedIndex& operator=(ShardedIndex&&) = default;
+  /// Stops the target's background compactor before adopting the source.
+  ShardedIndex& operator=(ShardedIndex&& other);
+  ~ShardedIndex();
 
   std::size_t num_shards() const { return shards_.size(); }
-  /// Total corpus points across shards.
+  /// Live corpus points across shards (tombstoned points excluded).
   std::size_t size() const;
   std::size_t dim() const;
   VertexId shard_offset(std::size_t s) const { return shards_[s]->offset; }
+  /// The current bottom-layer graph of shard s. Owner-thread use only: the
+  /// reference is into the current snapshot and a concurrent writer may
+  /// retire it.
   const graph::ProximityGraph& shard_graph(std::size_t s) const;
 
   /// The beam width each shard receives for a request with `budget`:
@@ -114,41 +156,109 @@ class ShardedIndex {
   std::vector<std::vector<graph::Neighbor>> SearchSerial(
       std::span<const RoutedQuery> queries, core::SearchKernel kernel);
 
+  // --- Write routing (NSW shards only) ---
+
+  /// Inserts one vector (normalized first on cosine corpora), routing it to
+  /// the shard with the most free capacity. Returns the new global id, or
+  /// std::nullopt when every shard is full (capacity_slack exhausted and no
+  /// compacted slots available).
+  std::optional<VertexId> Insert(std::span<const float> vector);
+
+  /// Deletes a point by global id. Returns false when the id is unknown or
+  /// already deleted. The point leaves search results immediately; its slot
+  /// is reclaimed by compaction.
+  bool Remove(VertexId global_id);
+
+  /// Compacts shard s now if it has any tombstones (rebuilds the graph over
+  /// the survivors and releases their slots). Returns true when a rebuild
+  /// happened. The background task calls this automatically past the
+  /// threshold; tests and tools can force it.
+  bool Compact(std::size_t s);
+
+  /// Lifecycle introspection.
+  double TombstoneFraction(std::size_t s) const;
+  std::uint64_t ShardEpoch(std::size_t s) const;
+  std::uint64_t inserts() const;
+  std::uint64_t removes() const;
+  std::uint64_t compactions() const;
+  /// Simulated device seconds charged to inserts/removes/compactions.
+  double update_sim_seconds() const;
+
   /// Lifetime count of (query, shard) kernel searches dispatched. Expired
   /// requests must never increment this — asserted by the serving tests.
   std::uint64_t kernel_queries() const {
     return kernel_queries_->load(std::memory_order_relaxed);
   }
 
-  /// Persists every shard graph as `<prefix>.shard<N>` via the graph
-  /// serialization layer. Returns false on IO failure.
+  /// Persists every shard as `<prefix>.shard<N>`: NSW shards as the v3
+  /// shard container (graph record + global id map + live vectors, so a
+  /// mutated shard round-trips exactly), HNSW shards as the legacy graph
+  /// file. Returns false on IO failure.
   bool SaveShards(const std::string& prefix) const;
 
-  /// Rebuild-free load: restores shard graphs written by SaveShards over the
-  /// same corpus and options. Returns std::nullopt on missing/truncated/
+  /// Rebuild-free load: restores shard state written by SaveShards over the
+  /// same corpus and options. Legacy (pre-lifecycle) NSW shard files load
+  /// as pristine shards. Returns std::nullopt on missing/truncated/
   /// mismatched files.
   static std::optional<ShardedIndex> LoadShards(
       const std::string& prefix, const data::Dataset& base,
       std::size_t num_shards, const ShardBuildOptions& options);
 
  private:
-  /// One partition: a corpus slice, its graph(s), and a private device.
-  /// unique_ptr keeps shard addresses stable under vector moves.
+  /// The reader-visible state of one shard: immutable once published.
+  /// Writers build a fresh Snapshot (sharing whatever sub-state they did
+  /// not change) and swap the shared_ptr under the shard's snapshot mutex.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    /// Search entry vertex; kInvalidVertex when the shard has no live point.
+    VertexId entry = 0;
+    std::shared_ptr<const graph::ProximityGraph> graph;
+    std::shared_ptr<const data::Dataset> base;
+    /// Slot -> global id (pristine shards: offset + slot).
+    std::shared_ptr<const std::vector<VertexId>> global_ids;
+  };
+
+  /// One partition. unique_ptr keeps shard addresses stable under vector
+  /// moves; the atomic flag and mutex make the struct non-movable anyway.
   struct Shard {
-    explicit Shard(data::Dataset slice) : base(std::move(slice)) {}
-
-    data::Dataset base;
     VertexId offset = 0;
-    std::unique_ptr<gpusim::Device> device;
-    std::unique_ptr<graph::ProximityGraph> nsw;  // kind == kNsw
-    std::unique_ptr<graph::HnswGraph> hnsw;      // kind == kHnsw
+    std::size_t initial_size = 0;
+    std::unique_ptr<gpusim::Device> device;  ///< read path
+    /// Separate device for charged updates/compaction, so writer launches
+    /// never interleave with concurrent reader launches on one timeline.
+    std::unique_ptr<gpusim::Device> update_device;
+    std::unique_ptr<graph::HnswGraph> hnsw;  ///< kind == kHnsw (static)
+    mutable std::mutex snapshot_mutex;
+    std::shared_ptr<const Snapshot> snapshot;
+    std::atomic<bool> compaction_pending{false};
+  };
 
-    const graph::ProximityGraph& bottom() const {
-      return nsw != nullptr ? *nsw : hnsw->layer(0);
-    }
+  /// Writer-side state, heap-held so the index stays movable while
+  /// read-only. All writes (Insert/Remove/Compact) serialize on
+  /// write_mutex; readers never take it.
+  struct WriteState {
+    std::mutex write_mutex;
+    /// Global id -> (shard, slot) for inserted points. Entries may be stale
+    /// after compaction; Remove() re-validates against the id map.
+    std::unordered_map<VertexId, std::pair<std::uint32_t, VertexId>>
+        dynamic_slots;
+    VertexId next_global_id = 0;
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> removes{0};
+    std::atomic<std::uint64_t> compactions{0};
+    std::atomic<double> update_sim_seconds{0.0};
+    // Background compactor: lazily started on the first write.
+    std::thread compactor;
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::vector<std::size_t> queue;
+    bool stop = false;
   };
 
   ShardedIndex() = default;
+
+  std::shared_ptr<const Snapshot> PinSnapshot(std::size_t s) const;
+  void PublishSnapshot(std::size_t s, std::shared_ptr<const Snapshot> next);
 
   /// Runs one shard's batch as a single simulated kernel launch, writing
   /// global-id rows into rows[q]. Returns the launch's simulated cycles.
@@ -156,13 +266,35 @@ class ShardedIndex {
                      core::SearchKernel kernel,
                      std::span<std::vector<graph::Neighbor>> rows);
 
-  static Shard BuildShard(const data::Dataset& base, VertexId begin,
-                          VertexId end, const ShardBuildOptions& options);
+  static std::unique_ptr<Shard> BuildShard(const data::Dataset& base,
+                                           VertexId begin, VertexId end,
+                                           const ShardBuildOptions& options);
   static data::Dataset SliceDataset(const data::Dataset& base, VertexId begin,
                                     VertexId end);
+  static core::GpuBuildParams MakeBuildParams(const ShardBuildOptions& options,
+                                              std::size_t shard_size);
+  /// Re-homes a freshly built graph into a store with `capacity` slots of
+  /// growth headroom (no-op when already at least that large).
+  static graph::ProximityGraph WithCapacity(graph::ProximityGraph built,
+                                            std::size_t capacity);
+  core::UpdateParams MakeUpdateParams() const;
+
+  /// Resolves a global id to (shard, slot) without validating liveness.
+  std::optional<std::pair<std::size_t, VertexId>> ResolveGlobalId(
+      VertexId global_id) const;
+
+  bool CompactLocked(std::size_t s);
+  void ScheduleCompaction(std::size_t s);
+  void EnsureCompactorLocked();
+  void CompactorLoop();
+  void StopCompactor();
+  void RecordTombstoneGauge() const;
 
   ShardBuildOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Initial corpus size: global ids below this resolve by shard offsets.
+  std::size_t initial_total_ = 0;
+  std::unique_ptr<WriteState> writes_ = std::make_unique<WriteState>();
   /// Heap-held so the index stays movable (std::atomic is not).
   std::unique_ptr<std::atomic<std::uint64_t>> kernel_queries_ =
       std::make_unique<std::atomic<std::uint64_t>>(0);

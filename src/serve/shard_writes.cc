@@ -1,0 +1,552 @@
+// Write routing for ShardedIndex: online insert/delete, tombstone-driven
+// compaction, and the v3 shard-container persistence that round-trips a
+// live-mutated shard. The read path lives in shard_router.cc.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/mutate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/shard_router.h"
+
+namespace ganns {
+namespace serve {
+namespace {
+
+constexpr std::uint64_t kShardMagic = 0x33485347;  // "GSH3"
+constexpr std::uint64_t kShardVersion = 3;
+/// Leading word of a legacy (pre-lifecycle) bare graph record.
+constexpr std::uint64_t kGraphMagic = 0x474e4e53;  // "GNNS"
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+/// fetch_add for std::atomic<double> (not guaranteed before C++20 TS
+/// support everywhere): plain CAS loop, relaxed — it is a counter.
+void AddDouble(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void RecordUpdateLatency(const char* name, double start_us) {
+  if (!obs::MetricsEnabled()) return;
+  const double elapsed = WallSpanNow() * 1e6 - start_us;
+  obs::MetricsRegistry::Global().GetHdr(name).Record(
+      static_cast<std::uint64_t>(std::max(0.0, elapsed)));
+}
+
+}  // namespace
+
+ShardedIndex& ShardedIndex::operator=(ShardedIndex&& other) {
+  if (this != &other) {
+    StopCompactor();
+    options_ = std::move(other.options_);
+    shards_ = std::move(other.shards_);
+    initial_total_ = other.initial_total_;
+    writes_ = std::move(other.writes_);
+    kernel_queries_ = std::move(other.kernel_queries_);
+  }
+  return *this;
+}
+
+std::optional<std::pair<std::size_t, VertexId>> ShardedIndex::ResolveGlobalId(
+    VertexId global_id) const {
+  // The explicit map wins: it carries inserted points and every survivor of
+  // a compaction (whose slot no longer matches the offset arithmetic).
+  const auto it = writes_->dynamic_slots.find(global_id);
+  if (it != writes_->dynamic_slots.end()) {
+    return std::make_pair(static_cast<std::size_t>(it->second.first),
+                          it->second.second);
+  }
+  if (global_id >= initial_total_) return std::nullopt;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (global_id < shard.offset + shard.initial_size) {
+      return std::make_pair(s, global_id - shard.offset);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<VertexId> ShardedIndex::Insert(std::span<const float> vector) {
+  GANNS_CHECK_MSG(options_.kind == core::GraphKind::kNsw,
+                  "online updates require NSW shards");
+  GANNS_CHECK(vector.size() == dim());
+  const double start_us = WallSpanNow() * 1e6;
+
+  // Cosine corpora are normalized at construction; an online insert must
+  // match or its dot-product distances are meaningless.
+  std::vector<float> point(vector.begin(), vector.end());
+  if (PinSnapshot(0)->base->metric() == data::Metric::kCosine) {
+    double norm_sq = 0;
+    for (const float x : point) norm_sq += static_cast<double>(x) * x;
+    if (norm_sq > 0) {
+      const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+      for (float& x : point) x *= inv;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(writes_->write_mutex);
+  EnsureCompactorLocked();
+
+  // Route to the shard with the most free slots; ties break on the lowest
+  // shard index so routing is deterministic.
+  std::size_t best = 0;
+  std::size_t best_free = 0;
+  std::vector<std::shared_ptr<const Snapshot>> pinned(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    pinned[s] = PinSnapshot(s);
+    const std::size_t free = pinned[s]->graph->FreeCapacity();
+    if (free > best_free) {
+      best = s;
+      best_free = free;
+    }
+  }
+  if (best_free == 0) return std::nullopt;  // every shard is full
+
+  const std::shared_ptr<const Snapshot>& snap = pinned[best];
+  Shard& shard = *shards_[best];
+
+  // Clone-on-write: mutate private copies, publish when consistent.
+  auto graph = std::make_shared<graph::ProximityGraph>(*snap->graph);
+  auto base = std::make_shared<data::Dataset>(*snap->base);
+  auto gids = std::make_shared<std::vector<VertexId>>(*snap->global_ids);
+
+  const std::optional<VertexId> slot = graph->AllocVertex();
+  GANNS_CHECK(slot.has_value());  // FreeCapacity() > 0 above
+  if (*slot == base->size()) {
+    base->Append(point);
+    gids->push_back(kInvalidVertex);
+  } else {
+    base->SetRow(*slot, point);
+  }
+  const VertexId gid = writes_->next_global_id++;
+  (*gids)[*slot] = gid;
+
+  VertexId entry = snap->entry;
+  core::UpdateResult result;
+  if (entry == kInvalidVertex) {
+    // First point of an emptied shard: it becomes the entry, no edges yet.
+    entry = *slot;
+  } else if (options_.update.host_updates) {
+    result = core::InsertVertexHost(*graph, *base, *slot, entry,
+                                    MakeUpdateParams());
+  } else {
+    result = core::InsertVertex(*shard.update_device, *graph, *base, *slot,
+                                entry, MakeUpdateParams());
+  }
+
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = snap->epoch + 1;
+  next->entry = entry;
+  next->graph = std::move(graph);
+  next->base = std::move(base);
+  next->global_ids = std::move(gids);
+  PublishSnapshot(best, std::move(next));
+
+  writes_->dynamic_slots[gid] = {static_cast<std::uint32_t>(best), *slot};
+  writes_->inserts.fetch_add(1, std::memory_order_relaxed);
+  AddDouble(writes_->update_sim_seconds, result.sim_seconds);
+  RecordUpdateLatency("update.insert_latency_us", start_us);
+  RecordTombstoneGauge();
+  return gid;
+}
+
+bool ShardedIndex::Remove(VertexId global_id) {
+  GANNS_CHECK_MSG(options_.kind == core::GraphKind::kNsw,
+                  "online updates require NSW shards");
+  const double start_us = WallSpanNow() * 1e6;
+  std::lock_guard<std::mutex> lock(writes_->write_mutex);
+  EnsureCompactorLocked();
+
+  const auto resolved = ResolveGlobalId(global_id);
+  if (!resolved.has_value()) return false;
+  const auto [s, slot] = *resolved;
+  const std::shared_ptr<const Snapshot> snap = PinSnapshot(s);
+  // Re-validate against the snapshot's id map: the resolved slot may be
+  // stale (compaction moved or dropped the point) or reused by an insert.
+  if (slot >= snap->graph->num_vertices() ||
+      (*snap->global_ids)[slot] != global_id || !snap->graph->IsLive(slot)) {
+    return false;
+  }
+
+  Shard& shard = *shards_[s];
+  auto graph = std::make_shared<graph::ProximityGraph>(*snap->graph);
+  core::UpdateResult result;
+  if (options_.update.host_updates) {
+    result = core::RemoveVertexHost(*graph, *snap->base, slot,
+                                    MakeUpdateParams());
+  } else {
+    result = core::RemoveVertex(*shard.update_device, *graph, *snap->base,
+                                slot, MakeUpdateParams());
+  }
+
+  VertexId entry = snap->entry;
+  if (entry == slot) {
+    // The entry point died; restart from the lowest live slot.
+    entry = kInvalidVertex;
+    for (VertexId v = 0; v < graph->num_vertices(); ++v) {
+      if (graph->IsLive(v)) {
+        entry = v;
+        break;
+      }
+    }
+  }
+
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = snap->epoch + 1;
+  next->entry = entry;
+  next->graph = graph;
+  next->base = snap->base;
+  next->global_ids = snap->global_ids;
+  PublishSnapshot(s, std::move(next));
+
+  writes_->removes.fetch_add(1, std::memory_order_relaxed);
+  AddDouble(writes_->update_sim_seconds, result.sim_seconds);
+  RecordUpdateLatency("update.remove_latency_us", start_us);
+  RecordTombstoneGauge();
+
+  if (options_.update.auto_compact &&
+      graph->TombstoneFraction() >= options_.update.compact_threshold &&
+      !shard.compaction_pending.exchange(true)) {
+    ScheduleCompaction(s);
+  }
+  return true;
+}
+
+bool ShardedIndex::Compact(std::size_t s) {
+  std::lock_guard<std::mutex> lock(writes_->write_mutex);
+  return CompactLocked(s);
+}
+
+bool ShardedIndex::CompactLocked(std::size_t s) {
+  Shard& shard = *shards_[s];
+  if (shard.hnsw != nullptr) return false;
+  const std::shared_ptr<const Snapshot> snap = PinSnapshot(s);
+  if (snap->graph->num_tombstones() == 0) return false;
+  ScopedWallSpan span("serve.compaction");
+
+  // Repack the survivors into slots [0, n) in ascending old-slot order and
+  // rebuild their graph from scratch with the construction pipeline — same
+  // params as the original build, so a compacted shard is graph-identical
+  // to a fresh build over the surviving points.
+  const data::Dataset& old_base = *snap->base;
+  auto base = std::make_shared<data::Dataset>(old_base.name(),
+                                              old_base.dim(),
+                                              old_base.metric());
+  auto gids = std::make_shared<std::vector<VertexId>>();
+  for (VertexId v = 0; v < snap->graph->num_vertices(); ++v) {
+    if (!snap->graph->IsLive(v)) continue;
+    base->Append(old_base.Point(v));
+    gids->push_back((*snap->global_ids)[v]);
+  }
+
+  std::shared_ptr<graph::ProximityGraph> graph;
+  double sim_seconds = 0;
+  if (base->size() > 0) {
+    core::GpuBuildResult result = core::BuildNswGGraphCon(
+        *shard.update_device, *base, MakeBuildParams(options_, base->size()));
+    sim_seconds = result.sim_seconds;
+    const std::size_t capacity =
+        std::max(snap->graph->capacity(), result.graph.num_vertices());
+    graph = std::make_shared<graph::ProximityGraph>(
+        WithCapacity(std::move(result.graph), capacity));
+  } else {
+    graph = std::make_shared<graph::ProximityGraph>(
+        0, snap->graph->d_max(), snap->graph->capacity());
+  }
+
+  auto next = std::make_shared<Snapshot>();
+  next->epoch = snap->epoch + 1;
+  next->entry = base->size() > 0 ? 0 : kInvalidVertex;
+  next->graph = std::move(graph);
+  next->base = std::move(base);
+  next->global_ids = gids;
+  PublishSnapshot(s, std::move(next));
+
+  // Every survivor's slot changed; record the new ones so Remove() keeps
+  // resolving ids after the move (stale map entries fail re-validation).
+  for (VertexId slot = 0; slot < static_cast<VertexId>(gids->size());
+       ++slot) {
+    writes_->dynamic_slots[(*gids)[slot]] = {static_cast<std::uint32_t>(s),
+                                             slot};
+  }
+
+  writes_->compactions.fetch_add(1, std::memory_order_relaxed);
+  AddDouble(writes_->update_sim_seconds, sim_seconds);
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().GetCounter("serve.compactions").Add();
+  }
+  RecordTombstoneGauge();
+  return true;
+}
+
+void ShardedIndex::ScheduleCompaction(std::size_t s) {
+  {
+    std::lock_guard<std::mutex> lock(writes_->queue_mutex);
+    writes_->queue.push_back(s);
+  }
+  writes_->queue_cv.notify_one();
+}
+
+void ShardedIndex::EnsureCompactorLocked() {
+  if (!options_.update.auto_compact) return;
+  if (writes_->compactor.joinable()) return;
+  writes_->compactor = std::thread([this] { CompactorLoop(); });
+}
+
+void ShardedIndex::CompactorLoop() {
+  for (;;) {
+    std::size_t s = 0;
+    {
+      std::unique_lock<std::mutex> lock(writes_->queue_mutex);
+      writes_->queue_cv.wait(lock, [this] {
+        return writes_->stop || !writes_->queue.empty();
+      });
+      if (writes_->stop) return;
+      s = writes_->queue.front();
+      writes_->queue.erase(writes_->queue.begin());
+    }
+    // Clear the pending flag before processing, not after: a removal that
+    // crosses the threshold while the rebuild runs must be able to
+    // reschedule, or the shard could settle above threshold with no
+    // compaction queued. A spurious reschedule just fails the re-check.
+    shards_[s]->compaction_pending.store(false);
+    {
+      std::lock_guard<std::mutex> lock(writes_->write_mutex);
+      // Re-check under the write lock: a manual Compact() or further
+      // removals may have changed the fraction since the schedule.
+      const auto snap = PinSnapshot(s);
+      if (snap->graph != nullptr &&
+          snap->graph->TombstoneFraction() >=
+              options_.update.compact_threshold) {
+        CompactLocked(s);
+      }
+    }
+  }
+}
+
+void ShardedIndex::StopCompactor() {
+  if (writes_ == nullptr) return;  // moved-from shell
+  {
+    std::lock_guard<std::mutex> lock(writes_->queue_mutex);
+    writes_->stop = true;
+  }
+  writes_->queue_cv.notify_all();
+  if (writes_->compactor.joinable()) writes_->compactor.join();
+  writes_->compactor = std::thread();
+  // Reset so a later write can restart the task (e.g. after move-assign).
+  std::lock_guard<std::mutex> lock(writes_->queue_mutex);
+  writes_->stop = false;
+  writes_->queue.clear();
+}
+
+void ShardedIndex::RecordTombstoneGauge() const {
+  if (!obs::MetricsEnabled()) return;
+  double worst = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    worst = std::max(worst, TombstoneFraction(s));
+  }
+  obs::MetricsRegistry::Global().GetGauge("serve.tombstone_fraction")
+      .Set(worst);
+}
+
+bool ShardedIndex::SaveShards(const std::string& prefix) const {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string path = prefix + ".shard" + std::to_string(s);
+    const Shard& shard = *shards_[s];
+    if (shard.hnsw != nullptr) {
+      if (!shard.hnsw->SaveTo(path)) return false;
+      continue;
+    }
+    const std::shared_ptr<const Snapshot> snap = PinSnapshot(s);
+    const graph::ProximityGraph& graph = *snap->graph;
+    const data::Dataset& base = *snap->base;
+    File file(std::fopen(path.c_str(), "wb"));
+    if (file == nullptr) return false;
+    const std::uint64_t header[8] = {
+        kShardMagic,
+        kShardVersion,
+        shard.offset,
+        shard.initial_size,
+        static_cast<std::uint64_t>(snap->entry),
+        base.dim(),
+        static_cast<std::uint64_t>(base.metric()),
+        graph.num_vertices(),
+    };
+    if (std::fwrite(header, sizeof(header), 1, file.get()) != 1) return false;
+    if (!graph.WriteTo(file.get())) return false;
+    const std::vector<VertexId>& gids = *snap->global_ids;
+    if (!gids.empty() &&
+        std::fwrite(gids.data(), sizeof(VertexId), gids.size(), file.get()) !=
+            gids.size()) {
+      return false;
+    }
+    // Rows are written unpadded, one per slot (dead slots keep their last
+    // contents — harmless, and it keeps the layout trivially seekable).
+    for (VertexId v = 0; v < base.size(); ++v) {
+      if (std::fwrite(base.Point(v).data(), sizeof(float), base.dim(),
+                      file.get()) != base.dim()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<ShardedIndex> ShardedIndex::LoadShards(
+    const std::string& prefix, const data::Dataset& base,
+    std::size_t num_shards, const ShardBuildOptions& options) {
+  if (num_shards < 1 || base.size() < num_shards) return std::nullopt;
+  ShardedIndex index;
+  index.options_ = options;
+  index.initial_total_ = base.size();
+  index.writes_->next_global_id = static_cast<VertexId>(base.size());
+  const std::size_t per_shard = base.size() / num_shards;
+  const std::size_t remainder = base.size() % num_shards;
+  VertexId begin = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const VertexId end = begin + static_cast<VertexId>(per_shard) +
+                         (s < remainder ? 1 : 0);
+    const std::string path = prefix + ".shard" + std::to_string(s);
+    auto shard = std::make_unique<Shard>();
+    shard->offset = begin;
+    shard->initial_size = end - begin;
+    shard->device = std::make_unique<gpusim::Device>(options.device);
+    shard->update_device = std::make_unique<gpusim::Device>(options.device);
+
+    if (options.kind == core::GraphKind::kHnsw) {
+      auto graph = graph::HnswGraph::LoadFrom(path);
+      if (!graph.has_value() ||
+          graph->num_vertices() != shard->initial_size) {
+        return std::nullopt;
+      }
+      shard->hnsw = std::make_unique<graph::HnswGraph>(*std::move(graph));
+      auto snapshot = std::make_shared<Snapshot>();
+      snapshot->entry = 0;
+      snapshot->base = std::make_shared<data::Dataset>(
+          SliceDataset(base, begin, end));
+      snapshot->global_ids = [&] {
+        auto ids = std::make_shared<std::vector<VertexId>>(end - begin);
+        std::iota(ids->begin(), ids->end(), begin);
+        return ids;
+      }();
+      shard->snapshot = std::move(snapshot);
+      index.shards_.push_back(std::move(shard));
+      begin = end;
+      continue;
+    }
+
+    File file(std::fopen(path.c_str(), "rb"));
+    if (file == nullptr) return std::nullopt;
+    std::uint64_t magic = 0;
+    if (std::fread(&magic, sizeof(magic), 1, file.get()) != 1) {
+      return std::nullopt;
+    }
+    auto snapshot = std::make_shared<Snapshot>();
+
+    if (magic == kGraphMagic) {
+      // Legacy bare record: a pristine (never mutated) shard graph over the
+      // corpus slice.
+      if (std::fseek(file.get(), 0, SEEK_SET) != 0) return std::nullopt;
+      auto graph = graph::ProximityGraph::ReadFrom(file.get());
+      if (!graph.has_value() ||
+          graph->num_vertices() != shard->initial_size ||
+          graph->num_tombstones() != 0) {
+        return std::nullopt;
+      }
+      snapshot->entry = shard->initial_size > 0 ? 0 : kInvalidVertex;
+      snapshot->graph = std::make_shared<graph::ProximityGraph>(
+          *std::move(graph));
+      snapshot->base = std::make_shared<data::Dataset>(
+          SliceDataset(base, begin, end));
+      auto ids = std::make_shared<std::vector<VertexId>>(end - begin);
+      std::iota(ids->begin(), ids->end(), begin);
+      snapshot->global_ids = std::move(ids);
+    } else if (magic == kShardMagic) {
+      std::uint64_t rest[7] = {};
+      if (std::fread(rest, sizeof(rest), 1, file.get()) != 1) {
+        return std::nullopt;
+      }
+      const std::uint64_t version = rest[0];
+      if (version != kShardVersion) return std::nullopt;
+      if (rest[1] != shard->offset || rest[2] != shard->initial_size ||
+          rest[4] != base.dim() ||
+          rest[5] != static_cast<std::uint64_t>(base.metric())) {
+        return std::nullopt;
+      }
+      const VertexId entry = static_cast<VertexId>(rest[3]);
+      const std::uint64_t num_rows = rest[6];
+      auto graph = graph::ProximityGraph::ReadFrom(file.get());
+      if (!graph.has_value() || graph->num_vertices() != num_rows) {
+        return std::nullopt;
+      }
+      if (entry == kInvalidVertex) {
+        if (graph->num_live() != 0) return std::nullopt;
+      } else if (entry >= num_rows || !graph->IsLive(entry)) {
+        return std::nullopt;
+      }
+      auto ids = std::make_shared<std::vector<VertexId>>(num_rows);
+      if (num_rows > 0 &&
+          std::fread(ids->data(), sizeof(VertexId), num_rows, file.get()) !=
+              num_rows) {
+        return std::nullopt;
+      }
+      auto rows = std::make_shared<data::Dataset>(
+          base.name() + ".shard", base.dim(), base.metric());
+      rows->Reserve(num_rows);
+      std::vector<float> row(base.dim());
+      for (std::uint64_t v = 0; v < num_rows; ++v) {
+        if (std::fread(row.data(), sizeof(float), row.size(), file.get()) !=
+            row.size()) {
+          return std::nullopt;
+        }
+        rows->Append(row);
+      }
+      // Register every addressable point: inserted ids extend the global
+      // space, compaction-moved initial ids override the offset arithmetic.
+      // Tombstoned slots keep their gid reserved (never re-issued) but are
+      // not addressable, so they only advance the id counter.
+      for (VertexId slot = 0; slot < num_rows; ++slot) {
+        if (graph->store().state(slot) == graph::GraphStore::SlotState::kFree) {
+          continue;
+        }
+        const VertexId gid = (*ids)[slot];
+        if (gid >= index.writes_->next_global_id) {
+          index.writes_->next_global_id = gid + 1;
+        }
+        if (!graph->IsLive(slot)) continue;
+        index.writes_->dynamic_slots[gid] = {static_cast<std::uint32_t>(s),
+                                             slot};
+      }
+      snapshot->entry = entry;
+      snapshot->graph = std::make_shared<graph::ProximityGraph>(
+          *std::move(graph));
+      snapshot->base = std::move(rows);
+      snapshot->global_ids = std::move(ids);
+    } else {
+      return std::nullopt;
+    }
+    shard->snapshot = std::move(snapshot);
+    index.shards_.push_back(std::move(shard));
+    begin = end;
+  }
+  return index;
+}
+
+}  // namespace serve
+}  // namespace ganns

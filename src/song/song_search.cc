@@ -218,6 +218,13 @@ std::vector<graph::Neighbor> SongSearchOne(
           (sorted.empty() ? 0.0
                           : static_cast<double>(std::bit_width(sorted.size()))),
       gpusim::CostCategory::kOther);  // final heap drain / write-back
+  // Tombstoned vertices route the walk but never reach the result set (the
+  // branch is never taken on an unmutated graph).
+  if (graph.HasTombstones()) {
+    std::erase_if(sorted, [&](const graph::Neighbor& n) {
+      return !graph.IsLive(n.id);
+    });
+  }
   if (sorted.size() > params.k) sorted.resize(params.k);
   if (stats != nullptr) stats->Add(local);
   if (profile != nullptr) {

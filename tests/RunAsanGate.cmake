@@ -1,0 +1,50 @@
+# Configures and builds an AddressSanitizer-instrumented tree of this
+# project and runs the memory-sensitive tests in it. Invoked by the
+# `asan_serve_and_common` ctest entry (see tests/CMakeLists.txt) with:
+#   -DGANNS_SRC=<source dir> -DGANNS_ASAN_BUILD=<subbuild dir>
+#
+# The serving lifecycle (snapshot swap, clone-on-write graphs, background
+# compaction) is exactly the kind of code where a stale reference outlives
+# its epoch; ASan turns such a bug into a hard failure instead of a flaky
+# read. The whole tree is instrumented (GANNS_SANITIZE=address applies
+# add_compile_options globally) so library and test frames agree on the
+# shadow memory layout.
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${GANNS_SRC} -B ${GANNS_ASAN_BUILD}
+          -DGANNS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ASan subbuild configure failed")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${GANNS_ASAN_BUILD}
+          --target serve_test obs_concurrency_test common_concurrency_test
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ASan subbuild compile failed")
+endif()
+
+execute_process(COMMAND ${GANNS_ASAN_BUILD}/tests/common_concurrency_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "common_concurrency_test failed under ASan")
+endif()
+
+# GANNS_TRACING=1 turns tracing and metrics on for the whole run, so the
+# instrumentation buffers (trace recorder, HDR histograms, exemplars) are
+# allocated and torn down under the leak/overflow checker as well.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_ASAN_BUILD}/tests/serve_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve_test failed under ASan")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_ASAN_BUILD}/tests/obs_concurrency_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_concurrency_test failed under ASan")
+endif()

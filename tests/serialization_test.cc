@@ -1,0 +1,166 @@
+// Parameterized serialization failure-path tests: every on-disk reader
+// (flat v3 graph record, the same record carrying lifecycle state, and the
+// layered HNSW stream) must reject — never crash on, never partially
+// apply — a corrupted file. One corruption family crossed with every
+// format: wrong magic, unknown version, truncated header, truncated
+// payload, and an oversized element count in the header.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/hnsw.h"
+#include "graph/proximity_graph.h"
+
+namespace ganns {
+namespace graph {
+namespace {
+
+enum class Format { kGraphV3, kGraphV3Lifecycle, kHnsw };
+enum class Corruption {
+  kBadMagic,
+  kBadVersion,
+  kTruncatedHeader,
+  kTruncatedPayload,
+  kOversizedCount,
+};
+
+const char* FormatName(Format f) {
+  switch (f) {
+    case Format::kGraphV3: return "GraphV3";
+    case Format::kGraphV3Lifecycle: return "GraphV3Lifecycle";
+    case Format::kHnsw: return "Hnsw";
+  }
+  return "?";
+}
+
+const char* CorruptionName(Corruption c) {
+  switch (c) {
+    case Corruption::kBadMagic: return "BadMagic";
+    case Corruption::kBadVersion: return "BadVersion";
+    case Corruption::kTruncatedHeader: return "TruncatedHeader";
+    case Corruption::kTruncatedPayload: return "TruncatedPayload";
+    case Corruption::kOversizedCount: return "OversizedCount";
+  }
+  return "?";
+}
+
+/// Writes a small valid file of the given format and returns its path.
+/// The suffix keeps paths distinct across the parameterized cases, which
+/// ctest runs as concurrent processes sharing one temp directory.
+std::string WriteValidFile(Format format, const char* suffix) {
+  const std::string path = std::string(::testing::TempDir()) + "/serialization_" +
+                           FormatName(format) + "_" + suffix + ".bin";
+  if (format == Format::kHnsw) {
+    const data::Dataset base =
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 64, 3);
+    HnswParams params;
+    HnswGraph graph = std::move(BuildHnswCpu(base, params).graph);
+    EXPECT_TRUE(graph.SaveTo(path));
+    return path;
+  }
+  ProximityGraph graph(8, 4, format == Format::kGraphV3Lifecycle ? 12 : 8);
+  for (VertexId v = 0; v < 8; ++v) {
+    graph.InsertNeighbor(v, (v + 1) % 8, 0.5f + static_cast<float>(v));
+    graph.InsertNeighbor(v, (v + 3) % 8, 1.5f + static_cast<float>(v));
+  }
+  if (format == Format::kGraphV3Lifecycle) {
+    graph.Tombstone(2);
+    graph.Tombstone(5);
+    graph.ReleaseTombstone(5);
+    const auto v = graph.AllocVertex();
+    EXPECT_TRUE(v.has_value());
+  }
+  EXPECT_TRUE(graph.SaveTo(path));
+  return path;
+}
+
+bool LoadFile(Format format, const std::string& path) {
+  if (format == Format::kHnsw) return HnswGraph::LoadFrom(path).has_value();
+  return ProximityGraph::LoadFrom(path).has_value();
+}
+
+std::vector<std::uint8_t> ReadAll(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(file, nullptr);
+  std::fseek(file, 0, SEEK_END);
+  std::vector<std::uint8_t> bytes(std::ftell(file));
+  std::fseek(file, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
+  std::fclose(file);
+}
+
+void Corrupt(std::vector<std::uint8_t>& bytes, Corruption corruption) {
+  ASSERT_GE(bytes.size(), 32u);  // every format starts with >= 4 u64 words
+  auto put_u64 = [&](std::size_t word, std::uint64_t value) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      bytes[word * 8 + b] = static_cast<std::uint8_t>(value >> (8 * b));
+    }
+  };
+  switch (corruption) {
+    case Corruption::kBadMagic:
+      bytes[0] ^= 0xFF;
+      break;
+    case Corruption::kBadVersion:
+      put_u64(1, 9999);
+      break;
+    case Corruption::kTruncatedHeader:
+      bytes.resize(12);
+      break;
+    case Corruption::kTruncatedPayload:
+      bytes.resize(bytes.size() * 3 / 5);
+      break;
+    case Corruption::kOversizedCount:
+      // Word 2 is the element count in every header (num_slots for graph
+      // records, num_vertices for the HNSW stream): far past the sanity cap.
+      put_u64(2, std::uint64_t{1} << 50);
+      break;
+  }
+}
+
+using Param = std::tuple<Format, Corruption>;
+
+class SerializationFailureTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SerializationFailureTest, CorruptFileIsRejected) {
+  const auto [format, corruption] = GetParam();
+  const std::string path = WriteValidFile(format, CorruptionName(corruption));
+  ASSERT_TRUE(LoadFile(format, path)) << "valid file must load";
+
+  std::vector<std::uint8_t> bytes = ReadAll(path);
+  Corrupt(bytes, corruption);
+  WriteAll(path, bytes);
+  EXPECT_FALSE(LoadFile(format, path));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, SerializationFailureTest,
+    ::testing::Combine(::testing::Values(Format::kGraphV3,
+                                         Format::kGraphV3Lifecycle,
+                                         Format::kHnsw),
+                       ::testing::Values(Corruption::kBadMagic,
+                                         Corruption::kBadVersion,
+                                         Corruption::kTruncatedHeader,
+                                         Corruption::kTruncatedPayload,
+                                         Corruption::kOversizedCount)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(FormatName(std::get<0>(info.param))) + "_" +
+             CorruptionName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace graph
+}  // namespace ganns

@@ -622,6 +622,308 @@ TEST_F(ServeTraceTest, ServeLatencyHdrMatchesOfflineQuantiles) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Index lifecycle: online insert/delete, epoch snapshots, compaction.
+
+class LifecycleTest : public ServeTest {
+ protected:
+  static ShardBuildOptions MutableOptions(bool host_updates,
+                                          bool auto_compact) {
+    ShardBuildOptions options;
+    options.update.host_updates = host_updates;
+    options.update.auto_compact = auto_compact;
+    return options;
+  }
+
+  /// Brute-force oracle over an explicit survivor set: searches the index
+  /// at an exhaustive budget and asserts the returned global ids equal the
+  /// k nearest among `live` (a gid -> vector map).
+  void ExpectMatchesSurvivors(
+      ShardedIndex& index,
+      const std::map<VertexId, std::vector<float>>& live) {
+    data::Dataset survivors("survivors", base_->dim(), base_->metric());
+    std::vector<VertexId> gid_of;
+    survivors.Reserve(live.size());
+    for (const auto& [gid, point] : live) {
+      survivors.Append(point);
+      gid_of.push_back(gid);
+    }
+    const data::GroundTruth truth =
+        data::BruteForceKnn(survivors, *queries_, kK);
+    const auto results =
+        index.SearchBatch(RoutedQueries(1024), core::SearchKernel::kGanns);
+    ASSERT_EQ(results.size(), kQueries);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      ASSERT_EQ(results[q].size(), std::min(kK, live.size())) << "q=" << q;
+      for (std::size_t i = 0; i < results[q].size(); ++i) {
+        EXPECT_EQ(results[q][i].id, gid_of[truth.neighbors[q][i]])
+            << "q=" << q << " rank=" << i;
+      }
+    }
+  }
+
+  /// A deterministic mixed insert/remove interleaving applied to `index`,
+  /// mirrored into `live`. Returns the ids inserted (in order).
+  std::vector<VertexId> ApplyMixedWorkload(
+      ShardedIndex& index, std::map<VertexId, std::vector<float>>& live) {
+    const data::Dataset extra = data::GenerateBase(
+        data::PaperDataset("SIFT1M"), 24, 29);
+    std::vector<VertexId> inserted;
+    std::size_t next_extra = 0;
+    for (std::size_t i = 0; i < 48; ++i) {
+      if (i % 2 == 0) {
+        // Spread removals over initial ids and earlier inserts.
+        const VertexId victim =
+            (i % 4 == 0 || inserted.size() < 3)
+                ? static_cast<VertexId>((i * 131) % kN)
+                : inserted[(i / 2) % inserted.size()];
+        const bool was_live = live.erase(victim) > 0;
+        EXPECT_EQ(index.Remove(victim), was_live) << "victim=" << victim;
+      } else {
+        const auto point = extra.Point(static_cast<VertexId>(next_extra++));
+        const auto gid = index.Insert(point);
+        if (!gid.has_value()) {
+          ADD_FAILURE() << "insert " << i << " found no free capacity";
+          return inserted;
+        }
+        EXPECT_GE(*gid, kN);  // fresh ids extend the global space
+        EXPECT_EQ(live.count(*gid), 0u);
+        live[*gid] = {point.begin(), point.end()};
+        inserted.push_back(*gid);
+      }
+    }
+    return inserted;
+  }
+
+  std::map<VertexId, std::vector<float>> InitialLiveSet() const {
+    std::map<VertexId, std::vector<float>> live;
+    for (VertexId v = 0; v < static_cast<VertexId>(kN); ++v) {
+      const auto point = base_->Point(v);
+      live[v] = {point.begin(), point.end()};
+    }
+    return live;
+  }
+};
+
+// (tentpole oracle) After an arbitrary insert/remove interleaving, search
+// at an exhaustive budget returns exactly the brute-force nearest neighbors
+// of the surviving point set — on both the charged device path and the host
+// path. Double-removes and unknown ids are rejected without side effects.
+TEST_F(LifecycleTest, MixedUpdatesMatchBruteForceOracle) {
+  for (const bool host_updates : {false, true}) {
+    ShardedIndex index =
+        ShardedIndex::Build(*base_, 2, MutableOptions(host_updates, false));
+    auto live = InitialLiveSet();
+    const auto inserted = ApplyMixedWorkload(index, live);
+
+    EXPECT_FALSE(index.Remove(static_cast<VertexId>(kN + 100000)));
+    const VertexId gone = inserted[0];
+    if (live.count(gone) == 0) EXPECT_FALSE(index.Remove(gone));
+
+    EXPECT_EQ(index.size(), live.size());
+    EXPECT_EQ(index.inserts(), inserted.size());
+    if (!host_updates) EXPECT_GT(index.update_sim_seconds(), 0.0);
+    ExpectMatchesSurvivors(index, live);
+  }
+}
+
+// Readers never block on writers: a dedicated reader thread streams batches
+// (the engine's serialized read path) while this thread applies updates.
+// Every batch sees some fully consistent epoch — full rows, no torn graph.
+// The TSan gate runs this test under the race detector.
+TEST_F(LifecycleTest, WritesDoNotBlockConcurrentReads) {
+  ShardedIndex index =
+      ShardedIndex::Build(*base_, 2, MutableOptions(false, true));
+  const auto routed = RoutedQueries(64);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> batches{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto results =
+          index.SearchBatch(routed, core::SearchKernel::kGanns);
+      ASSERT_EQ(results.size(), kQueries);
+      for (const auto& row : results) ASSERT_EQ(row.size(), kK);
+      batches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const data::Dataset extra =
+      data::GenerateBase(data::PaperDataset("SIFT1M"), 20, 31);
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      index.Remove(static_cast<VertexId>((i * 53) % kN));
+    } else {
+      ASSERT_TRUE(index.Insert(extra.Point(static_cast<VertexId>(i / 2)))
+                      .has_value());
+    }
+  }
+  // Let the reader observe the final state at least once more.
+  const std::size_t seen = batches.load(std::memory_order_relaxed);
+  while (batches.load(std::memory_order_relaxed) <= seen) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_GT(batches.load(std::memory_order_relaxed), 0u);
+}
+
+// Background compaction fires once the tombstone fraction crosses the
+// threshold, rebuilds the shard over the survivors, and search stays exact.
+TEST_F(LifecycleTest, CompactionTriggersAtThreshold) {
+  ShardBuildOptions options = MutableOptions(false, true);
+  options.update.compact_threshold = 0.2;
+  ShardedIndex index = ShardedIndex::Build(*base_, 1, options);
+  auto live = InitialLiveSet();
+
+  // Remove 25% of the corpus: crosses the 20% threshold mid-way.
+  for (VertexId v = 0; v < static_cast<VertexId>(kN); v += 4) {
+    ASSERT_TRUE(index.Remove(v));
+    live.erase(v);
+  }
+  // The compactor may fire mid-workload and consume only the removals seen
+  // so far; the settled invariant is that at least one compaction ran and
+  // the fraction ends below the threshold (removals after a rebuild stay
+  // tombstoned until they cross it again). Generous ceiling: the rebuild
+  // takes well under a second here but tens of seconds under the
+  // sanitizer gates.
+  for (int i = 0; i < 18000 && (index.compactions() == 0 ||
+                                index.TombstoneFraction(0) >=
+                                    options.update.compact_threshold);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(index.compactions(), 1u);
+  EXPECT_LT(index.TombstoneFraction(0), options.update.compact_threshold);
+  EXPECT_EQ(index.size(), live.size());
+  ExpectMatchesSurvivors(index, live);
+
+  // Post-compaction ids still resolve: removing a survivor works, and the
+  // freed slots take new inserts.
+  ASSERT_TRUE(index.Remove(1));
+  live.erase(1);
+  const auto gid = index.Insert(base_->Point(0));
+  ASSERT_TRUE(gid.has_value());
+  const auto p0 = base_->Point(0);
+  live[*gid] = {p0.begin(), p0.end()};
+  ExpectMatchesSurvivors(index, live);
+}
+
+// A manual compaction is graph-identical to building from scratch over the
+// surviving points: same construction pipeline, same parameters, survivors
+// repacked in slot order.
+TEST_F(LifecycleTest, CompactionMatchesFreshBuildOverSurvivors) {
+  ShardedIndex index =
+      ShardedIndex::Build(*base_, 1, MutableOptions(false, false));
+  data::Dataset survivors("survivors", base_->dim(), base_->metric());
+  for (VertexId v = 0; v < static_cast<VertexId>(kN); ++v) {
+    if (v % 5 == 0) {
+      ASSERT_TRUE(index.Remove(v));
+    } else {
+      survivors.Append(base_->Point(v));
+    }
+  }
+  ASSERT_TRUE(index.Compact(0));
+  EXPECT_FALSE(index.Compact(0));  // nothing left to reclaim
+
+  ShardedIndex fresh =
+      ShardedIndex::Build(survivors, 1, MutableOptions(false, false));
+  const graph::ProximityGraph& a = index.shard_graph(0);
+  const graph::ProximityGraph& b = fresh.shard_graph(0);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  for (VertexId v = 0; v < static_cast<VertexId>(a.num_vertices()); ++v) {
+    ASSERT_EQ(a.Degree(v), b.Degree(v)) << "v=" << v;
+    for (std::size_t i = 0; i < a.Degree(v); ++i) {
+      ASSERT_EQ(a.Neighbors(v)[i], b.Neighbors(v)[i]) << "v=" << v;
+      ASSERT_EQ(a.NeighborDists(v)[i], b.NeighborDists(v)[i]) << "v=" << v;
+    }
+  }
+}
+
+// A live-mutated index (inserts, removes, one compacted shard) survives
+// SaveShards/LoadShards bit-exactly: same results, same id space, and the
+// write path keeps working on the loaded copy.
+TEST_F(LifecycleTest, MutatedShardPersistenceRoundtrip) {
+  const std::string prefix = ::testing::TempDir() + "/lifecycle_shards";
+  const ShardBuildOptions options = MutableOptions(false, false);
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, options);
+  auto live = InitialLiveSet();
+  const auto inserted = ApplyMixedWorkload(index, live);
+  ASSERT_TRUE(index.Compact(0));
+
+  const auto routed = RoutedQueries(1024);
+  const auto before = index.SearchBatch(routed, core::SearchKernel::kGanns);
+  ASSERT_TRUE(index.SaveShards(prefix));
+
+  auto loaded = ShardedIndex::LoadShards(prefix, *base_, 2, options);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), index.size());
+  EXPECT_EQ(loaded->SearchBatch(routed, core::SearchKernel::kGanns), before);
+
+  // The id map is restored: a surviving inserted point can be removed, a
+  // dead one cannot, and new ids never collide with saved ones.
+  const VertexId survivor = *std::find_if(
+      inserted.begin(), inserted.end(),
+      [&](VertexId gid) { return live.count(gid) > 0; });
+  EXPECT_TRUE(loaded->Remove(survivor));
+  EXPECT_FALSE(loaded->Remove(survivor));
+  const auto fresh_gid = loaded->Insert(base_->Point(0));
+  ASSERT_TRUE(fresh_gid.has_value());
+  EXPECT_EQ(live.count(*fresh_gid), 0u);
+
+  std::remove((prefix + ".shard0").c_str());
+  std::remove((prefix + ".shard1").c_str());
+}
+
+// A shard drained to zero live points serves empty rows (no kernel launch)
+// and revives cleanly on the next insert.
+TEST_F(LifecycleTest, EmptyShardServesNothingAndRevives) {
+  const data::Dataset small =
+      data::GenerateBase(data::PaperDataset("SIFT1M"), 8, 5);
+  ShardedIndex index =
+      ShardedIndex::Build(small, 1, MutableOptions(false, false));
+  for (VertexId v = 0; v < 8; ++v) ASSERT_TRUE(index.Remove(v));
+  EXPECT_EQ(index.size(), 0u);
+
+  const std::uint64_t launched = index.kernel_queries();
+  std::vector<RoutedQuery> routed(1);
+  routed[0].query = queries_->Point(0);
+  routed[0].k = kK;
+  routed[0].budget = 64;
+  const auto empty = index.SearchBatch(routed, core::SearchKernel::kGanns);
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_TRUE(empty[0].empty());
+  EXPECT_EQ(index.kernel_queries(), launched);  // nothing to search
+
+  const auto gid = index.Insert(base_->Point(0));
+  ASSERT_TRUE(gid.has_value());
+  const auto revived = index.SearchBatch(routed, core::SearchKernel::kGanns);
+  ASSERT_EQ(revived.size(), 1u);
+  ASSERT_EQ(revived[0].size(), 1u);
+  EXPECT_EQ(revived[0][0].id, *gid);
+}
+
+// Update latency histograms and the tombstone gauge are wired through the
+// metrics registry — and only when metrics collection is enabled.
+TEST_F(LifecycleTest, UpdateMetricsAreRecorded) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().Reset();
+  {
+    ShardedIndex index =
+        ShardedIndex::Build(*base_, 1, MutableOptions(false, false));
+    ASSERT_TRUE(index.Insert(base_->Point(0)).has_value());
+    ASSERT_TRUE(index.Remove(0));
+    ASSERT_TRUE(index.Compact(0));
+    auto& registry = obs::MetricsRegistry::Global();
+    EXPECT_EQ(registry.GetHdr("update.insert_latency_us").count(), 1u);
+    EXPECT_EQ(registry.GetHdr("update.remove_latency_us").count(), 1u);
+    EXPECT_EQ(registry.GetCounter("serve.compactions").value(), 1u);
+    EXPECT_DOUBLE_EQ(registry.GetGauge("serve.tombstone_fraction").value(),
+                     0.0);
+  }
+  obs::SetMetricsEnabled(false);
+  obs::MetricsRegistry::Global().Reset();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace ganns

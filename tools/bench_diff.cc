@@ -11,9 +11,10 @@
 // last-specified rule wins, so broad defaults can be narrowed per metric.
 // Paths matching no rule are informational: printed, never gated.
 //
-// With no rules on the command line the serve-bench defaults apply:
+// With no rules on the command line the serve/update-bench defaults apply:
 //   --min recall=0.95          recall is deterministic; 5% guards rounding
 //   --min closed.sim_qps=0.5   sim QPS varies with wall-timed batch shapes
+//   --min sim_ups=0.5          update-path simulated updates/s (BENCH_update)
 //   --min served=1.0           served count must never drop
 // Wall-clock metrics (wall_qps, latency_us) stay informational by default —
 // they measure the build machine, not the code.
@@ -123,6 +124,7 @@ int main(int argc, char** argv) {
   if (rules.empty()) {
     rules = {{"recall", 0.95, true},
              {"closed.sim_qps", 0.5, true},
+             {"sim_ups", 0.5, true},
              {"served", 1.0, true}};
   }
 

@@ -22,7 +22,23 @@
 //                [--json out.json] [--trace-out trace.json]
 //                [--stats-out stats.json] [--prom-out metrics.prom]
 //                [--sample 1/N]
+//   ganns update --dataset SIFT1M --n 20000 [--queries 200] [--seed 1]
+//                [--shards 2] [--k 10] [--budget 256]
+//                [--inserts N] [--removes N] [--kernel ganns|song|beam]
+//                [--ef-insert 64] [--compact-threshold-pct 25]
+//                [--host 1] [--no-auto-compact 1] [--compact 1]
+//                [--save prefix] [--json out.json] [--trace-out trace.json]
+//                [--stats-out stats.json] [--prom-out metrics.prom]
 //   ganns stat   <stats.json> [--metric serve.latency_us] [--quantile p99]
+//
+// `update` builds a sharded NSW index, applies a deterministic mixed
+// insert/remove workload through the online write paths, and reports the
+// mutated graph's recall against a brute-force oracle over the surviving
+// points plus update throughput (simulated and wall) and latency
+// percentiles as JSON. --host routes updates through the host (uncharged)
+// paths; --compact forces a synchronous final compaction of every shard;
+// --save persists the mutated shards in the v3 container for `serve-bench
+// --load`.
 //
 // `serve-bench` builds (or reloads via --load) a sharded index over a
 // synthetic corpus, starts the online serving engine, submits every query
@@ -613,6 +629,240 @@ int CmdServeBench(const Args& args) {
   return 0;
 }
 
+/// `ganns update`: online-update exerciser. Builds a sharded NSW index over
+/// a synthetic corpus, applies a deterministic alternating insert/remove
+/// workload (removes pick live victims by a fixed stride, inserts draw from
+/// a second synthetic pool), then searches and scores recall against a
+/// brute-force oracle over the surviving points — so the number reported is
+/// the recall of the *mutated* graph, not the build-time one.
+int CmdUpdate(const Args& args) {
+  const data::DatasetSpec& spec =
+      data::PaperDataset(args.Get("dataset").value_or("SIFT1M"));
+  const std::size_t n = static_cast<std::size_t>(args.Int("n", 20000));
+  const std::size_t num_queries =
+      static_cast<std::size_t>(args.Int("queries", 200));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Int("seed", 1));
+  const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
+  const std::size_t budget = static_cast<std::size_t>(args.Int("budget", 256));
+  const std::size_t num_shards =
+      static_cast<std::size_t>(args.Int("shards", 2));
+  const std::size_t num_inserts =
+      static_cast<std::size_t>(args.Int("inserts", static_cast<long>(n) / 10));
+  const std::size_t num_removes =
+      static_cast<std::size_t>(args.Int("removes", static_cast<long>(n) / 10));
+
+  serve::ShardBuildOptions build_options;
+  build_options.num_groups = static_cast<int>(args.Int("groups", 64));
+  build_options.construction_kernel = ParseServeKernel(args);
+  if (build_options.construction_kernel == core::SearchKernel::kBeam) {
+    build_options.construction_kernel = core::SearchKernel::kGanns;
+  }
+  build_options.update.ef_insert =
+      static_cast<std::size_t>(args.Int("ef-insert", 64));
+  build_options.update.compact_threshold =
+      static_cast<double>(args.Int("compact-threshold-pct", 25)) / 100.0;
+  build_options.update.host_updates = args.Flag("host");
+  build_options.update.auto_compact = !args.Flag("no-auto-compact");
+
+  const auto trace_out = args.Get("trace-out");
+  const auto stats_out = args.Get("stats-out");
+  const auto prom_out = args.Get("prom-out");
+  if (trace_out.has_value()) obs::SetTracingEnabled(true);
+  if (stats_out.has_value() || prom_out.has_value()) {
+    obs::SetMetricsEnabled(true);
+  }
+
+  const data::Dataset base = data::GenerateBase(spec, n, seed);
+  const data::Dataset queries =
+      data::GenerateQueries(spec, num_queries, n, seed);
+  const data::Dataset pool = data::GenerateBase(spec, num_inserts, seed + 17);
+
+  serve::ShardedIndex index =
+      serve::ShardedIndex::Build(base, num_shards, build_options);
+  std::printf("built %zu NSW shard(s) over %zu points (%s, dim=%zu)\n",
+              num_shards, n, spec.name.c_str(), base.dim());
+
+  // The survivor set: global id -> vector, kept in id order so the oracle
+  // dataset below is deterministic.
+  std::map<VertexId, std::vector<float>> live;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto point = base.Point(v);
+    live.emplace(v, std::vector<float>(point.begin(), point.end()));
+  }
+
+  // Alternating workload, removes first (odd steps insert). Victims walk
+  // the live set with a fixed stride so deletions spread across shards and
+  // hit both initial and freshly inserted points.
+  std::size_t inserts_done = 0, removes_done = 0;
+  std::size_t failed_inserts = 0;
+  std::vector<double> op_latencies;
+  op_latencies.reserve(num_inserts + num_removes);
+  const auto workload_start = std::chrono::steady_clock::now();
+  const std::size_t total_ops = num_inserts + num_removes;
+  for (std::size_t i = 0; i < total_ops; ++i) {
+    const bool want_remove =
+        (i % 2 == 0) ? removes_done < num_removes : inserts_done >= num_inserts;
+    const auto op_start = std::chrono::steady_clock::now();
+    if (want_remove && removes_done < num_removes && !live.empty()) {
+      auto victim = live.begin();
+      std::advance(victim, (i * 131) % live.size());
+      const VertexId gid = victim->first;
+      if (!index.Remove(gid)) {
+        std::fprintf(stderr, "remove of live id %u failed\n", gid);
+        return 1;
+      }
+      live.erase(victim);
+      ++removes_done;
+    } else if (inserts_done < num_inserts) {
+      const auto point = pool.Point(static_cast<VertexId>(inserts_done));
+      const auto gid = index.Insert(point);
+      ++inserts_done;
+      if (gid.has_value()) {
+        live.emplace(*gid, std::vector<float>(point.begin(), point.end()));
+      } else {
+        ++failed_inserts;  // capacity_slack exhausted: reported, not fatal
+      }
+    } else {
+      continue;
+    }
+    op_latencies.push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - op_start)
+                               .count());
+  }
+  const double workload_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    workload_start)
+          .count();
+
+  // --compact forces a final synchronous compaction of every shard, making
+  // the compaction count (and the searched graph) independent of background
+  // task timing.
+  if (args.Flag("compact")) {
+    for (std::size_t s = 0; s < index.num_shards(); ++s) index.Compact(s);
+  }
+
+  if (const auto save = args.Get("save"); save.has_value()) {
+    if (!index.SaveShards(*save)) {
+      std::fprintf(stderr, "failed to save shard files to %s.shard*\n",
+                   save->c_str());
+      return 1;
+    }
+    std::printf("saved %zu mutated shard(s) to %s.shard*\n", num_shards,
+                save->c_str());
+  }
+
+  // Brute-force oracle over the survivors. Search results come back as
+  // global ids; translate them to survivor-dataset rows before scoring.
+  data::Dataset survivors("survivors", base.dim(), base.metric());
+  survivors.Reserve(live.size());
+  std::map<VertexId, VertexId> gid_to_row;
+  for (const auto& [gid, point] : live) {
+    gid_to_row.emplace(gid, static_cast<VertexId>(survivors.size()));
+    survivors.Append(point);
+  }
+  const data::GroundTruth truth = data::BruteForceKnn(survivors, queries, k);
+
+  std::vector<serve::RoutedQuery> routed(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    routed[q].query = queries.Point(static_cast<VertexId>(q));
+    routed[q].k = k;
+    routed[q].budget = budget;
+  }
+  const auto rows = index.SearchBatch(routed, ParseServeKernel(args));
+  std::vector<std::vector<VertexId>> ids(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (const auto& neighbor : rows[q]) {
+      const auto it = gid_to_row.find(neighbor.id);
+      ids[q].push_back(it != gid_to_row.end()
+                           ? it->second
+                           : static_cast<VertexId>(survivors.size()));
+    }
+  }
+  const double recall = data::MeanRecall(ids, truth, k);
+
+  double max_tombstones = 0;
+  for (std::size_t s = 0; s < index.num_shards(); ++s) {
+    max_tombstones = std::max(max_tombstones, index.TombstoneFraction(s));
+  }
+  const double sim_seconds = index.update_sim_seconds();
+  const std::size_t applied = inserts_done + removes_done - failed_inserts;
+  std::sort(op_latencies.begin(), op_latencies.end());
+
+  std::string json = "{\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  \"shards\": %zu, \"initial\": %zu, \"live\": %zu,\n",
+                num_shards, n, index.size());
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"inserts\": %llu, \"removes\": %llu, "
+                "\"failed_inserts\": %zu,\n",
+                static_cast<unsigned long long>(index.inserts()),
+                static_cast<unsigned long long>(index.removes()),
+                failed_inserts);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"compactions\": %llu, \"tombstone_fraction\": %.4f,\n",
+                static_cast<unsigned long long>(index.compactions()),
+                max_tombstones);
+  json += line;
+  std::snprintf(line, sizeof(line), "  \"update_recall\": %.4f,\n", recall);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"update_sim_seconds\": %.6f, \"sim_ups\": %.0f, "
+                "\"wall_ups\": %.0f,\n",
+                sim_seconds,
+                sim_seconds > 0 ? static_cast<double>(applied) / sim_seconds
+                                : 0.0,
+                workload_wall_seconds > 0
+                    ? static_cast<double>(applied) / workload_wall_seconds
+                    : 0.0);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"update_latency_us\": {\"p50\": %.1f, \"p95\": %.1f, "
+                "\"p99\": %.1f}\n}\n",
+                Percentile(op_latencies, 0.50), Percentile(op_latencies, 0.95),
+                Percentile(op_latencies, 0.99));
+  json += line;
+
+  if (const auto out = args.Get("json"); out.has_value()) {
+    std::FILE* file = std::fopen(out->c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
+      if (file != nullptr) std::fclose(file);
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::fclose(file);
+    std::printf("wrote %s\n", out->c_str());
+  }
+  std::fputs(json.c_str(), stdout);
+
+  if (trace_out.has_value()) {
+    if (!obs::TraceRecorder::Global().WriteJson(*trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                obs::TraceRecorder::Global().size(), trace_out->c_str());
+  }
+  if (stats_out.has_value()) {
+    if (!obs::MetricsRegistry::Global().WriteJson(*stats_out)) {
+      std::fprintf(stderr, "failed to write %s\n", stats_out->c_str());
+      return 1;
+    }
+    std::printf("wrote update stats to %s\n", stats_out->c_str());
+  }
+  if (prom_out.has_value()) {
+    if (!obs::MetricsRegistry::Global().WritePrometheus(*prom_out)) {
+      std::fprintf(stderr, "failed to write %s\n", prom_out->c_str());
+      return 1;
+    }
+    std::printf("wrote Prometheus metrics to %s\n", prom_out->c_str());
+  }
+  return 0;
+}
+
 /// `ganns stat`: reads a --stats-out registry export and prints its SLO
 /// summaries. With --metric and --quantile it prints exactly one number so
 /// shell scripts (and the ctest percentile cross-check) can consume it.
@@ -694,7 +944,8 @@ int CmdStat(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ganns <gen|build|search|eval|profile|serve-bench|stat> "
+               "usage: ganns "
+               "<gen|build|search|eval|profile|serve-bench|update|stat> "
                "--flag value ...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
@@ -713,5 +964,6 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(args);
   if (command == "profile") return CmdProfile(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "update") return CmdUpdate(args);
   return Usage();
 }
