@@ -13,10 +13,16 @@
 //                      variant (8-stripe deterministic accumulation).
 //   batched_<best>   - DistanceMany over the padded row storage with the
 //                      best supported kernel (the GANNS phase-3 shape).
+//   sq8_<kernel>     - asymmetric int8 distance (dequantize-on-the-fly
+//                      against the float query) per supported kernel variant.
+//   pq_lut           - product-quantization asymmetric distance: M table
+//                      lookups per candidate (LUT built once per query).
 //
 // Output is one JSON object on stdout, e.g. piped into run_benches.sh's
 // bench_output.txt. `speedup` is relative to baseline_scalar at the same
-// (dim, metric).
+// (dim, metric); `bytes_per_distance` is the candidate-side bytes moved per
+// distance evaluation (4 * dim float, dim for SQ8, M for PQ) — the memory
+// traffic the compressed path is shrinking.
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +34,7 @@
 #include "common/types.h"
 #include "data/dataset.h"
 #include "data/distance.h"
+#include "data/quantize.h"
 #include "data/synthetic.h"
 
 namespace ganns {
@@ -84,12 +91,14 @@ Timing Measure(std::size_t n, const Body& body) {
 }
 
 void EmitRecord(bool& first, std::size_t dim, const char* metric,
-                const std::string& variant, const Timing& t, double baseline_ns) {
+                const std::string& variant, const Timing& t, double baseline_ns,
+                std::size_t bytes_per_distance) {
   std::printf("%s    {\"dim\": %zu, \"metric\": \"%s\", \"variant\": \"%s\", "
               "\"ns_per_distance\": %.3f, \"speedup\": %.2f, "
-              "\"checksum\": %.6g}",
+              "\"bytes_per_distance\": %zu, \"checksum\": %.6g}",
               first ? "" : ",\n", dim, metric, variant.c_str(),
-              t.ns_per_distance, baseline_ns / t.ns_per_distance, t.checksum);
+              t.ns_per_distance, baseline_ns / t.ns_per_distance,
+              bytes_per_distance, t.checksum);
   first = false;
 }
 
@@ -118,8 +127,9 @@ void BenchDim(bool& first, std::size_t dim) {
       }
       return sum;
     });
+    const std::size_t float_bytes = dim * sizeof(float);
     EmitRecord(first, dim, metric_name, "baseline_scalar", baseline,
-               baseline.ns_per_distance);
+               baseline.ns_per_distance, float_bytes);
 
     for (const data::DistanceKernel k : data::SupportedDistanceKernels()) {
       if (!data::SetDistanceKernel(k)) continue;
@@ -135,7 +145,56 @@ void BenchDim(bool& first, std::size_t dim) {
         return sum;
       });
       EmitRecord(first, dim, metric_name, data::DistanceKernelName(k), t,
-                 baseline.ns_per_distance);
+                 baseline.ns_per_distance, float_bytes);
+    }
+
+    // Compressed-code variants: what a traversal pays per candidate on the
+    // two-stage path, including the bytes it no longer moves.
+    {
+      data::QuantizerOptions sq8_opts;
+      sq8_opts.precision = data::Precision::kSq8;
+      const data::Quantizer sq8 = data::Quantizer::Train(base, sq8_opts);
+      const data::QuantizedCodes sq8_codes =
+          data::QuantizedCodes::EncodeAll(sq8, base);
+      const data::SearchQuantization sq8_quant{&sq8, &sq8_codes, 4};
+      for (const data::DistanceKernel k : data::SupportedDistanceKernels()) {
+        if (!data::SetDistanceKernel(k)) continue;
+        // The context resolves its SQ8 kernel from the active dispatch at
+        // construction, so build it inside the forced-kernel scope.
+        const data::CodeDistanceContext ctx(sq8_quant, metric, query);
+        const Timing t = Measure(kRows, [&](std::size_t reps) {
+          float sum = 0;
+          for (std::size_t r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < kRows; ++i) {
+              sum += ctx.One(static_cast<VertexId>(i));
+            }
+          }
+          return sum;
+        });
+        EmitRecord(first, dim, metric_name,
+                   std::string("sq8_") + data::DistanceKernelName(k), t,
+                   baseline.ns_per_distance, sq8.code_bytes());
+      }
+
+      data::QuantizerOptions pq_opts;
+      pq_opts.precision = data::Precision::kPq;
+      const data::Quantizer pq = data::Quantizer::Train(base, pq_opts);
+      const data::QuantizedCodes pq_codes =
+          data::QuantizedCodes::EncodeAll(pq, base);
+      const data::SearchQuantization pq_quant{&pq, &pq_codes, 4};
+      data::SetDistanceKernel(data::SupportedDistanceKernels().front());
+      const data::CodeDistanceContext pq_ctx(pq_quant, metric, query);
+      const Timing t = Measure(kRows, [&](std::size_t reps) {
+        float sum = 0;
+        for (std::size_t r = 0; r < reps; ++r) {
+          for (std::size_t i = 0; i < kRows; ++i) {
+            sum += pq_ctx.One(static_cast<VertexId>(i));
+          }
+        }
+        return sum;
+      });
+      EmitRecord(first, dim, metric_name, "pq_lut", t,
+                 baseline.ns_per_distance, pq.code_bytes());
     }
 
     // Batched path with the best kernel, over the padded aligned rows.
@@ -155,7 +214,7 @@ void BenchDim(bool& first, std::size_t dim) {
     EmitRecord(first, dim, metric_name,
                std::string("batched_") +
                    data::DistanceKernelName(supported.front()),
-               batched, baseline.ns_per_distance);
+               batched, baseline.ns_per_distance, float_bytes);
   }
 }
 

@@ -50,4 +50,10 @@ echo "===== bench/update_workload ====="
 GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/update_workload BENCH_update.json
 echo
 
+# Compressed search: exact float vs SQ8/PQ two-stage rows at a fixed
+# traversal budget, sweeping rerank_factor. Writes BENCH_quantized.json.
+echo "===== bench/quantized_sweep ====="
+GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/quantized_sweep BENCH_quantized.json
+echo
+
 echo "ALL_BENCHES_DONE"

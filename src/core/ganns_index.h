@@ -10,6 +10,7 @@
 #include "core/ggraphcon.h"
 #include "core/hnsw_gpu.h"
 #include "data/dataset.h"
+#include "data/quantize.h"
 #include "gpusim/device.h"
 #include "graph/hnsw.h"
 #include "graph/proximity_graph.h"
@@ -48,6 +49,10 @@ struct IndexOptions {
   int block_lanes = 32;
   /// Simulated device the index builds and searches on.
   gpusim::DeviceSpec device;
+  /// Compressed-vector search path: with precision != kFloat32 the build
+  /// trains a quantizer over the corpus, Search traverses on packed codes
+  /// and exact-reranks rerank_factor * k candidates before emission.
+  data::QuantizerOptions quantize;
 };
 
 class GannsIndex {
@@ -87,15 +92,35 @@ class GannsIndex {
 
   /// Restores an index previously written by Save. The caller supplies the
   /// same corpus the index was built from. Returns std::nullopt on IO or
-  /// format errors.
+  /// format errors; when `error` is non-null it receives a human-readable
+  /// description naming the offending section and the expected vs actual
+  /// values (empty on success).
   static std::optional<GannsIndex> Load(const std::string& path,
                                         data::Dataset base,
-                                        const Options& options = Options());
+                                        const Options& options = Options(),
+                                        std::string* error = nullptr);
 
   const data::Dataset& base() const { return base_; }
   const Options& options() const { return options_; }
   const Timing& timing() const { return timing_; }
   GraphKind kind() const { return options_.kind; }
+
+  /// The trained quantizer, or nullptr for an exact (float32) index.
+  const data::Quantizer* quantizer() const {
+    return quant_ != nullptr ? &quant_->quantizer : nullptr;
+  }
+  /// Per-vector resident bytes on the traversal path: code bytes when
+  /// compressed, 4 * dim when exact.
+  std::size_t resident_bytes_per_vector() const {
+    return quant_ != nullptr ? quant_->quantizer.code_bytes()
+                             : base_.dim() * sizeof(float);
+  }
+  /// Handle the search kernels consume; disabled for an exact index.
+  data::SearchQuantization search_quantization() const {
+    if (quant_ == nullptr) return {};
+    return {&quant_->quantizer, &quant_->codes,
+            quant_->quantizer.rerank_factor()};
+  }
 
   /// The flat graph (NSW kind) or the bottom layer (HNSW kind).
   const graph::ProximityGraph& bottom_graph() const;
@@ -109,6 +134,8 @@ class GannsIndex {
   std::unique_ptr<gpusim::Device> device_;
   std::unique_ptr<graph::ProximityGraph> nsw_;  // kNsw
   std::unique_ptr<graph::HnswGraph> hnsw_;      // kHnsw
+  /// Trained quantizer + packed per-vector codes (null for exact indexes).
+  std::unique_ptr<data::QuantizedStore> quant_;
 };
 
 }  // namespace core

@@ -2,10 +2,13 @@
 
 #include <bit>
 
+#include <optional>
+
 #include "common/logging.h"
 #include "common/scratch.h"
 #include "data/distance.h"
 #include "gpusim/bitonic.h"
+#include "graph/rerank.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -90,7 +93,7 @@ std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const GannsParams& params, VertexId entry, GannsSearchStats* stats,
-    GannsQueryProfile* profile) {
+    GannsQueryProfile* profile, const data::SearchQuantization* quant) {
   GANNS_CHECK(params.k >= 1);
   GANNS_CHECK(params.l_n >= params.k);
   GANNS_CHECK_MSG((params.l_n & (params.l_n - 1)) == 0,
@@ -111,9 +114,22 @@ std::vector<graph::Neighbor> GannsSearchOne(
   std::span<Slot> merge_scratch = block.AllocShared<Slot>(
       2 * gpusim::NextPow2(l_n > l_t ? l_n : l_t));
 
+  // Compressed path: in-loop distances come from the packed codes (narrower
+  // loads); the PQ LUT is built — and charged — once per query up front.
+  const bool quantized = quant != nullptr && quant->enabled();
+  std::optional<data::CodeDistanceContext> code_ctx;
+  if (quantized) {
+    code_ctx.emplace(*quant, base.metric(), query);
+    warp.ChargeLutBuild(code_ctx->lut_build_words());
+  }
+
   const auto compute_distance = [&](VertexId v) {
-    warp.ChargeDistance(base.dim());
     ++local.distance_computations;
+    if (quantized) {
+      warp.ChargeCodeDistance(code_ctx->code_bytes());
+      return code_ctx->One(v);
+    }
+    warp.ChargeDistance(base.dim());
     return data::ExactDistance(base.metric(), base.Point(v), query);
   };
 
@@ -170,17 +186,25 @@ std::vector<graph::Neighbor> GannsSearchOne(
     // the SIMD distance layer; the simulated cost charged per vertex is
     // unchanged.
     if (degree > 0) {
-      SearchScratch& scratch = ThreadLocalSearchScratch();
-      scratch.ids.clear();
-      for (std::size_t i = 0; i < degree; ++i) {
-        scratch.ids.push_back(visiting[i].id);
-      }
-      scratch.dists.resize(degree);
-      data::DistanceMany(base, scratch.ids, query, scratch.dists);
-      for (std::size_t i = 0; i < degree; ++i) {
-        warp.ChargeDistance(base.dim());
-        ++local.distance_computations;
-        visiting[i].dist = scratch.dists[i];
+      if (quantized) {
+        for (std::size_t i = 0; i < degree; ++i) {
+          warp.ChargeCodeDistance(code_ctx->code_bytes());
+          ++local.distance_computations;
+          visiting[i].dist = code_ctx->One(visiting[i].id);
+        }
+      } else {
+        SearchScratch& scratch = ThreadLocalSearchScratch();
+        scratch.ids.clear();
+        for (std::size_t i = 0; i < degree; ++i) {
+          scratch.ids.push_back(visiting[i].id);
+        }
+        scratch.dists.resize(degree);
+        data::DistanceMany(base, scratch.ids, query, scratch.dists);
+        for (std::size_t i = 0; i < degree; ++i) {
+          warp.ChargeDistance(base.dim());
+          ++local.distance_computations;
+          visiting[i].dist = scratch.dists[i];
+        }
       }
     }
     phases.End(2);
@@ -233,11 +257,28 @@ std::vector<graph::Neighbor> GannsSearchOne(
   // the search) but are filtered here, so a search over a mutated graph
   // returns only live points; with no deletions the filter passes everything.
   std::vector<graph::Neighbor> out;
-  out.reserve(params.k);
-  for (std::size_t i = 0; i < l_n && out.size() < params.k; ++i) {
-    if (result_array[i].id == kInvalidVertex) break;
-    if (!graph.IsLive(result_array[i].id)) continue;
-    out.push_back({result_array[i].dist, result_array[i].id});
+  if (quantized) {
+    // Stage two: collect the full live candidate pool of N (still ordered by
+    // approximate distance) and exact-rerank the top rerank_factor * k from
+    // the float rows before emission. Rerank distances are full-width reads,
+    // charged like any exact distance.
+    out.reserve(l_n);
+    for (std::size_t i = 0; i < l_n; ++i) {
+      if (result_array[i].id == kInvalidVertex) break;
+      if (!graph.IsLive(result_array[i].id)) continue;
+      out.push_back({result_array[i].dist, result_array[i].id});
+    }
+    const std::size_t evals =
+        graph::ExactRerank(base, query, out, params.k, quant->rerank_factor);
+    for (std::size_t i = 0; i < evals; ++i) warp.ChargeDistance(base.dim());
+    local.distance_computations += evals;
+  } else {
+    out.reserve(params.k);
+    for (std::size_t i = 0; i < l_n && out.size() < params.k; ++i) {
+      if (result_array[i].id == kInvalidVertex) break;
+      if (!graph.IsLive(result_array[i].id)) continue;
+      out.push_back({result_array[i].dist, result_array[i].id});
+    }
   }
   warp.cost().Charge(gpusim::CostCategory::kOther,
                      warp.StepsFor(params.k) * warp.params().global_transaction);
@@ -266,7 +307,8 @@ graph::BatchSearchResult GannsSearchBatch(gpusim::Device& device,
                                           const data::Dataset& queries,
                                           const GannsParams& params,
                                           int block_lanes, VertexId entry,
-                                          std::vector<GannsQueryProfile>* profiles) {
+                                          std::vector<GannsQueryProfile>* profiles,
+                                          const data::SearchQuantization* quant) {
   GANNS_CHECK(base.dim() == queries.dim());
   graph::BatchSearchResult batch;
   batch.results.resize(queries.size());
@@ -289,7 +331,7 @@ graph::BatchSearchResult GannsSearchBatch(gpusim::Device& device,
             profiles != nullptr ? &(*profiles)[q] : nullptr;
         const std::vector<graph::Neighbor> found = GannsSearchOne(
             block, graph, base, queries.Point(q), params, entry, nullptr,
-            profile);
+            profile, quant);
         auto& out = batch.results[q];
         out.reserve(found.size());
         for (const graph::Neighbor& n : found) out.push_back(n.id);

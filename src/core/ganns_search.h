@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/quantize.h"
 #include "gpusim/block.h"
 #include "gpusim/device.h"
 #include "graph/beam_search.h"
@@ -84,11 +85,18 @@ struct GannsQueryProfile {
 ///   search, (5) bitonic sort of T, (6) bitonic merge keeping the l_n
 ///   closest of T ∪ N.
 /// Returns up to k neighbors sorted ascending by (dist, id).
+///
+/// When `quant` is non-null and enabled, the traversal runs the two-stage
+/// compressed path: every in-loop distance is the approximate code distance
+/// (charged as the proportionally narrower load), and before emission the
+/// top rerank_factor * k live candidates of N get exact float distances and
+/// are re-sorted (graph::ExactRerank).
 std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const GannsParams& params, VertexId entry,
-    GannsSearchStats* stats = nullptr, GannsQueryProfile* profile = nullptr);
+    GannsSearchStats* stats = nullptr, GannsQueryProfile* profile = nullptr,
+    const data::SearchQuantization* quant = nullptr);
 
 /// Batched GANNS search: one thread block per query, `block_lanes`
 /// cooperating threads per block. When `profiles` is non-null it is resized
@@ -97,7 +105,8 @@ graph::BatchSearchResult GannsSearchBatch(
     gpusim::Device& device, const graph::ProximityGraph& graph,
     const data::Dataset& base, const data::Dataset& queries,
     const GannsParams& params, int block_lanes = 32, VertexId entry = 0,
-    std::vector<GannsQueryProfile>* profiles = nullptr);
+    std::vector<GannsQueryProfile>* profiles = nullptr,
+    const data::SearchQuantization* quant = nullptr);
 
 }  // namespace core
 }  // namespace ganns

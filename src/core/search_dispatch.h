@@ -31,11 +31,15 @@ const char* SearchKernelName(SearchKernel kernel);
 /// `budget` is the beam width: GANNS uses l_n = NextPow2(max(budget, k)),
 /// SONG uses queue_size = max(budget, k), so both kernels get the same
 /// candidate-pool size during construction.
+///
+/// `quant` (optional) threads the Precision knob into every kernel: when
+/// enabled, traversal distances come from the packed code array and results
+/// are exact-reranked before emission (the two-stage compressed path).
 std::vector<graph::Neighbor> DispatchSearch(
     gpusim::BlockContext& block, SearchKernel kernel,
     const graph::ProximityGraph& graph, const data::Dataset& base,
     std::span<const float> query, std::size_t k, std::size_t budget,
-    VertexId entry);
+    VertexId entry, const data::SearchQuantization* quant = nullptr);
 
 }  // namespace core
 }  // namespace ganns

@@ -181,6 +181,10 @@ Dist ComputeDistance(Metric metric, const float* a, const float* b,
   return 1.0f - table.dot(a, b, dim);
 }
 
+Dist ComputeInnerProduct(const float* a, const float* b, std::size_t dim) {
+  return ActiveTable().dot(a, b, dim);
+}
+
 void DistanceMany(const Dataset& base, std::span<const VertexId> ids,
                   std::span<const float> query, std::span<Dist> out) {
   GANNS_DCHECK(out.size() >= ids.size());

@@ -49,6 +49,12 @@ bool SetDistanceKernel(DistanceKernel kernel);
 Dist ComputeDistance(Metric metric, const float* a, const float* b,
                      std::size_t dim);
 
+/// Raw inner product of two `dim`-length vectors through the dispatched dot
+/// kernel, with no cosine adjustment. Used by the PQ LUT builder
+/// (data/quantize.h): partial dots over subspaces must follow the same
+/// dispatch determinism contract as full distances.
+Dist ComputeInnerProduct(const float* a, const float* b, std::size_t dim);
+
 /// Batched distances from `query` to base[ids[i]] for every i, written to
 /// out[i]. Reads the dispatched kernel once, walks the dataset's padded
 /// aligned rows directly, and prefetches the next row — the preferred entry

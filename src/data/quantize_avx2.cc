@@ -1,0 +1,77 @@
+// AVX2 SQ8 asymmetric-distance kernels: dequantize eight codes per step
+// (exact uint8 -> float conversion) and accumulate in one 8-lane register
+// holding the canonical stripes. Compiled with -mavx2 -ffp-contract=off so
+// the mul/add sequence matches internal::Sq8L2Portable / Sq8DotPortable
+// bit-for-bit (see distance_kernels.h for the contract).
+#include "data/quantize_kernels.h"
+
+#if defined(GANNS_DISTANCE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "data/distance_kernels.h"
+
+namespace ganns {
+namespace data {
+namespace internal {
+namespace {
+
+inline __m256 DequantAvx2(const std::uint8_t* code, const float* min,
+                          const float* scale, std::size_t i) {
+  const __m256 code_f = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + i))));
+  return _mm256_add_ps(_mm256_loadu_ps(min + i),
+                       _mm256_mul_ps(code_f, _mm256_loadu_ps(scale + i)));
+}
+
+/// Spills the accumulator to the stripe array, folds in the scalar
+/// remainder, and applies the fixed combine tree.
+template <typename TailTerm>
+Dist FinishSq8Avx2(__m256 acc_v, const float* query,
+                   const std::uint8_t* code, const float* min,
+                   const float* scale, std::size_t i, std::size_t dim,
+                   TailTerm&& term) {
+  alignas(32) float acc[kDistanceStripes];
+  _mm256_store_ps(acc, acc_v);
+  for (std::size_t s = 0; i < dim; ++i, ++s) {
+    const float value = min[i] + static_cast<float>(code[i]) * scale[i];
+    acc[s] += term(query[i], value);
+  }
+  return CombineStripes(acc);
+}
+
+}  // namespace
+
+Dist Sq8L2Avx2(const float* query, const std::uint8_t* code, const float* min,
+               const float* scale, std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(query + i), DequantAvx2(code, min, scale, i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  return FinishSq8Avx2(acc, query, code, min, scale, i, dim,
+                       [](float q, float v) {
+                         const float diff = q - v;
+                         return diff * diff;
+                       });
+}
+
+Dist Sq8DotAvx2(const float* query, const std::uint8_t* code,
+                const float* min, const float* scale, std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kDistanceStripes <= dim; i += kDistanceStripes) {
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_loadu_ps(query + i),
+                                           DequantAvx2(code, min, scale, i)));
+  }
+  return FinishSq8Avx2(acc, query, code, min, scale, i, dim,
+                       [](float q, float v) { return q * v; });
+}
+
+}  // namespace internal
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DISTANCE_HAVE_AVX2

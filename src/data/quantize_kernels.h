@@ -1,0 +1,42 @@
+#ifndef GANNS_DATA_QUANTIZE_KERNELS_H_
+#define GANNS_DATA_QUANTIZE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+// Internal header for the SQ8 asymmetric-distance kernel family (quantize.cc
+// and the per-ISA TUs). Not part of the public API — include data/quantize.h.
+//
+// The kernels dequantize on the fly — value = min[i] + code[i] * scale[i] —
+// and accumulate against the float query under the same determinism contract
+// as the float kernels in distance_kernels.h: kDistanceStripes partial sums
+// in index order, CombineStripes reduction, TUs compiled with
+// -ffp-contract=off. The uint8 -> float conversion is exact, so a SIMD
+// variant performs bit-identical arithmetic to the portable kernel.
+
+namespace ganns {
+namespace data {
+namespace internal {
+
+/// Squared L2 between the float query and a dequantized SQ8 code.
+Dist Sq8L2Portable(const float* query, const std::uint8_t* code,
+                   const float* min, const float* scale, std::size_t dim);
+/// Inner product of the float query with a dequantized SQ8 code (the cosine
+/// adjustment 1 - dot happens above the kernel layer).
+Dist Sq8DotPortable(const float* query, const std::uint8_t* code,
+                    const float* min, const float* scale, std::size_t dim);
+
+#if defined(GANNS_DISTANCE_HAVE_AVX2)
+Dist Sq8L2Avx2(const float* query, const std::uint8_t* code, const float* min,
+               const float* scale, std::size_t dim);
+Dist Sq8DotAvx2(const float* query, const std::uint8_t* code,
+                const float* min, const float* scale, std::size_t dim);
+#endif
+
+}  // namespace internal
+}  // namespace data
+}  // namespace ganns
+
+#endif  // GANNS_DATA_QUANTIZE_KERNELS_H_

@@ -115,6 +115,33 @@ class Warp {
                       reduce_steps * params_->shfl_step);
   }
 
+  /// Compressed-code variant of ChargeDistance: an approximate distance over
+  /// a packed code of `code_bytes` bytes loads ceil(code_bytes / 4) words —
+  /// the proportionally narrower transaction that makes the quantized hot
+  /// loop cheaper — plus the same lane-strided accumulate and log2(n_t)
+  /// shuffle reduction over those words.
+  void ChargeCodeDistance(std::size_t code_bytes) {
+    const std::size_t words = (code_bytes + 3) / 4;
+    ChargeGlobalLoad(words, CostCategory::kDistance);
+    const double reduce_steps =
+        num_lanes_ <= 1 ? 0.0
+                        : static_cast<double>(std::bit_width(
+                              static_cast<unsigned>(num_lanes_ - 1)));
+    cost_->Charge(CostCategory::kDistance,
+                  StepsFor(words) * params_->alu_step +
+                      reduce_steps * params_->shfl_step);
+  }
+
+  /// One-time per-query LUT construction for PQ asymmetric distances:
+  /// streams `words` codebook words from global memory and performs one
+  /// lane-strided multiply-accumulate step per word. Charged once before
+  /// the traversal loop, amortized over every code distance that follows.
+  void ChargeLutBuild(std::size_t words) {
+    if (words == 0) return;
+    ChargeGlobalLoad(words, CostCategory::kDistance);
+    cost_->Charge(CostCategory::kDistance, StepsFor(words) * params_->alu_step);
+  }
+
   /// Installs the cost parameters (done by the owning BlockContext).
   void set_params(const CostParams* params) { params_ = params; }
   const CostParams& params() const { return *params_; }

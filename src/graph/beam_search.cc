@@ -1,11 +1,13 @@
 #include "graph/beam_search.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/scratch.h"
 #include "data/distance.h"
+#include "graph/rerank.h"
 
 namespace ganns {
 namespace graph {
@@ -15,14 +17,22 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
                                  std::span<const float> query, std::size_t k,
                                  std::size_t ef, VertexId entry,
                                  BeamSearchStats* stats,
-                                 VertexId restrict_to) {
+                                 VertexId restrict_to,
+                                 const data::SearchQuantization* quant) {
   GANNS_CHECK(k >= 1);
   GANNS_CHECK(entry < graph.num_vertices());
   if (ef < k) ef = k;
   BeamSearchStats local_stats;
 
+  // Compressed path: traversal distances come from the packed codes; the
+  // exact rows are only touched by the final rerank.
+  const bool quantized = quant != nullptr && quant->enabled();
+  std::optional<data::CodeDistanceContext> code_ctx;
+  if (quantized) code_ctx.emplace(*quant, base.metric(), query);
+
   const auto distance = [&](VertexId v) {
     ++local_stats.distance_computations;
+    if (quantized) return code_ctx->One(v);
     return data::ExactDistance(base.metric(), base.Point(v), query);
   };
 
@@ -81,7 +91,11 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
       scratch.ids.push_back(u);
     }
     scratch.dists.resize(scratch.ids.size());
-    data::DistanceMany(base, scratch.ids, query, scratch.dists);
+    if (quantized) {
+      code_ctx->Many(scratch.ids, scratch.dists);
+    } else {
+      data::DistanceMany(base, scratch.ids, query, scratch.dists);
+    }
     local_stats.distance_computations += scratch.ids.size();
     for (std::size_t i = 0; i < scratch.ids.size(); ++i) {
       const Neighbor entry_u{scratch.dists[i], scratch.ids[i]};
@@ -100,6 +114,10 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
   if (graph.HasTombstones()) {
     std::erase_if(results,
                   [&](const Neighbor& n) { return !graph.IsLive(n.id); });
+  }
+  if (quantized) {
+    local_stats.distance_computations +=
+        ExactRerank(base, query, results, k, quant->rerank_factor);
   }
   if (results.size() > k) results.resize(k);
   if (stats != nullptr) stats->Add(local_stats);

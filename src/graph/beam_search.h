@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "data/dataset.h"
+#include "data/quantize.h"
 #include "graph/proximity_graph.h"
 
 namespace ganns {
@@ -51,12 +52,18 @@ struct Neighbor {
 /// set H. Returns up to k results sorted ascending by (dist, id);
 /// `restrict_to` (optional) limits traversal to vertex ids < restrict_to,
 /// which the construction algorithms use to search the prefix subgraph.
+///
+/// A non-null enabled `quant` runs the two-stage compressed path: traversal
+/// distances come from the packed codes and the top rerank_factor * k
+/// candidates get exact float distances before emission (graph/rerank.h).
+/// Construction callers leave it null — graphs are always built exact.
 std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
                                  const data::Dataset& base,
                                  std::span<const float> query, std::size_t k,
                                  std::size_t ef, VertexId entry,
                                  BeamSearchStats* stats = nullptr,
-                                 VertexId restrict_to = kInvalidVertex);
+                                 VertexId restrict_to = kInvalidVertex,
+                                 const data::SearchQuantization* quant = nullptr);
 
 }  // namespace graph
 }  // namespace ganns

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -23,14 +24,21 @@ bool GreedyStep(const ganns::graph::ProximityGraph& layer,
                 const ganns::data::Dataset& base,
                 std::span<const float> query, ganns::VertexId& current,
                 ganns::Dist& current_dist,
-                ganns::graph::BeamSearchStats& stats) {
+                ganns::graph::BeamSearchStats& stats,
+                const ganns::data::CodeDistanceContext* code_ctx = nullptr) {
   const auto neighbors = layer.Neighbors(current);
   const std::size_t degree = layer.Degree(current);
   if (degree == 0) return false;
   ganns::SearchScratch& scratch = ganns::ThreadLocalSearchScratch();
   scratch.dists.resize(degree);
-  ganns::data::DistanceMany(base, neighbors.subspan(0, degree), query,
-                            scratch.dists);
+  if (code_ctx != nullptr) {
+    // Layer graphs address the full corpus id space, so codes index
+    // directly — the descent runs on approximate distances too.
+    code_ctx->Many(neighbors.subspan(0, degree), scratch.dists);
+  } else {
+    ganns::data::DistanceMany(base, neighbors.subspan(0, degree), query,
+                              scratch.dists);
+  }
   stats.distance_computations += degree;
   bool improved = false;
   for (std::size_t i = 0; i < degree; ++i) {
@@ -148,10 +156,15 @@ std::size_t HnswGraph::LayerSize(int l) const {
 
 VertexId HnswGraph::DescendToLayer0(const data::Dataset& base,
                                     std::span<const float> query,
-                                    BeamSearchStats* stats) const {
+                                    BeamSearchStats* stats,
+                                    const data::SearchQuantization* quant) const {
+  const bool quantized = quant != nullptr && quant->enabled();
+  std::optional<data::CodeDistanceContext> code_ctx;
+  if (quantized) code_ctx.emplace(*quant, base.metric(), query);
   VertexId current = entry_;
   Dist current_dist =
-      data::ExactDistance(base.metric(), base.Point(current), query);
+      quantized ? code_ctx->One(current)
+                : data::ExactDistance(base.metric(), base.Point(current), query);
   BeamSearchStats local;
   ++local.distance_computations;
   for (int l = max_level_; l >= 1; --l) {
@@ -160,7 +173,7 @@ VertexId HnswGraph::DescendToLayer0(const data::Dataset& base,
     while (improved) {
       ++local.iterations;
       improved = GreedyStep(layers_[l], base, query, current, current_dist,
-                            local);
+                            local, quantized ? &*code_ctx : nullptr);
     }
   }
   if (stats != nullptr) stats->Add(local);
@@ -255,9 +268,11 @@ CpuHnswBuildResult BuildHnswCpu(const data::Dataset& base,
 std::vector<Neighbor> SearchHnsw(const HnswGraph& graph,
                                  const data::Dataset& base,
                                  std::span<const float> query, std::size_t k,
-                                 std::size_t ef, BeamSearchStats* stats) {
-  const VertexId entry = graph.DescendToLayer0(base, query, stats);
-  return BeamSearch(graph.layer(0), base, query, k, ef, entry, stats);
+                                 std::size_t ef, BeamSearchStats* stats,
+                                 const data::SearchQuantization* quant) {
+  const VertexId entry = graph.DescendToLayer0(base, query, stats, quant);
+  return BeamSearch(graph.layer(0), base, query, k, ef, entry, stats,
+                    kInvalidVertex, quant);
 }
 
 }  // namespace graph

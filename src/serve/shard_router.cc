@@ -58,6 +58,12 @@ std::size_t ShardedIndex::dim() const {
   return PinSnapshot(0)->base->dim();
 }
 
+std::size_t ShardedIndex::resident_bytes_per_vector() const {
+  const auto snap = PinSnapshot(0);
+  if (snap->quantizer != nullptr) return snap->quantizer->code_bytes();
+  return snap->base->dim() * sizeof(float);
+}
+
 const graph::ProximityGraph& ShardedIndex::shard_graph(std::size_t s) const {
   const Shard& shard = *shards_[s];
   if (shard.hnsw != nullptr) return shard.hnsw->layer(0);
@@ -166,6 +172,15 @@ std::unique_ptr<ShardedIndex::Shard> ShardedIndex::BuildShard(
         core::BuildHnswGGraphCon(*shard->device, slice, hnsw, build);
     shard->hnsw = std::make_unique<graph::HnswGraph>(std::move(result.graph));
   }
+  // Compressed serving: per-shard codebooks over the slice, packed codes
+  // mirroring the slot space. Deterministic in (slice, quantize options).
+  if (options.quantize.precision != data::Precision::kFloat32) {
+    auto quantizer = std::make_shared<data::Quantizer>(
+        data::Quantizer::Train(slice, options.quantize));
+    snapshot->codes = std::make_shared<data::QuantizedCodes>(
+        data::QuantizedCodes::EncodeAll(*quantizer, slice));
+    snapshot->quantizer = std::move(quantizer);
+  }
   snapshot->base = std::make_shared<data::Dataset>(std::move(slice));
   shard->snapshot = std::move(snapshot);
   return shard;
@@ -214,6 +229,9 @@ double ShardedIndex::SearchShard(std::size_t s,
   }
   const graph::ProximityGraph& bottom =
       shard.hnsw != nullptr ? shard.hnsw->layer(0) : *snap->graph;
+  const data::SearchQuantization quant = snap->Quant();
+  const data::SearchQuantization* quant_ptr =
+      quant.enabled() ? &quant : nullptr;
   const gpusim::KernelStats stats = shard.device->Launch(
       "serve.shard_search", static_cast<int>(queries.size()),
       options_.block_lanes, [&](gpusim::BlockContext& block) {
@@ -223,11 +241,12 @@ double ShardedIndex::SearchShard(std::size_t s,
         // enter at the snapshot's entry vertex.
         const VertexId entry =
             shard.hnsw != nullptr
-                ? shard.hnsw->DescendToLayer0(base, request.query)
+                ? shard.hnsw->DescendToLayer0(base, request.query, nullptr,
+                                              quant_ptr)
                 : snap->entry;
         rows[q] = core::DispatchSearch(
             block, kernel, bottom, base, request.query, request.k,
-            PerShardBudget(request.budget, request.k), entry);
+            PerShardBudget(request.budget, request.k), entry, quant_ptr);
         // Rebase shard-local slots onto the global numbering.
         for (graph::Neighbor& neighbor : rows[q]) {
           neighbor.id = global_ids[neighbor.id];

@@ -17,6 +17,7 @@
 #include "core/ggraphcon.h"
 #include "core/mutate.h"
 #include "data/dataset.h"
+#include "data/quantize.h"
 #include "gpusim/device.h"
 #include "graph/hnsw.h"
 #include "graph/proximity_graph.h"
@@ -57,6 +58,10 @@ struct ShardBuildOptions {
   gpusim::DeviceSpec device;
   /// Online insert/delete behavior (NSW shards only).
   IndexUpdateOptions update;
+  /// Compressed-vector serving: with precision != kFloat32 each shard trains
+  /// a quantizer over its slice, searches traverse packed codes, and results
+  /// are exact-reranked before the cross-shard merge.
+  data::QuantizerOptions quantize;
 };
 
 /// One query of a routed batch (borrowed views — the engine owns the
@@ -199,10 +204,16 @@ class ShardedIndex {
   /// Rebuild-free load: restores shard state written by SaveShards over the
   /// same corpus and options. Legacy (pre-lifecycle) NSW shard files load
   /// as pristine shards. Returns std::nullopt on missing/truncated/
-  /// mismatched files.
+  /// mismatched files; when `error` is non-null it receives a description
+  /// naming the offending file/section and the expected vs actual values.
   static std::optional<ShardedIndex> LoadShards(
       const std::string& prefix, const data::Dataset& base,
-      std::size_t num_shards, const ShardBuildOptions& options);
+      std::size_t num_shards, const ShardBuildOptions& options,
+      std::string* error = nullptr);
+
+  /// Per-vector resident bytes on the traversal path (codes when compressed,
+  /// float rows otherwise).
+  std::size_t resident_bytes_per_vector() const;
 
  private:
   /// The reader-visible state of one shard: immutable once published.
@@ -216,6 +227,17 @@ class ShardedIndex {
     std::shared_ptr<const data::Dataset> base;
     /// Slot -> global id (pristine shards: offset + slot).
     std::shared_ptr<const std::vector<VertexId>> global_ids;
+    /// Compressed path (null for exact shards). The quantizer is trained
+    /// once per shard and shared across epochs; the code array mirrors the
+    /// slot space, so writers clone-and-re-encode it alongside `base`.
+    std::shared_ptr<const data::Quantizer> quantizer;
+    std::shared_ptr<const data::QuantizedCodes> codes;
+
+    /// Borrowed kernel view; disabled when the shard is exact.
+    data::SearchQuantization Quant() const {
+      if (quantizer == nullptr || codes == nullptr) return {};
+      return {quantizer.get(), codes.get(), quantizer->rerank_factor()};
+    }
   };
 
   /// One partition. unique_ptr keeps shard addresses stable under vector

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/mutate.h"
+#include "data/quantize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/shard_router.h"
@@ -47,6 +48,13 @@ void RecordUpdateLatency(const char* name, double start_us) {
   const double elapsed = WallSpanNow() * 1e6 - start_us;
   obs::MetricsRegistry::Global().GetHdr(name).Record(
       static_cast<std::uint64_t>(std::max(0.0, elapsed)));
+}
+
+void SetShardError(std::string* error, const std::string& path,
+                   std::string message) {
+  if (error != nullptr) {
+    *error = "shard file '" + path + "': " + std::move(message);
+  }
 }
 
 }  // namespace
@@ -137,6 +145,15 @@ std::optional<VertexId> ShardedIndex::Insert(std::span<const float> vector) {
   const VertexId gid = writes_->next_global_id++;
   (*gids)[*slot] = gid;
 
+  // Compressed shards keep the code array in lockstep with the slot space:
+  // clone it and encode the new row with the shard's (fixed) codebooks.
+  std::shared_ptr<const data::QuantizedCodes> codes = snap->codes;
+  if (snap->quantizer != nullptr) {
+    auto cloned = std::make_shared<data::QuantizedCodes>(*snap->codes);
+    cloned->EncodeRow(*snap->quantizer, *slot, point);
+    codes = std::move(cloned);
+  }
+
   VertexId entry = snap->entry;
   core::UpdateResult result;
   if (entry == kInvalidVertex) {
@@ -156,6 +173,8 @@ std::optional<VertexId> ShardedIndex::Insert(std::span<const float> vector) {
   next->graph = std::move(graph);
   next->base = std::move(base);
   next->global_ids = std::move(gids);
+  next->quantizer = snap->quantizer;
+  next->codes = std::move(codes);
   PublishSnapshot(best, std::move(next));
 
   writes_->dynamic_slots[gid] = {static_cast<std::uint32_t>(best), *slot};
@@ -213,6 +232,9 @@ bool ShardedIndex::Remove(VertexId global_id) {
   next->graph = graph;
   next->base = snap->base;
   next->global_ids = snap->global_ids;
+  // Tombstoning leaves rows (and their codes) in place.
+  next->quantizer = snap->quantizer;
+  next->codes = snap->codes;
   PublishSnapshot(s, std::move(next));
 
   writes_->removes.fetch_add(1, std::memory_order_relaxed);
@@ -276,6 +298,14 @@ bool ShardedIndex::CompactLocked(std::size_t s) {
   next->graph = std::move(graph);
   next->base = std::move(base);
   next->global_ids = gids;
+  // Survivors moved slots: re-encode the packed codes against the repacked
+  // rows. The codebooks themselves stay valid (trained on the original
+  // distribution), so compaction never retrains.
+  if (snap->quantizer != nullptr) {
+    next->quantizer = snap->quantizer;
+    next->codes = std::make_shared<data::QuantizedCodes>(
+        data::QuantizedCodes::EncodeAll(*snap->quantizer, *next->base));
+  }
   PublishSnapshot(s, std::move(next));
 
   // Every survivor's slot changed; record the new ones so Remove() keeps
@@ -370,7 +400,15 @@ bool ShardedIndex::SaveShards(const std::string& prefix) const {
     const std::string path = prefix + ".shard" + std::to_string(s);
     const Shard& shard = *shards_[s];
     if (shard.hnsw != nullptr) {
-      if (!shard.hnsw->SaveTo(path)) return false;
+      const std::shared_ptr<const Snapshot> snap = PinSnapshot(s);
+      File file(std::fopen(path.c_str(), "wb"));
+      if (file == nullptr) return false;
+      if (!shard.hnsw->WriteTo(file.get())) return false;
+      if (snap->quantizer != nullptr &&
+          !data::WriteQuantizedSection(file.get(), *snap->quantizer,
+                                       *snap->codes)) {
+        return false;
+      }
       continue;
     }
     const std::shared_ptr<const Snapshot> snap = PinSnapshot(s);
@@ -404,14 +442,29 @@ bool ShardedIndex::SaveShards(const std::string& prefix) const {
         return false;
       }
     }
+    // Optional trailing section: the shard's codebooks + packed codes, so a
+    // compressed shard round-trips without retraining.
+    if (snap->quantizer != nullptr &&
+        !data::WriteQuantizedSection(file.get(), *snap->quantizer,
+                                     *snap->codes)) {
+      return false;
+    }
   }
   return true;
 }
 
 std::optional<ShardedIndex> ShardedIndex::LoadShards(
     const std::string& prefix, const data::Dataset& base,
-    std::size_t num_shards, const ShardBuildOptions& options) {
-  if (num_shards < 1 || base.size() < num_shards) return std::nullopt;
+    std::size_t num_shards, const ShardBuildOptions& options,
+    std::string* error) {
+  if (error != nullptr) error->clear();
+  if (num_shards < 1 || base.size() < num_shards) {
+    if (error != nullptr) {
+      *error = "cannot split " + std::to_string(base.size()) +
+               " points into " + std::to_string(num_shards) + " shards";
+    }
+    return std::nullopt;
+  }
   ShardedIndex index;
   index.options_ = options;
   index.initial_total_ = base.size();
@@ -430,9 +483,22 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
     shard->update_device = std::make_unique<gpusim::Device>(options.device);
 
     if (options.kind == core::GraphKind::kHnsw) {
-      auto graph = graph::HnswGraph::LoadFrom(path);
-      if (!graph.has_value() ||
-          graph->num_vertices() != shard->initial_size) {
+      File file(std::fopen(path.c_str(), "rb"));
+      if (file == nullptr) {
+        SetShardError(error, path, "cannot open");
+        return std::nullopt;
+      }
+      auto graph = graph::HnswGraph::ReadFrom(file.get());
+      if (!graph.has_value()) {
+        SetShardError(error, path, "truncated or corrupt HNSW record");
+        return std::nullopt;
+      }
+      if (graph->num_vertices() != shard->initial_size) {
+        SetShardError(error, path,
+                      "vertex count mismatch (file has " +
+                          std::to_string(graph->num_vertices()) +
+                          " vertices, shard slice has " +
+                          std::to_string(shard->initial_size) + ")");
         return std::nullopt;
       }
       shard->hnsw = std::make_unique<graph::HnswGraph>(*std::move(graph));
@@ -445,6 +511,19 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
         std::iota(ids->begin(), ids->end(), begin);
         return ids;
       }();
+      std::string quant_error;
+      auto store = data::ReadQuantizedSection(
+          file.get(), shard->initial_size, &quant_error);
+      if (!quant_error.empty()) {
+        SetShardError(error, path, quant_error);
+        return std::nullopt;
+      }
+      if (store.has_value()) {
+        snapshot->quantizer =
+            std::make_shared<data::Quantizer>(std::move(store->quantizer));
+        snapshot->codes =
+            std::make_shared<data::QuantizedCodes>(std::move(store->codes));
+      }
       shard->snapshot = std::move(snapshot);
       index.shards_.push_back(std::move(shard));
       begin = end;
@@ -452,9 +531,13 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
     }
 
     File file(std::fopen(path.c_str(), "rb"));
-    if (file == nullptr) return std::nullopt;
+    if (file == nullptr) {
+      SetShardError(error, path, "cannot open");
+      return std::nullopt;
+    }
     std::uint64_t magic = 0;
     if (std::fread(&magic, sizeof(magic), 1, file.get()) != 1) {
+      SetShardError(error, path, "truncated (cannot read magic word)");
       return std::nullopt;
     }
     auto snapshot = std::make_shared<Snapshot>();
@@ -462,11 +545,25 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
     if (magic == kGraphMagic) {
       // Legacy bare record: a pristine (never mutated) shard graph over the
       // corpus slice.
-      if (std::fseek(file.get(), 0, SEEK_SET) != 0) return std::nullopt;
+      if (std::fseek(file.get(), 0, SEEK_SET) != 0) {
+        SetShardError(error, path, "seek failure rewinding legacy record");
+        return std::nullopt;
+      }
       auto graph = graph::ProximityGraph::ReadFrom(file.get());
-      if (!graph.has_value() ||
-          graph->num_vertices() != shard->initial_size ||
+      if (!graph.has_value()) {
+        SetShardError(error, path, "truncated or corrupt legacy graph record");
+        return std::nullopt;
+      }
+      if (graph->num_vertices() != shard->initial_size ||
           graph->num_tombstones() != 0) {
+        SetShardError(error, path,
+                      "legacy graph record mismatch (file has " +
+                          std::to_string(graph->num_vertices()) +
+                          " vertices / " +
+                          std::to_string(graph->num_tombstones()) +
+                          " tombstones, expected " +
+                          std::to_string(shard->initial_size) +
+                          " vertices / 0 tombstones)");
         return std::nullopt;
       }
       snapshot->entry = shard->initial_size > 0 ? 0 : kInvalidVertex;
@@ -480,30 +577,60 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
     } else if (magic == kShardMagic) {
       std::uint64_t rest[7] = {};
       if (std::fread(rest, sizeof(rest), 1, file.get()) != 1) {
+        SetShardError(error, path, "shard header: truncated");
         return std::nullopt;
       }
       const std::uint64_t version = rest[0];
-      if (version != kShardVersion) return std::nullopt;
+      if (version != kShardVersion) {
+        SetShardError(error, path,
+                      "shard header: unsupported version " +
+                          std::to_string(version) + " (expected " +
+                          std::to_string(kShardVersion) + ")");
+        return std::nullopt;
+      }
       if (rest[1] != shard->offset || rest[2] != shard->initial_size ||
           rest[4] != base.dim() ||
           rest[5] != static_cast<std::uint64_t>(base.metric())) {
+        SetShardError(
+            error, path,
+            "shard header: geometry mismatch (file offset/size/dim/metric " +
+                std::to_string(rest[1]) + "/" + std::to_string(rest[2]) +
+                "/" + std::to_string(rest[4]) + "/" +
+                std::to_string(rest[5]) + ", expected " +
+                std::to_string(shard->offset) + "/" +
+                std::to_string(shard->initial_size) + "/" +
+                std::to_string(base.dim()) + "/" +
+                std::to_string(static_cast<std::uint64_t>(base.metric())) +
+                ")");
         return std::nullopt;
       }
       const VertexId entry = static_cast<VertexId>(rest[3]);
       const std::uint64_t num_rows = rest[6];
       auto graph = graph::ProximityGraph::ReadFrom(file.get());
       if (!graph.has_value() || graph->num_vertices() != num_rows) {
+        SetShardError(error, path,
+                      "graph record: truncated, corrupt, or vertex count "
+                      "disagrees with shard header");
         return std::nullopt;
       }
       if (entry == kInvalidVertex) {
-        if (graph->num_live() != 0) return std::nullopt;
+        if (graph->num_live() != 0) {
+          SetShardError(error, path,
+                        "entry vertex: header says empty shard but graph "
+                        "has live vertices");
+          return std::nullopt;
+        }
       } else if (entry >= num_rows || !graph->IsLive(entry)) {
+        SetShardError(error, path,
+                      "entry vertex " + std::to_string(entry) +
+                          " is out of range or tombstoned");
         return std::nullopt;
       }
       auto ids = std::make_shared<std::vector<VertexId>>(num_rows);
       if (num_rows > 0 &&
           std::fread(ids->data(), sizeof(VertexId), num_rows, file.get()) !=
               num_rows) {
+        SetShardError(error, path, "global id map: truncated");
         return std::nullopt;
       }
       auto rows = std::make_shared<data::Dataset>(
@@ -513,6 +640,9 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
       for (std::uint64_t v = 0; v < num_rows; ++v) {
         if (std::fread(row.data(), sizeof(float), row.size(), file.get()) !=
             row.size()) {
+          SetShardError(error, path,
+                        "vector rows: truncated at row " + std::to_string(v) +
+                            " of " + std::to_string(num_rows));
           return std::nullopt;
         }
         rows->Append(row);
@@ -539,7 +669,35 @@ std::optional<ShardedIndex> ShardedIndex::LoadShards(
       snapshot->base = std::move(rows);
       snapshot->global_ids = std::move(ids);
     } else {
+      SetShardError(error, path,
+                    "unknown magic word (expected GSH3 shard container or "
+                    "legacy GNNS graph record)");
       return std::nullopt;
+    }
+    // Optional trailing quantization section (compressed shards). Clean EOF
+    // means an exact shard; a present-but-corrupt section is a load error.
+    {
+      std::string quant_error;
+      auto store = data::ReadQuantizedSection(
+          file.get(), snapshot->graph->num_vertices(), &quant_error);
+      if (!quant_error.empty()) {
+        SetShardError(error, path, quant_error);
+        return std::nullopt;
+      }
+      if (store.has_value()) {
+        if (store->quantizer.dim() != base.dim()) {
+          SetShardError(error, path,
+                        "quantization section: dim mismatch (section has " +
+                            std::to_string(store->quantizer.dim()) +
+                            ", corpus has " + std::to_string(base.dim()) +
+                            ")");
+          return std::nullopt;
+        }
+        snapshot->quantizer =
+            std::make_shared<data::Quantizer>(std::move(store->quantizer));
+        snapshot->codes =
+            std::make_shared<data::QuantizedCodes>(std::move(store->codes));
+      }
     }
     shard->snapshot = std::move(snapshot);
     index.shards_.push_back(std::move(shard));

@@ -1,7 +1,10 @@
 #include "song/song_search.h"
 
+#include <optional>
+
 #include "common/logging.h"
 #include "data/distance.h"
+#include "graph/rerank.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "song/bounded_max_heap.h"
@@ -82,7 +85,7 @@ std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const SongParams& params, VertexId entry, SongSearchStats* stats,
-    SongQueryProfile* profile) {
+    SongQueryProfile* profile, const data::SearchQuantization* quant) {
   GANNS_CHECK(params.k >= 1);
   GANNS_CHECK(params.queue_size >= params.k);
   GANNS_CHECK(entry < graph.num_vertices());
@@ -102,9 +105,22 @@ std::vector<graph::Neighbor> SongSearchOne(
   auto cand = block.AllocShared<VertexId>(graph.d_max());
   auto cand_dist = block.AllocShared<Dist>(graph.d_max());
 
+  // Compressed path: traversal distances come from the packed codes; the PQ
+  // LUT is built — and charged — once per query up front.
+  const bool quantized = quant != nullptr && quant->enabled();
+  std::optional<data::CodeDistanceContext> code_ctx;
+  if (quantized) {
+    code_ctx.emplace(*quant, base.metric(), query);
+    warp.ChargeLutBuild(code_ctx->lut_build_words());
+  }
+
   const auto compute_distance = [&](VertexId v) {
-    warp.ChargeDistance(base.dim());
     ++local.distance_computations;
+    if (quantized) {
+      warp.ChargeCodeDistance(code_ctx->code_bytes());
+      return code_ctx->One(v);
+    }
+    warp.ChargeDistance(base.dim());
     return data::ExactDistance(base.metric(), base.Point(v), query);
   };
   // Heap comparisons/swaps are host-lane ops; the visited structure prices
@@ -182,11 +198,19 @@ std::vector<graph::Neighbor> SongSearchOne(
     // already contiguous, so the whole batch goes through the SIMD distance
     // layer in one call; per-point simulated charges are unchanged.
     if (num_cand > 0) {
-      data::DistanceMany(base, cand.subspan(0, num_cand), query,
-                         cand_dist.subspan(0, num_cand));
-      for (std::size_t i = 0; i < num_cand; ++i) {
-        warp.ChargeDistance(base.dim());
-        ++local.distance_computations;
+      if (quantized) {
+        for (std::size_t i = 0; i < num_cand; ++i) {
+          warp.ChargeCodeDistance(code_ctx->code_bytes());
+          ++local.distance_computations;
+          cand_dist[i] = code_ctx->One(cand[i]);
+        }
+      } else {
+        data::DistanceMany(base, cand.subspan(0, num_cand), query,
+                           cand_dist.subspan(0, num_cand));
+        for (std::size_t i = 0; i < num_cand; ++i) {
+          warp.ChargeDistance(base.dim());
+          ++local.distance_computations;
+        }
       }
     }
     stages.End(1);
@@ -225,6 +249,14 @@ std::vector<graph::Neighbor> SongSearchOne(
       return !graph.IsLive(n.id);
     });
   }
+  if (quantized) {
+    // Stage two: exact float rerank of the top rerank_factor * k drained
+    // candidates (full-width reads, charged like exact distances).
+    const std::size_t evals =
+        graph::ExactRerank(base, query, sorted, params.k, quant->rerank_factor);
+    for (std::size_t i = 0; i < evals; ++i) warp.ChargeDistance(base.dim());
+    local.distance_computations += evals;
+  }
   if (sorted.size() > params.k) sorted.resize(params.k);
   if (stats != nullptr) stats->Add(local);
   if (profile != nullptr) {
@@ -244,7 +276,8 @@ graph::BatchSearchResult SongSearchBatch(gpusim::Device& device,
                                          const data::Dataset& queries,
                                          const SongParams& params,
                                          int block_lanes, VertexId entry,
-                                         std::vector<SongQueryProfile>* profiles) {
+                                         std::vector<SongQueryProfile>* profiles,
+                                         const data::SearchQuantization* quant) {
   GANNS_CHECK(base.dim() == queries.dim());
   graph::BatchSearchResult batch;
   batch.results.resize(queries.size());
@@ -265,7 +298,7 @@ graph::BatchSearchResult SongSearchBatch(gpusim::Device& device,
             profiles != nullptr ? &(*profiles)[q] : nullptr;
         const std::vector<graph::Neighbor> found =
             SongSearchOne(block, graph, base, queries.Point(q), params, entry,
-                          nullptr, profile);
+                          nullptr, profile, quant);
         auto& out = batch.results[q];
         out.reserve(found.size());
         for (const graph::Neighbor& n : found) out.push_back(n.id);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/quantize.h"
 #include "gpusim/block.h"
 #include "gpusim/device.h"
 #include "graph/beam_search.h"
@@ -67,11 +68,16 @@ struct SongQueryProfile {
 /// single host lane, (2) warp-parallel bulk distance computation,
 /// (3) host-lane candidate-queue update. Returns up to k neighbors sorted
 /// ascending by (dist, id).
+///
+/// A non-null enabled `quant` switches the traversal to approximate code
+/// distances (narrower simulated loads) with an exact float rerank of the
+/// top rerank_factor * k candidates before emission.
 std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const SongParams& params, VertexId entry,
-    SongSearchStats* stats = nullptr, SongQueryProfile* profile = nullptr);
+    SongSearchStats* stats = nullptr, SongQueryProfile* profile = nullptr,
+    const data::SearchQuantization* quant = nullptr);
 
 /// Batched SONG search: one thread block per query (inter-block
 /// parallelism), `block_lanes` cooperating threads per block. When
@@ -80,7 +86,8 @@ graph::BatchSearchResult SongSearchBatch(
     gpusim::Device& device, const graph::ProximityGraph& graph,
     const data::Dataset& base, const data::Dataset& queries,
     const SongParams& params, int block_lanes = 32, VertexId entry = 0,
-    std::vector<SongQueryProfile>* profiles = nullptr);
+    std::vector<SongQueryProfile>* profiles = nullptr,
+    const data::SearchQuantization* quant = nullptr);
 
 }  // namespace song
 }  // namespace ganns

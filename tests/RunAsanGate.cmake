@@ -21,6 +21,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${GANNS_ASAN_BUILD}
           --target serve_test obs_concurrency_test common_concurrency_test
+                   quantize_test
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "ASan subbuild compile failed")
@@ -47,4 +48,13 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
                 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "obs_concurrency_test failed under ASan")
+endif()
+
+# The compressed-search kernels index packed byte arrays with slot ids and
+# the LUT path does per-subspace pointer arithmetic over the codebooks —
+# exactly the indexing ASan exists to check.
+execute_process(COMMAND ${GANNS_ASAN_BUILD}/tests/quantize_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "quantize_test failed under ASan")
 endif()

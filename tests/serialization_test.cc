@@ -1,9 +1,9 @@
 // Parameterized serialization failure-path tests: every on-disk reader
-// (flat v3 graph record, the same record carrying lifecycle state, and the
-// layered HNSW stream) must reject — never crash on, never partially
-// apply — a corrupted file. One corruption family crossed with every
-// format: wrong magic, unknown version, truncated header, truncated
-// payload, and an oversized element count in the header.
+// (flat v3 graph record, the same record carrying lifecycle state, the
+// layered HNSW stream, and the quantized trailing section) must reject —
+// never crash on, never partially apply — a corrupted file. One corruption
+// family crossed with every format: wrong magic, unknown version, truncated
+// header, truncated payload, and an oversized element count in the header.
 
 #include <cstdint>
 #include <cstdio>
@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "data/quantize.h"
 #include "data/synthetic.h"
 #include "graph/hnsw.h"
 #include "graph/proximity_graph.h"
@@ -20,7 +21,7 @@ namespace ganns {
 namespace graph {
 namespace {
 
-enum class Format { kGraphV3, kGraphV3Lifecycle, kHnsw };
+enum class Format { kGraphV3, kGraphV3Lifecycle, kHnsw, kQuantized };
 enum class Corruption {
   kBadMagic,
   kBadVersion,
@@ -34,6 +35,7 @@ const char* FormatName(Format f) {
     case Format::kGraphV3: return "GraphV3";
     case Format::kGraphV3Lifecycle: return "GraphV3Lifecycle";
     case Format::kHnsw: return "Hnsw";
+    case Format::kQuantized: return "Quantized";
   }
   return "?";
 }
@@ -63,6 +65,20 @@ std::string WriteValidFile(Format format, const char* suffix) {
     EXPECT_TRUE(graph.SaveTo(path));
     return path;
   }
+  if (format == Format::kQuantized) {
+    const data::Dataset base =
+        data::GenerateBase(data::PaperDataset("SIFT1M"), 64, 3);
+    data::QuantizerOptions options;
+    options.precision = data::Precision::kSq8;
+    const data::Quantizer quantizer = data::Quantizer::Train(base, options);
+    const data::QuantizedCodes codes =
+        data::QuantizedCodes::EncodeAll(quantizer, base);
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(file, nullptr);
+    EXPECT_TRUE(data::WriteQuantizedSection(file, quantizer, codes));
+    std::fclose(file);
+    return path;
+  }
   ProximityGraph graph(8, 4, format == Format::kGraphV3Lifecycle ? 12 : 8);
   for (VertexId v = 0; v < 8; ++v) {
     graph.InsertNeighbor(v, (v + 1) % 8, 0.5f + static_cast<float>(v));
@@ -81,6 +97,17 @@ std::string WriteValidFile(Format format, const char* suffix) {
 
 bool LoadFile(Format format, const std::string& path) {
   if (format == Format::kHnsw) return HnswGraph::LoadFrom(path).has_value();
+  if (format == Format::kQuantized) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr);
+    std::string error;
+    const auto store = data::ReadQuantizedSection(file, SIZE_MAX, &error);
+    std::fclose(file);
+    // A rejected section must carry a named error, never a silent
+    // "no section here" (that outcome is reserved for clean EOF).
+    EXPECT_EQ(store.has_value(), error.empty());
+    return store.has_value();
+  }
   return ProximityGraph::LoadFrom(path).has_value();
 }
 
@@ -124,7 +151,8 @@ void Corrupt(std::vector<std::uint8_t>& bytes, Corruption corruption) {
       break;
     case Corruption::kOversizedCount:
       // Word 2 is the element count in every header (num_slots for graph
-      // records, num_vertices for the HNSW stream): far past the sanity cap.
+      // records, num_vertices for the HNSW stream, dim for the quantized
+      // section): far past the sanity cap.
       put_u64(2, std::uint64_t{1} << 50);
       break;
   }
@@ -150,7 +178,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllFormats, SerializationFailureTest,
     ::testing::Combine(::testing::Values(Format::kGraphV3,
                                          Format::kGraphV3Lifecycle,
-                                         Format::kHnsw),
+                                         Format::kHnsw,
+                                         Format::kQuantized),
                        ::testing::Values(Corruption::kBadMagic,
                                          Corruption::kBadVersion,
                                          Corruption::kTruncatedHeader,

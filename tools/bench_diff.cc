@@ -12,6 +12,9 @@
 // Paths matching no rule are informational: printed, never gated.
 //
 // With no rules on the command line the serve/update-bench defaults apply:
+//   --min quantized=0.5        BENCH_quantized rows (sim_qps, resident bytes);
+//                              listed first so the recall rule below still
+//                              wins for quantized recall paths
 //   --min recall=0.95          recall is deterministic; 5% guards rounding
 //   --min closed.sim_qps=0.5   sim QPS varies with wall-timed batch shapes
 //   --min sim_ups=0.5          update-path simulated updates/s (BENCH_update)
@@ -122,7 +125,8 @@ int main(int argc, char** argv) {
     }
   }
   if (rules.empty()) {
-    rules = {{"recall", 0.95, true},
+    rules = {{"quantized", 0.5, true},
+             {"recall", 0.95, true},
              {"closed.sim_qps", 0.5, true},
              {"sim_ups", 0.5, true},
              {"served", 1.0, true}};

@@ -5,7 +5,8 @@
 //                [--queries 200 --queries-out queries.fvecs] [--seed 1]
 //   ganns build  --base base.fvecs --out index.gix [--metric l2|cosine]
 //                [--d-max 32] [--d-min 16] [--groups 64] [--kernel ganns|song]
-//                [--hnsw]
+//                [--hnsw] [--precision float|sq8|pq] [--pq-m 16] [--pq-k 256]
+//                [--rerank 4]
 //   ganns search --index index.gix --base base.fvecs --queries queries.fvecs
 //                --k 10 [--ln 64] [--e 0] [--out results.ivecs]
 //                [--trace-out trace.json]
@@ -17,6 +18,8 @@
 //   ganns serve-bench --dataset SIFT1M --n 20000 [--queries 500] [--seed 1]
 //                [--shards 2] [--k 10] [--budget 64]
 //                [--kernel ganns|song|beam] [--hnsw]
+//                [--precision float|sq8|pq] [--pq-m 16] [--pq-k 256]
+//                [--rerank 4]
 //                [--max-batch 32] [--window-us 200] [--queue-cap 1024]
 //                [--deadline-us 0] [--save prefix | --load prefix]
 //                [--json out.json] [--trace-out trace.json]
@@ -81,6 +84,7 @@
 #include "core/ggraphcon.h"
 #include "data/ground_truth.h"
 #include "data/io.h"
+#include "data/quantize.h"
 #include "data/synthetic.h"
 #include "graph/diagnostics.h"
 #include "obs/metrics.h"
@@ -135,6 +139,26 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Shared --precision/--pq-m/--pq-k/--rerank handling for build and
+/// serve-bench (exits with usage error on an unknown precision name).
+data::QuantizerOptions ParseQuantizeFlags(const Args& args) {
+  data::QuantizerOptions quantize;
+  if (const auto name = args.Get("precision"); name.has_value()) {
+    const auto precision = data::ParsePrecision(*name);
+    if (!precision.has_value()) {
+      std::fprintf(stderr, "unknown precision '%s' (use float|sq8|pq)\n",
+                   name->c_str());
+      std::exit(2);
+    }
+    quantize.precision = *precision;
+  }
+  quantize.pq_subspaces = static_cast<std::size_t>(args.Int("pq-m", 16));
+  quantize.pq_centroids = static_cast<std::size_t>(args.Int("pq-k", 256));
+  quantize.rerank_factor = static_cast<std::size_t>(args.Int("rerank", 4));
+  if (quantize.rerank_factor == 0) quantize.rerank_factor = 1;
+  return quantize;
+}
 
 data::Metric ParseMetric(const Args& args) {
   const std::string name = args.Get("metric").value_or("l2");
@@ -195,6 +219,7 @@ int CmdBuild(const Args& args) {
     options.construction_kernel = core::SearchKernel::kSong;
   }
   if (args.Flag("hnsw")) options.kind = core::GraphKind::kHnsw;
+  options.quantize = ParseQuantizeFlags(args);
 
   core::GannsIndex index = core::GannsIndex::Build(std::move(base), options);
   const std::string out = args.Require("out");
@@ -206,6 +231,14 @@ int CmdBuild(const Args& args) {
               "saved to %s\n",
               options.kind == core::GraphKind::kHnsw ? "HNSW" : "NSW",
               index.base().size(), index.timing().build_seconds, out.c_str());
+  if (index.quantizer() != nullptr) {
+    std::printf("quantized: precision=%s code_bytes=%zu rerank_factor=%zu "
+                "(float rows are %zu bytes)\n",
+                data::PrecisionName(index.quantizer()->precision()),
+                index.quantizer()->code_bytes(),
+                index.quantizer()->rerank_factor(),
+                index.base().dim() * sizeof(float));
+  }
   return 0;
 }
 
@@ -215,13 +248,21 @@ int CmdSearch(const Args& args) {
   const data::Dataset queries =
       LoadFvecsOrDie(args.Require("queries"), "queries", metric);
 
-  auto index = core::GannsIndex::Load(args.Require("index"), std::move(base));
+  std::string load_error;
+  auto index = core::GannsIndex::Load(args.Require("index"), std::move(base),
+                                      core::GannsIndex::Options(),
+                                      &load_error);
   if (!index.has_value()) {
-    std::fprintf(stderr,
-                 "failed to load index %s: missing, truncated, or "
-                 "version-mismatched (rebuild with `ganns build`)\n",
-                 args.Require("index").c_str());
+    std::fprintf(stderr, "failed to load index %s: %s\n",
+                 args.Require("index").c_str(), load_error.c_str());
     return 1;
+  }
+  if (index->quantizer() != nullptr) {
+    std::printf("index is quantized: precision=%s code_bytes=%zu "
+                "rerank_factor=%zu\n",
+                data::PrecisionName(index->quantizer()->precision()),
+                index->quantizer()->code_bytes(),
+                index->quantizer()->rerank_factor());
   }
 
   const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
@@ -472,16 +513,16 @@ int CmdServeBench(const Args& args) {
     build_options.construction_kernel = core::SearchKernel::kGanns;
   }
   if (args.Flag("hnsw")) build_options.kind = core::GraphKind::kHnsw;
+  build_options.quantize = ParseQuantizeFlags(args);
 
   std::optional<serve::ShardedIndex> index;
   if (const auto load = args.Get("load"); load.has_value()) {
+    std::string load_error;
     index = serve::ShardedIndex::LoadShards(*load, base, num_shards,
-                                            build_options);
+                                            build_options, &load_error);
     if (!index.has_value()) {
-      std::fprintf(stderr,
-                   "failed to load shard files %s.shard0..%zu: missing, "
-                   "truncated, or version-mismatched (rebuild with --save)\n",
-                   load->c_str(), num_shards - 1);
+      std::fprintf(stderr, "failed to load shard files %s.shard0..%zu: %s\n",
+                   load->c_str(), num_shards - 1, load_error.c_str());
       return 1;
     }
     std::printf("loaded %zu shard graphs from %s.shard*\n", num_shards,
@@ -497,6 +538,12 @@ int CmdServeBench(const Args& args) {
       std::printf("saved %zu shard graphs to %s.shard*\n", num_shards,
                   save->c_str());
     }
+  }
+  if (index->resident_bytes_per_vector() < base.dim() * sizeof(float)) {
+    std::printf("compressed serving: resident code bytes/vector=%zu "
+                "(float rows are %zu bytes)\n",
+                index->resident_bytes_per_vector(),
+                base.dim() * sizeof(float));
   }
 
   serve::ServeOptions serve_options;

@@ -5,6 +5,9 @@
 //   schema_check stats   <stats.json>     serving stats export (registry
 //                                         JSON whose hdr section must hold
 //                                         coherent percentile summaries)
+//   schema_check bench   <BENCH_*.json>   bench artifact: provenance block
+//                                         plus a results/quantized row array
+//                                         (quantized rows are field-checked)
 //
 // Exit code 0 iff the file parses as JSON and matches the expected schema.
 // The JSON DOM/parser lives in tools/json_reader.h (shared with bench_diff
@@ -287,14 +290,75 @@ int CheckMetrics(const Json& root, bool require_hdr) {
   return 0;
 }
 
+/// BENCH_*.json artifact: a provenance object (git sha/date/host/flags
+/// strings, see bench::ProvenanceJson) plus at least one row array named
+/// "results" or "quantized". Rows must be objects; "quantized" rows (the
+/// compressed-search table) are field-checked: precision string, numeric
+/// rerank_factor / sim_qps / resident_bytes_per_vector, recall in [0, 1],
+/// and a positive byte count — so bench_diff never gates on a malformed
+/// artifact that happens to flatten to plausible paths.
+int CheckBench(const Json& root) {
+  if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
+  const Json* provenance = root.Get("provenance");
+  if (provenance == nullptr || !provenance->Is(Json::Kind::kObject)) {
+    return Complain("missing provenance object");
+  }
+  for (const auto& [key, value] : provenance->object) {
+    if (!IsString(value.get())) {
+      return Complain("provenance field is not a string");
+    }
+  }
+  std::size_t rows = 0;
+  std::size_t arrays = 0;
+  for (const char* section : {"results", "quantized"}) {
+    const Json* array = root.Get(section);
+    if (array == nullptr) continue;
+    if (!array->Is(Json::Kind::kArray)) {
+      return Complain("row section is not an array");
+    }
+    if (array->array.empty()) return Complain("row section is empty");
+    ++arrays;
+    for (const JsonPtr& row : array->array) {
+      if (!row->Is(Json::Kind::kObject)) {
+        return Complain("bench row is not an object");
+      }
+      ++rows;
+      if (std::strcmp(section, "quantized") != 0) continue;
+      if (!IsString(row->Get("precision"))) {
+        return Complain("quantized row missing precision string");
+      }
+      for (const char* key :
+           {"rerank_factor", "recall", "sim_qps",
+            "resident_bytes_per_vector"}) {
+        if (!IsNumber(row->Get(key))) {
+          return Complain(
+              (std::string("quantized row missing ") + key).c_str());
+        }
+      }
+      const double recall = row->Get("recall")->number;
+      if (recall < 0 || recall > 1) {
+        return Complain("quantized recall outside [0, 1]");
+      }
+      if (row->Get("resident_bytes_per_vector")->number <= 0) {
+        return Complain("quantized resident bytes not positive");
+      }
+    }
+  }
+  if (arrays == 0) return Complain("missing results/quantized row array");
+  std::printf("bench ok: %zu rows in %zu sections\n", rows, arrays);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3 || (std::strcmp(argv[1], "trace") != 0 &&
                     std::strcmp(argv[1], "metrics") != 0 &&
-                    std::strcmp(argv[1], "stats") != 0)) {
-    std::fprintf(stderr,
-                 "usage: schema_check <trace|metrics|stats> <file.json>\n");
+                    std::strcmp(argv[1], "stats") != 0 &&
+                    std::strcmp(argv[1], "bench") != 0)) {
+    std::fprintf(
+        stderr,
+        "usage: schema_check <trace|metrics|stats|bench> <file.json>\n");
     return 2;
   }
   std::string error;
@@ -304,5 +368,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (std::strcmp(argv[1], "trace") == 0) return CheckTrace(*root);
+  if (std::strcmp(argv[1], "bench") == 0) return CheckBench(*root);
   return CheckMetrics(*root, std::strcmp(argv[1], "stats") == 0);
 }
