@@ -84,7 +84,10 @@ std::string ProvenanceJson() {
   json += "\"git_sha\": \"" + field("GANNS_PROV_GIT_SHA") + "\", ";
   json += "\"date\": \"" + field("GANNS_PROV_DATE") + "\", ";
   json += "\"host\": \"" + field("GANNS_PROV_HOST") + "\", ";
-  json += "\"flags\": \"" + field("GANNS_PROV_FLAGS") + "\"}";
+  json += "\"flags\": \"" + field("GANNS_PROV_FLAGS") + "\", ";
+  json += "\"wall_seconds\": \"" + field("GANNS_PROV_WALL_SECONDS") + "\", ";
+  json += "\"telemetry_overhead\": \"" +
+          field("GANNS_PROV_TELEMETRY_OVERHEAD") + "\"}";
   return json;
 }
 

@@ -12,11 +12,42 @@ exec > bench_output.txt 2>&1
 
 # Provenance, stamped into every BENCH_*.json the binaries write (see
 # bench::ProvenanceJson), so a regression report names the commit, time,
-# host, and build flags that produced the numbers.
+# host, build flags, wall duration, and telemetry overhead that produced
+# the numbers.
 export GANNS_PROV_GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 export GANNS_PROV_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 export GANNS_PROV_HOST="$(hostname 2>/dev/null || echo unknown)"
 export GANNS_PROV_FLAGS="$(grep -E '^CMAKE_BUILD_TYPE|^GANNS_(TRACING|SANITIZE|NATIVE_ARCH)' build/CMakeCache.txt 2>/dev/null | tr '\n' ' ' || echo unknown)"
+
+# Telemetry overhead: the same tiny serve run with tracing+metrics on vs
+# off. The ratio compares *simulated* QPS, which instrumentation must never
+# move (it observes, it never charges cycles) — so this is expected to be
+# exactly 1.000000 and doubles as a standing end-to-end check of the
+# two-clock rule in every provenance block.
+telemetry_overhead() {
+  local extract='s/.*"sim_qps": \([0-9.][0-9.]*\).*/\1/p'
+  local off on
+  off=$(./build/tools/ganns serve-bench --n 2000 --queries 100 --shards 2 \
+          2>/dev/null | sed -n "$extract" | head -1)
+  on=$(./build/tools/ganns serve-bench --n 2000 --queries 100 --shards 2 \
+         --trace-out /tmp/ganns_prov_trace.json \
+         --stats-out /tmp/ganns_prov_stats.json \
+         2>/dev/null | sed -n "$extract" | head -1)
+  rm -f /tmp/ganns_prov_trace.json /tmp/ganns_prov_stats.json
+  if [ -n "$off" ] && [ -n "$on" ] && [ "$off" != "0" ]; then
+    awk -v on="$on" -v off="$off" 'BEGIN { printf "%.6f", on / off }'
+  else
+    echo unknown
+  fi
+}
+export GANNS_PROV_TELEMETRY_OVERHEAD="$(telemetry_overhead)"
+
+# Each binary writes wall_seconds as the "pending" placeholder; stamp_wall
+# replaces it with the measured duration once the binary has exited.
+export GANNS_PROV_WALL_SECONDS="pending"
+stamp_wall() { # <BENCH json> <start $SECONDS>
+  sed -i "s/\"wall_seconds\": \"pending\"/\"wall_seconds\": \"$((SECONDS - $2))\"/" "$1"
+}
 
 export GANNS_QUERIES=200
 export GANNS_SCALE=10000
@@ -41,19 +72,25 @@ done
 # Online serving engine: closed- and open-loop load over 1/2/4 shards on a
 # synthetic 100k x 128 corpus. Writes BENCH_serve.json.
 echo "===== bench/serve_throughput ====="
+t0=$SECONDS
 GANNS_SCALE=100000 GANNS_QUERIES=500 ./build/bench/serve_throughput BENCH_serve.json
+stamp_wall BENCH_serve.json $t0
 echo
 
 # Mutable index lifecycle: baseline / mixed insert+remove / post-compaction
 # phases over 1 and 2 shards. Writes BENCH_update.json.
 echo "===== bench/update_workload ====="
+t0=$SECONDS
 GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/update_workload BENCH_update.json
+stamp_wall BENCH_update.json $t0
 echo
 
 # Compressed search: exact float vs SQ8/PQ two-stage rows at a fixed
 # traversal budget, sweeping rerank_factor. Writes BENCH_quantized.json.
 echo "===== bench/quantized_sweep ====="
+t0=$SECONDS
 GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/quantized_sweep BENCH_quantized.json
+stamp_wall BENCH_quantized.json $t0
 echo
 
 echo "ALL_BENCHES_DONE"

@@ -93,7 +93,8 @@ std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const GannsParams& params, VertexId entry, GannsSearchStats* stats,
-    GannsQueryProfile* profile, const data::SearchQuantization* quant) {
+    GannsQueryProfile* profile, const data::SearchQuantization* quant,
+    graph::QueryHardness* hardness) {
   GANNS_CHECK(params.k >= 1);
   GANNS_CHECK(params.l_n >= params.k);
   GANNS_CHECK_MSG((params.l_n & (params.l_n - 1)) == 0,
@@ -134,6 +135,7 @@ std::vector<graph::Neighbor> GannsSearchOne(
   };
 
   result_array[0] = Slot{compute_distance(entry), entry, false};
+  if (hardness != nullptr) hardness->entry_distance = result_array[0].dist;
 
   PhaseTimer phases(block, profile != nullptr || block.tracing());
 
@@ -172,6 +174,9 @@ std::vector<graph::Neighbor> GannsSearchOne(
     warp.ChargeGlobalLoad(graph.d_max(), gpusim::CostCategory::kDataStructure);
     const auto neighbor_ids = graph.Neighbors(exploring);
     const std::size_t degree = graph.Degree(exploring);
+    if (hardness != nullptr && local.iterations == 1) {
+      hardness->early_fanout = static_cast<std::uint32_t>(degree);
+    }
     warp.ParallelFor(l_t, gpusim::CostCategory::kDataStructure,
                      warp.params().shared_access, [&](std::size_t i) {
                        visiting[i] = i < degree
@@ -283,6 +288,11 @@ std::vector<graph::Neighbor> GannsSearchOne(
   warp.cost().Charge(gpusim::CostCategory::kOther,
                      warp.StepsFor(params.k) * warp.params().global_transaction);
   if (stats != nullptr) stats->Add(local);
+  if (hardness != nullptr) {
+    hardness->visited =
+        static_cast<std::uint32_t>(local.distance_computations);
+    hardness->budget = static_cast<std::uint32_t>(l_n);
+  }
 
   if (profile != nullptr) {
     std::uint32_t occupancy = 0;

@@ -13,6 +13,7 @@
 #include "gpusim/device.h"
 #include "graph/beam_search.h"
 #include "graph/proximity_graph.h"
+#include "graph/query_hardness.h"
 #include "graph/search_result.h"
 
 namespace ganns {
@@ -91,12 +92,17 @@ struct GannsQueryProfile {
 /// (charged as the proportionally narrower load), and before emission the
 /// top rerank_factor * k live candidates of N get exact float distances and
 /// are re-sorted (graph::ExactRerank).
+///
+/// A non-null `hardness` receives the query-hardness signals (entry
+/// distance, first-hop fan-out, visited/budget) — observation only, nothing
+/// is charged and the result is unchanged.
 std::vector<graph::Neighbor> GannsSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const GannsParams& params, VertexId entry,
     GannsSearchStats* stats = nullptr, GannsQueryProfile* profile = nullptr,
-    const data::SearchQuantization* quant = nullptr);
+    const data::SearchQuantization* quant = nullptr,
+    graph::QueryHardness* hardness = nullptr);
 
 /// Batched GANNS search: one thread block per query, `block_lanes`
 /// cooperating threads per block. When `profiles` is non-null it is resized

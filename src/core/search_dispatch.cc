@@ -23,24 +23,25 @@ std::vector<graph::Neighbor> DispatchSearch(
     gpusim::BlockContext& block, SearchKernel kernel,
     const graph::ProximityGraph& graph, const data::Dataset& base,
     std::span<const float> query, std::size_t k, std::size_t budget,
-    VertexId entry, const data::SearchQuantization* quant) {
+    VertexId entry, const data::SearchQuantization* quant,
+    graph::QueryHardness* hardness) {
   if (budget < k) budget = k;
   if (kernel == SearchKernel::kGanns) {
     GannsParams params;
     params.k = k;
     params.l_n = gpusim::NextPow2(budget);
     return GannsSearchOne(block, graph, base, query, params, entry, nullptr,
-                          nullptr, quant);
+                          nullptr, quant, hardness);
   }
   if (kernel == SearchKernel::kBeam) {
     return graph::BeamSearch(graph, base, query, k, budget, entry, nullptr,
-                             kInvalidVertex, quant);
+                             kInvalidVertex, quant, hardness);
   }
   song::SongParams params;
   params.k = k;
   params.queue_size = budget;
   return song::SongSearchOne(block, graph, base, query, params, entry,
-                             nullptr, nullptr, quant);
+                             nullptr, nullptr, quant, hardness);
 }
 
 }  // namespace core

@@ -35,11 +35,16 @@ const char* SearchKernelName(SearchKernel kernel);
 /// `quant` (optional) threads the Precision knob into every kernel: when
 /// enabled, traversal distances come from the packed code array and results
 /// are exact-reranked before emission (the two-stage compressed path).
+///
+/// `hardness` (optional) receives the kernel's query-hardness signals
+/// (entry distance, first-hop fan-out, visited/budget) — pure observation,
+/// charged cycles and results are identical with or without it.
 std::vector<graph::Neighbor> DispatchSearch(
     gpusim::BlockContext& block, SearchKernel kernel,
     const graph::ProximityGraph& graph, const data::Dataset& base,
     std::span<const float> query, std::size_t k, std::size_t budget,
-    VertexId entry, const data::SearchQuantization* quant = nullptr);
+    VertexId entry, const data::SearchQuantization* quant = nullptr,
+    graph::QueryHardness* hardness = nullptr);
 
 }  // namespace core
 }  // namespace ganns

@@ -18,7 +18,8 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
                                  std::size_t ef, VertexId entry,
                                  BeamSearchStats* stats,
                                  VertexId restrict_to,
-                                 const data::SearchQuantization* quant) {
+                                 const data::SearchQuantization* quant,
+                                 QueryHardness* hardness) {
   GANNS_CHECK(k >= 1);
   GANNS_CHECK(entry < graph.num_vertices());
   if (ef < k) ef = k;
@@ -81,6 +82,9 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
     // not alter which candidates survive.
     const auto neighbor_ids = graph.Neighbors(closest.id);
     const std::size_t degree = graph.Degree(closest.id);
+    if (hardness != nullptr && local_stats.iterations == 1) {
+      hardness->early_fanout = static_cast<std::uint32_t>(degree);
+    }
     SearchScratch& scratch = ThreadLocalSearchScratch();
     scratch.ids.clear();
     for (std::size_t i = 0; i < degree; ++i) {
@@ -121,6 +125,12 @@ std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
   }
   if (results.size() > k) results.resize(k);
   if (stats != nullptr) stats->Add(local_stats);
+  if (hardness != nullptr) {
+    hardness->entry_distance = start.dist;
+    hardness->visited =
+        static_cast<std::uint32_t>(local_stats.distance_computations);
+    hardness->budget = static_cast<std::uint32_t>(ef);
+  }
   return results;
 }
 

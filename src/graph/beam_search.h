@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "data/quantize.h"
 #include "graph/proximity_graph.h"
+#include "graph/query_hardness.h"
 
 namespace ganns {
 namespace graph {
@@ -57,13 +58,18 @@ struct Neighbor {
 /// distances come from the packed codes and the top rerank_factor * k
 /// candidates get exact float distances before emission (graph/rerank.h).
 /// Construction callers leave it null — graphs are always built exact.
+///
+/// A non-null `hardness` receives the query-hardness signals (entry
+/// distance, first-hop fan-out, visited/budget) — observation only, never
+/// affects the result or the operation counts.
 std::vector<Neighbor> BeamSearch(const ProximityGraph& graph,
                                  const data::Dataset& base,
                                  std::span<const float> query, std::size_t k,
                                  std::size_t ef, VertexId entry,
                                  BeamSearchStats* stats = nullptr,
                                  VertexId restrict_to = kInvalidVertex,
-                                 const data::SearchQuantization* quant = nullptr);
+                                 const data::SearchQuantization* quant = nullptr,
+                                 QueryHardness* hardness = nullptr);
 
 }  // namespace graph
 }  // namespace ganns

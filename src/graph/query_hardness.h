@@ -1,0 +1,55 @@
+#ifndef GANNS_GRAPH_QUERY_HARDNESS_H_
+#define GANNS_GRAPH_QUERY_HARDNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ganns {
+namespace graph {
+
+/// Per-query hardness signals, filled by every search kernel from values it
+/// already computes — collecting them charges no simulated cycles and never
+/// changes which neighbors a query returns. The serving layer exports them
+/// as hardness-vs-latency exemplar pairs; they are the observable a budget
+/// autotuner conditions on (a far entry point, a bushy first hop, or a
+/// traversal that exhausts its budget all predict a slow request).
+struct QueryHardness {
+  /// Distance from the query to the search entry point (the first distance
+  /// every kernel charges). Code distance on compressed shards.
+  Dist entry_distance = 0;
+  /// Out-degree of the first expanded vertex — the early frontier fan-out.
+  std::uint32_t early_fanout = 0;
+  /// Distance evaluations over the whole search (traversal plus rerank).
+  std::uint32_t visited = 0;
+  /// Candidate-pool budget the kernel ran with (l_n / queue_size / ef).
+  std::uint32_t budget = 0;
+
+  /// How much of the candidate budget the traversal consumed; > 1 means the
+  /// walk revisited or overflowed its pool (a hard query).
+  double VisitedBudgetRatio() const {
+    return budget == 0 ? 0.0
+                       : static_cast<double>(visited) /
+                             static_cast<double>(budget);
+  }
+
+  /// Folds one shard's signals into a per-request aggregate: the nearest
+  /// shard entry, the bushiest first hop, and summed visited/budget (each
+  /// shard spends its own slice of the request budget). Order-independent.
+  void MergeShard(const QueryHardness& shard) {
+    if (visited == 0 && budget == 0) {
+      entry_distance = shard.entry_distance;
+    } else {
+      entry_distance = std::min(entry_distance, shard.entry_distance);
+    }
+    early_fanout = std::max(early_fanout, shard.early_fanout);
+    visited += shard.visited;
+    budget += shard.budget;
+  }
+};
+
+}  // namespace graph
+}  // namespace ganns
+
+#endif  // GANNS_GRAPH_QUERY_HARDNESS_H_

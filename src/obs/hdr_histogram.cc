@@ -92,6 +92,68 @@ std::uint64_t HdrHistogram::HighestEquivalent(std::uint64_t value) {
   return BucketUpperBound(BucketIndex(value));
 }
 
+HdrHistogram::BucketSnapshot HdrHistogram::SnapshotBuckets() const {
+  BucketSnapshot snapshot;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      snapshot.buckets.emplace_back(static_cast<std::uint32_t>(i), n);
+      snapshot.count += n;
+    }
+  }
+  snapshot.sum = sum();
+  return snapshot;
+}
+
+namespace {
+
+/// Walks the per-bucket deltas of two sparse cumulative snapshots in index
+/// order (bucket counts are monotone, so cur >= prev element-wise).
+template <typename Visit>
+void ForEachBucketDelta(const HdrHistogram::BucketSnapshot& cur,
+                        const HdrHistogram::BucketSnapshot& prev,
+                        Visit&& visit) {
+  std::size_t p = 0;
+  for (const auto& [index, count] : cur.buckets) {
+    while (p < prev.buckets.size() && prev.buckets[p].first < index) ++p;
+    const std::uint64_t before =
+        (p < prev.buckets.size() && prev.buckets[p].first == index)
+            ? prev.buckets[p].second
+            : 0;
+    if (count > before) visit(index, count - before);
+  }
+}
+
+}  // namespace
+
+std::uint64_t HdrHistogram::DeltaCount(const BucketSnapshot& cur,
+                                       const BucketSnapshot& prev) {
+  std::uint64_t total = 0;
+  ForEachBucketDelta(cur, prev,
+                     [&](std::uint32_t, std::uint64_t n) { total += n; });
+  return total;
+}
+
+std::uint64_t HdrHistogram::DeltaQuantile(const BucketSnapshot& cur,
+                                          const BucketSnapshot& prev,
+                                          double q) {
+  const std::uint64_t total = DeltaCount(cur, prev);
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  std::uint64_t result = 0;
+  ForEachBucketDelta(cur, prev, [&](std::uint32_t index, std::uint64_t n) {
+    if (cumulative < rank) {
+      cumulative += n;
+      if (cumulative >= rank) result = BucketUpperBound(index);
+    }
+  });
+  return result;
+}
+
 void HdrHistogram::MergeFrom(const HdrHistogram& other) {
   GANNS_CHECK(&other != this);
   for (std::size_t i = 0; i < buckets_.size(); ++i) {

@@ -73,6 +73,33 @@ class HdrHistogram {
   /// representative every sample in that bucket reports as.
   static std::uint64_t HighestEquivalent(std::uint64_t value);
 
+  /// Cumulative bucket state at one instant, stored sparsely: (bucket index,
+  /// cumulative count) for every non-empty bucket, ascending by index. Two
+  /// snapshots of the same histogram bracket a time window; the Delta*
+  /// helpers answer quantile questions about exactly the samples recorded
+  /// between them without the histogram ever being reset.
+  struct BucketSnapshot {
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  /// Copies the current bucket state. Safe under concurrent recording
+  /// (relaxed reads); a racing Record may or may not be included.
+  BucketSnapshot SnapshotBuckets() const;
+
+  /// Samples recorded between `prev` and `cur` (sum of bucket deltas, so it
+  /// is internally consistent even if the aggregates raced).
+  static std::uint64_t DeltaCount(const BucketSnapshot& cur,
+                                  const BucketSnapshot& prev);
+
+  /// Nearest-rank quantile of the samples recorded between `prev` and `cur`,
+  /// reported as the bucket upper bound (same resolution contract as
+  /// ValueAtQuantile). 0 when the window is empty. `prev` may be empty
+  /// (process start).
+  static std::uint64_t DeltaQuantile(const BucketSnapshot& cur,
+                                     const BucketSnapshot& prev, double q);
+
   /// Adds every bucket count, the aggregates, and the exemplars of `other`
   /// into this histogram. Deterministic: merging a fixed set of histograms
   /// yields identical state in any merge order.

@@ -159,6 +159,25 @@ void MetricsRegistry::Reset() {
   for (auto& [name, hdr] : state.hdr) hdr->Reset();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(state.gauges.size());
+  for (const auto& [name, gauge] : state.gauges) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.hdr.reserve(state.hdr.size());
+  for (const auto& [name, hdr] : state.hdr) {
+    snapshot.hdr.emplace_back(name, hdr->SnapshotBuckets());
+  }
+  return snapshot;
+}
+
 std::string MetricsRegistry::ToJson() const {
   RegistryState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);

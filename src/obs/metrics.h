@@ -79,6 +79,16 @@ class Histogram {
 /// lengths, and per-query distance evaluations at every scale we run).
 std::span<const std::uint64_t> Pow2Bounds();
 
+/// One instant's view of every counter, gauge, and HDR histogram in the
+/// registry, name-sorted. The time-series collector diffs consecutive
+/// snapshots into windowed deltas; HDR entries carry full sparse bucket
+/// state so window quantiles are exact (HdrHistogram::DeltaQuantile).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HdrHistogram::BucketSnapshot>> hdr;
+};
+
 /// Process-wide named-metric registry. Get* interns the metric on first use
 /// and returns a reference that stays valid for the process lifetime;
 /// callers cache it in a static local so the hot path is one atomic add.
@@ -98,6 +108,11 @@ class MetricsRegistry {
 
   /// Zeroes every registered metric (entries and references survive).
   void Reset();
+
+  /// Name-sorted copy of every counter/gauge/HDR value. Deterministic in
+  /// the recorded values: the ordering comes from the name-sorted registry
+  /// maps, never from registration or thread order.
+  MetricsSnapshot Snapshot() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{...},"hdr":{...}} with
   /// keys sorted. Every hdr entry carries count/sum/min/max/mean, the

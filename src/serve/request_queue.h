@@ -1,9 +1,11 @@
 #ifndef GANNS_SERVE_REQUEST_QUEUE_H_
 #define GANNS_SERVE_REQUEST_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -43,15 +45,25 @@ class BoundedQueue {
   }
 
   /// Non-blocking admission: enqueues and returns kOk, or reports why not.
+  /// Every kFull rejection increments dropped() — the queue itself accounts
+  /// for its losses, so no caller can discard silently.
   PushResult Push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return PushResult::kClosed;
-      if (items_.size() >= capacity_) return PushResult::kFull;
+      if (items_.size() >= capacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return PushResult::kFull;
+      }
       items_.push_back(std::move(item));
     }
     ready_.notify_one();
     return PushResult::kOk;
+  }
+
+  /// Lifetime count of pushes rejected with kFull.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
   /// Blocks until an item is available (kItem) or the queue is closed and
@@ -99,6 +111,7 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<T> items_;

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/flight_recorder.h"
 #include "serve/micro_batcher.h"
 
 namespace ganns {
@@ -24,6 +25,18 @@ QueryResponse TerminalResponse(std::uint64_t id, StatusCode status) {
   response.id = id;
   response.status = status;
   return response;
+}
+
+/// The request's total latency budget in whole microseconds (admission to
+/// deadline), or 0 when it carries no deadline. Clamped at zero: a request
+/// admitted already past its deadline has no budget, not a negative one.
+std::uint64_t DeadlineBudgetMicros(ServeClock::time_point admitted_at,
+                                   ServeClock::time_point deadline) {
+  if (deadline == ServeClock::time_point::max()) return 0;
+  const double budget_us =
+      std::chrono::duration<double, std::micro>(deadline - admitted_at)
+          .count();
+  return budget_us > 0 ? static_cast<std::uint64_t>(budget_us) : 0;
 }
 
 /// Interned names of every serving-trace event, resolved once per process.
@@ -78,16 +91,19 @@ obs::TraceEvent MakeServeInstant(obs::NameId name, std::int32_t tid,
   return event;
 }
 
-/// Emits the span tree of a request that never reached a kernel: a
+/// Builds the span tree of a request that never reached a kernel: a
 /// serve.request root closed at `end_us` with a terminal instant
 /// (serve.rejected / serve.expired / serve.shutdown) at its end, plus the
 /// queue-wait span when the request did queue (`formed_us` >= 0). Terminal
 /// trees never contain fan-out, shard, or merge spans — asserted by
-/// serve_test and schema_check.
-void EmitTerminalTree(std::uint64_t id, const TraceContext& trace,
-                      obs::NameId terminal, double end_us,
-                      double formed_us = -1.0) {
-  if (!trace.sampled) return;
+/// serve_test and schema_check. Shared between head sampling (tree goes to
+/// the trace now) and the flight recorder (tree is kept, flushed only on
+/// violation).
+std::vector<obs::TraceEvent> BuildTerminalTree(std::uint64_t id,
+                                               const TraceContext& trace,
+                                               obs::NameId terminal,
+                                               double end_us,
+                                               double formed_us = -1.0) {
   const ServeTraceNames& names = TraceNames();
   const std::int32_t tid = obs::ServeRequestTrack(id);
   std::vector<obs::TraceEvent> events;
@@ -100,7 +116,15 @@ void EmitTerminalTree(std::uint64_t id, const TraceContext& trace,
   }
   events.push_back(
       MakeServeInstant(terminal, tid, events.front().ts + events.front().dur));
-  obs::TraceRecorder::Global().AddBatch(std::move(events));
+  return events;
+}
+
+void EmitTerminalTree(std::uint64_t id, const TraceContext& trace,
+                      obs::NameId terminal, double end_us,
+                      double formed_us = -1.0) {
+  if (!trace.sampled) return;
+  obs::TraceRecorder::Global().AddBatch(
+      BuildTerminalTree(id, trace, terminal, end_us, formed_us));
 }
 
 }  // namespace
@@ -136,7 +160,14 @@ ServeEngine::ServeEngine(ShardedIndex& index, ServeOptions options)
                           ? options.trace_sample
                           : ParseTraceSample(
                                 std::getenv("GANNS_TRACE_SAMPLE"))),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity) {
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    queue_depth_gauge_ = &registry.GetGauge("serve.queue_depth");
+    registry.GetGauge("serve.queue_capacity")
+        .Set(static_cast<double>(options_.queue_capacity));
+  }
+}
 
 ServeEngine::~ServeEngine() { Shutdown(); }
 
@@ -154,20 +185,30 @@ void ServeEngine::Start() {
 
 std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
   const std::uint64_t id = request.id;
+  // Captured before Push may consume (and destroy) the request: terminal
+  // flight records still need the deadline budget and admission anchor.
+  const ServeClock::time_point deadline = request.deadline;
   Pending pending;
   pending.request = std::move(request);
   pending.admitted_at = ServeClock::now();
+  const ServeClock::time_point admitted_at = pending.admitted_at;
   // Sampling is deterministic in the request id, so a given id is either
   // always traced or never traced across runs with the same sample period.
   // Untraced requests take the single modulo below and nothing else.
   pending.trace.sampled =
       obs::TracingEnabled() && (id % trace_sample_n_ == 0);
-  if (pending.trace.sampled) pending.trace.submit_us = WallSpanNow() * 1e6;
+  pending.trace.flight = FlightRecorder::Global().enabled();
+  if (pending.trace.sampled || pending.trace.flight) {
+    pending.trace.submit_us = WallSpanNow() * 1e6;
+  }
   const TraceContext trace = pending.trace;
   std::future<QueryResponse> future = pending.promise.get_future();
 
   switch (queue_.Push(std::move(pending))) {
     case BoundedQueue<Pending>::PushResult::kOk: {
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      }
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.admitted;
       if (obs::MetricsEnabled()) {
@@ -181,11 +222,28 @@ std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
       std::promise<QueryResponse> rejected;
       future = rejected.get_future();
       rejected.set_value(TerminalResponse(id, StatusCode::kRejected));
-      EmitTerminalTree(id, trace, TraceNames().rejected, WallSpanNow() * 1e6);
+      const double end_us =
+          (trace.sampled || trace.flight) ? WallSpanNow() * 1e6 : 0.0;
+      EmitTerminalTree(id, trace, TraceNames().rejected, end_us);
+      if (trace.flight) {
+        FlightRequest record;
+        record.id = id;
+        record.status = StatusCode::kRejected;
+        record.latency_us = std::max(0.0, end_us - trace.submit_us);
+        record.deadline_us = DeadlineBudgetMicros(admitted_at, deadline);
+        record.sampled = trace.sampled;
+        record.spans =
+            BuildTerminalTree(id, trace, TraceNames().rejected, end_us);
+        FlightRecorder::Global().RecordRequest(std::move(record));
+      }
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++counters_.rejected;
       if (obs::MetricsEnabled()) {
-        obs::MetricsRegistry::Global().GetCounter("serve.rejected").Add();
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+        registry.GetCounter("serve.rejected").Add();
+        // Mirror of BoundedQueue::dropped(): the queue's own overwrite/drop
+        // accounting, surfaced where scrapers can see it.
+        registry.GetCounter("serve.queue.dropped").Add();
       }
       return future;
     }
@@ -194,7 +252,22 @@ std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
       std::promise<QueryResponse> closed;
       future = closed.get_future();
       closed.set_value(TerminalResponse(id, StatusCode::kShutdown));
-      EmitTerminalTree(id, trace, TraceNames().shutdown, WallSpanNow() * 1e6);
+      const double end_us =
+          (trace.sampled || trace.flight) ? WallSpanNow() * 1e6 : 0.0;
+      EmitTerminalTree(id, trace, TraceNames().shutdown, end_us);
+      if (trace.flight) {
+        // Shutdown is a lifecycle outcome, never a violation; recorded so
+        // the ring tells the whole story of the run's tail.
+        FlightRequest record;
+        record.id = id;
+        record.status = StatusCode::kShutdown;
+        record.latency_us = std::max(0.0, end_us - trace.submit_us);
+        record.deadline_us = DeadlineBudgetMicros(admitted_at, deadline);
+        record.sampled = trace.sampled;
+        record.spans =
+            BuildTerminalTree(id, trace, TraceNames().shutdown, end_us);
+        FlightRecorder::Global().RecordRequest(std::move(record));
+      }
       return future;
     }
   }
@@ -230,11 +303,17 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
   const ServeClock::time_point formed_at = ServeClock::now();
   const bool metrics = obs::MetricsEnabled();
   const bool tracing = obs::TracingEnabled();
+  FlightRecorder& flight_recorder = FlightRecorder::Global();
+  const bool flight = flight_recorder.enabled();
   // Batch-formation timestamp on the wall-span timeline, read only when
-  // tracing so untraced runs skip every extra clock read in this function.
-  const double formed_us = tracing ? WallSpanNow() * 1e6 : 0.0;
+  // some observer (trace or flight recorder) consumes it so bare runs skip
+  // every extra clock read in this function.
+  const double formed_us = (tracing || flight) ? WallSpanNow() * 1e6 : 0.0;
   obs::MetricsRegistry* registry =
       metrics ? &obs::MetricsRegistry::Global() : nullptr;
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
 
   // Partition out requests whose deadline passed while they queued: they
   // are answered kDeadlineExceeded and never occupy a kernel slot (the
@@ -246,13 +325,28 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
   std::uint64_t expired = 0;
   for (Pending& pending : batch) {
     if (pending.request.deadline <= formed_at) {
+      const double queue_wait_us = MicrosSince(pending.admitted_at, formed_at);
       QueryResponse response =
           TerminalResponse(pending.request.id, StatusCode::kDeadlineExceeded);
-      response.queue_wait_us = MicrosSince(pending.admitted_at, formed_at);
-      response.latency_us = response.queue_wait_us;
+      response.queue_wait_us = queue_wait_us;
+      response.latency_us = queue_wait_us;
       pending.promise.set_value(std::move(response));
       EmitTerminalTree(pending.request.id, pending.trace,
                        TraceNames().expired, formed_us, formed_us);
+      if (pending.trace.flight) {
+        FlightRequest record;
+        record.id = pending.request.id;
+        record.status = StatusCode::kDeadlineExceeded;
+        record.latency_us = queue_wait_us;
+        record.queue_wait_us = queue_wait_us;
+        record.deadline_us = DeadlineBudgetMicros(pending.admitted_at,
+                                                  pending.request.deadline);
+        record.sampled = pending.trace.sampled;
+        record.spans =
+            BuildTerminalTree(pending.request.id, pending.trace,
+                              TraceNames().expired, formed_us, formed_us);
+        flight_recorder.RecordRequest(std::move(record));
+      }
       ++expired;
     } else {
       live.push_back(std::move(pending));
@@ -283,8 +377,41 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
   }
 
   const ServeClock::time_point done_at = ServeClock::now();
-  const double done_us = tracing ? WallSpanNow() * 1e6 : 0.0;
+  const double done_us = (tracing || flight) ? WallSpanNow() * 1e6 : 0.0;
   const auto batch_size = static_cast<std::uint32_t>(live.size());
+
+  // Batch-level view: one span on the batcher track plus one per shard
+  // kernel, mirroring what each sampled request sees from its own track.
+  // Built once; the trace gets a copy when tracing, the flight recorder
+  // keeps it as the violators' surrounding batch context when recording.
+  std::vector<obs::TraceEvent> batch_events;
+  if (tracing || flight) {
+    const ServeTraceNames& names = TraceNames();
+    batch_events.push_back(MakeServeSpan(names.batch, obs::kServeBatcherTrack,
+                                         formed_us, done_us,
+                                         static_cast<std::int64_t>(batch_size),
+                                         names.arg_batch));
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      batch_events.push_back(MakeServeSpan(
+          names.shard_search,
+          obs::FirstServeShardTrack() + static_cast<int>(s),
+          stats.shards[s].start_us, stats.shards[s].end_us,
+          static_cast<std::int64_t>(s), names.arg_shard));
+    }
+  }
+  std::uint64_t batch_seq = 0;
+  if (flight) {
+    // Record the batch context before any of its requests, so a violator's
+    // retroactive persist always finds its batch in the ring.
+    batch_seq = ++batch_seq_;
+    FlightBatch context;
+    context.seq = batch_seq;
+    context.size = batch_size;
+    context.traced = tracing;
+    context.spans = tracing ? batch_events : std::move(batch_events);
+    flight_recorder.RecordBatch(std::move(context));
+  }
+
   std::vector<obs::TraceEvent> events;
   for (std::size_t i = 0; i < live.size(); ++i) {
     QueryResponse response;
@@ -294,6 +421,8 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
     response.queue_wait_us = MicrosSince(live[i].admitted_at, formed_at);
     response.latency_us = MicrosSince(live[i].admitted_at, done_at);
     response.batch_size = batch_size;
+    const bool have_hardness = i < stats.hardness.size() &&
+                               stats.hardness[i].budget > 0;
     if (metrics) {
       registry->GetHdr("serve.queue_wait_us")
           .Record(static_cast<std::uint64_t>(
@@ -304,27 +433,43 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
           .RecordWithExemplar(
               static_cast<std::uint64_t>(std::max(0.0, response.latency_us)),
               response.id);
+      if (have_hardness) {
+        registry->GetHistogram("serve.hardness.visited")
+            .Record(stats.hardness[i].visited);
+        registry->GetHistogram("serve.hardness.early_fanout")
+            .Record(stats.hardness[i].early_fanout);
+      }
+    }
+    // One tree build serves both consumers: head sampling copies it into
+    // the trace now; the flight recorder keeps it and flushes only if this
+    // request turns out to violate its SLO.
+    std::vector<obs::TraceEvent> tree;
+    if (live[i].trace.sampled || live[i].trace.flight) {
+      AppendRequestTree(tree, live[i], stats, formed_us, done_us);
     }
     if (live[i].trace.sampled) {
-      AppendRequestTree(events, live[i], stats, formed_us, done_us);
+      events.insert(events.end(), tree.begin(), tree.end());
+    }
+    if (live[i].trace.flight) {
+      FlightRequest record;
+      record.id = response.id;
+      record.status = StatusCode::kOk;
+      record.latency_us = response.latency_us;
+      record.queue_wait_us = response.queue_wait_us;
+      record.deadline_us = DeadlineBudgetMicros(live[i].admitted_at,
+                                                live[i].request.deadline);
+      record.batch_seq = batch_seq;
+      record.batch_size = batch_size;
+      record.hardness_valid = have_hardness;
+      if (have_hardness) record.hardness = stats.hardness[i];
+      record.sampled = live[i].trace.sampled;
+      record.spans = std::move(tree);
+      flight_recorder.RecordRequest(std::move(record));
     }
     live[i].promise.set_value(std::move(response));
   }
   if (tracing) {
-    const ServeTraceNames& names = TraceNames();
-    // Batch-level view: one span on the batcher track plus one per shard
-    // kernel, mirroring what each sampled request sees from its own track.
-    events.push_back(MakeServeSpan(names.batch, obs::kServeBatcherTrack,
-                                   formed_us, done_us,
-                                   static_cast<std::int64_t>(batch_size),
-                                   names.arg_batch));
-    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
-      events.push_back(MakeServeSpan(
-          names.shard_search,
-          obs::FirstServeShardTrack() + static_cast<int>(s),
-          stats.shards[s].start_us, stats.shards[s].end_us,
-          static_cast<std::int64_t>(s), names.arg_shard));
-    }
+    events.insert(events.end(), batch_events.begin(), batch_events.end());
   }
   if (!events.empty()) {
     obs::TraceRecorder::Global().AddBatch(std::move(events));

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/request_queue.h"
 #include "serve/shard_router.h"
@@ -103,6 +104,16 @@ class ServeEngine {
   const std::uint64_t trace_sample_n_;
   BoundedQueue<Pending> queue_;
   std::thread batcher_;
+
+  /// Admission-queue depth gauge, resolved once at construction when
+  /// metrics are on (nullptr otherwise) so the submit path pays one atomic
+  /// store, not a registry lookup.
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+
+  /// Monotonic micro-batch sequence (batcher-thread only); keys flight
+  /// recorder batch contexts to the requests they served. Starts at 1 —
+  /// 0 means "never reached a batch".
+  std::uint64_t batch_seq_ = 0;
 
   mutable std::mutex stats_mutex_;
   ServeCounters counters_;

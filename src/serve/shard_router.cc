@@ -215,7 +215,8 @@ ShardedIndex ShardedIndex::Build(const data::Dataset& base,
 double ShardedIndex::SearchShard(std::size_t s,
                                  std::span<const RoutedQuery> queries,
                                  core::SearchKernel kernel,
-                                 std::span<std::vector<graph::Neighbor>> rows) {
+                                 std::span<std::vector<graph::Neighbor>> rows,
+                                 std::span<graph::QueryHardness> hardness) {
   Shard& shard = *shards_[s];
   // Pin the shard's current epoch for the whole launch: concurrent writers
   // publish replacement snapshots but never mutate a published one, so the
@@ -246,7 +247,8 @@ double ShardedIndex::SearchShard(std::size_t s,
                 : snap->entry;
         rows[q] = core::DispatchSearch(
             block, kernel, bottom, base, request.query, request.k,
-            PerShardBudget(request.budget, request.k), entry, quant_ptr);
+            PerShardBudget(request.budget, request.k), entry, quant_ptr,
+            hardness.empty() ? nullptr : &hardness[q]);
         // Rebase shard-local slots onto the global numbering.
         for (graph::Neighbor& neighbor : rows[q]) {
           neighbor.id = global_ids[neighbor.id];
@@ -265,6 +267,13 @@ std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchBatch(
   std::vector<std::vector<std::vector<graph::Neighbor>>> per_shard(num_shards);
   for (auto& rows : per_shard) rows.resize(num_queries);
   std::vector<double> shard_cycles(num_shards, 0.0);
+  // Per-(shard, query) hardness signals, collected whenever the caller wants
+  // stats. Each shard task writes only its own rows; aggregated post-join.
+  std::vector<std::vector<graph::QueryHardness>> per_shard_hardness;
+  if (stats != nullptr) {
+    per_shard_hardness.resize(num_shards);
+    for (auto& h : per_shard_hardness) h.resize(num_queries);
+  }
 
   // Stage timestamps for request tracing: cheap clock reads (a handful per
   // batch), taken regardless of sampling so the engine can project them
@@ -281,7 +290,10 @@ std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchBatch(
   // serving in parallel.
   ThreadPool::Global().ParallelFor(num_shards, [&](std::size_t s) {
     const double start_us = WallSpanNow() * 1e6;
-    shard_cycles[s] = SearchShard(s, queries, kernel, per_shard[s]);
+    shard_cycles[s] = SearchShard(
+        s, queries, kernel, per_shard[s],
+        stats != nullptr ? std::span<graph::QueryHardness>(per_shard_hardness[s])
+                         : std::span<graph::QueryHardness>{});
     if (stats != nullptr) {
       // Each task writes only its own slot; read after the join.
       stats->shards[s] = {start_us, WallSpanNow() * 1e6, shard_cycles[s]};
@@ -294,6 +306,16 @@ std::vector<std::vector<graph::Neighbor>> ShardedIndex::SearchBatch(
         *std::max_element(shard_cycles.begin(), shard_cycles.end());
     stats->sim_seconds = shards_[0]->device->CyclesToSeconds(stats->sim_cycles);
     stats->merge_start_us = stats->fanout_end_us;
+    // Shard-order aggregation (never completion order), skipping shards that
+    // ran no kernel (every point deleted: budget stays 0).
+    stats->hardness.assign(num_queries, graph::QueryHardness{});
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const graph::QueryHardness& shard = per_shard_hardness[s][q];
+        if (shard.budget == 0) continue;
+        stats->hardness[q].MergeShard(shard);
+      }
+    }
   }
 
   std::vector<std::vector<graph::Neighbor>> merged(num_queries);

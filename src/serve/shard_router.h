@@ -21,6 +21,7 @@
 #include "gpusim/device.h"
 #include "graph/hnsw.h"
 #include "graph/proximity_graph.h"
+#include "graph/query_hardness.h"
 #include "serve/types.h"
 
 namespace ganns {
@@ -98,6 +99,11 @@ struct RouteStats {
   double merge_end_us = 0;
   /// One entry per shard, indexed by shard number.
   std::vector<ShardSpan> shards;
+
+  /// Per-query hardness signals, aggregated across shards (nearest shard
+  /// entry, bushiest first hop, summed visited/budget), indexed by query.
+  /// Filled from values the kernels already compute — zero charged cycles.
+  std::vector<graph::QueryHardness> hardness;
 };
 
 /// A dataset split into `num_shards` contiguous partitions, each carrying
@@ -284,9 +290,12 @@ class ShardedIndex {
 
   /// Runs one shard's batch as a single simulated kernel launch, writing
   /// global-id rows into rows[q]. Returns the launch's simulated cycles.
+  /// `hardness` (optional, one slot per query when non-empty) receives this
+  /// shard's per-query hardness signals.
   double SearchShard(std::size_t s, std::span<const RoutedQuery> queries,
                      core::SearchKernel kernel,
-                     std::span<std::vector<graph::Neighbor>> rows);
+                     std::span<std::vector<graph::Neighbor>> rows,
+                     std::span<graph::QueryHardness> hardness = {});
 
   static std::unique_ptr<Shard> BuildShard(const data::Dataset& base,
                                            VertexId begin, VertexId end,

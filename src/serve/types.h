@@ -63,7 +63,12 @@ struct TraceContext {
   /// Whether this request emits a span tree. Decided deterministically at
   /// submission: tracing enabled and request id % sample_n == 0.
   bool sampled = false;
+  /// Whether the flight recorder is capturing this request (all requests
+  /// while it is enabled). Span trees are then built regardless of head
+  /// sampling, but only flushed to the trace on an SLO violation.
+  bool flight = false;
   /// Submission timestamp on the obs wall-span timeline (microseconds).
+  /// Stamped when sampled or flight-recorded.
   double submit_us = 0;
 };
 

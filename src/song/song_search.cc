@@ -85,7 +85,8 @@ std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const SongParams& params, VertexId entry, SongSearchStats* stats,
-    SongQueryProfile* profile, const data::SearchQuantization* quant) {
+    SongQueryProfile* profile, const data::SearchQuantization* quant,
+    graph::QueryHardness* hardness) {
   GANNS_CHECK(params.k >= 1);
   GANNS_CHECK(params.queue_size >= params.k);
   GANNS_CHECK(entry < graph.num_vertices());
@@ -144,6 +145,7 @@ std::vector<graph::Neighbor> SongSearchOne(
   };
 
   const Dist entry_dist = compute_distance(entry);
+  if (hardness != nullptr) hardness->entry_distance = entry_dist;
   candidates.InsertBounded({entry_dist, entry});
   visited->Insert(entry);
   charge_host_ops();
@@ -179,6 +181,9 @@ std::vector<graph::Neighbor> SongSearchOne(
                           gpusim::CostCategory::kDataStructure);
     const auto neighbor_ids = graph.Neighbors(closest.id);
     const std::size_t degree = graph.Degree(closest.id);
+    if (hardness != nullptr && local.iterations == 1) {
+      hardness->early_fanout = static_cast<std::uint32_t>(degree);
+    }
     std::size_t num_cand = 0;
     for (std::size_t i = 0; i < degree; ++i) {
       const VertexId u = neighbor_ids[i];
@@ -259,6 +264,11 @@ std::vector<graph::Neighbor> SongSearchOne(
   }
   if (sorted.size() > params.k) sorted.resize(params.k);
   if (stats != nullptr) stats->Add(local);
+  if (hardness != nullptr) {
+    hardness->visited =
+        static_cast<std::uint32_t>(local.distance_computations);
+    hardness->budget = static_cast<std::uint32_t>(params.queue_size);
+  }
   if (profile != nullptr) {
     profile->hops = static_cast<std::uint32_t>(local.iterations);
     profile->distance_computations =

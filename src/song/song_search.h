@@ -13,6 +13,7 @@
 #include "gpusim/device.h"
 #include "graph/beam_search.h"
 #include "graph/proximity_graph.h"
+#include "graph/query_hardness.h"
 #include "graph/search_result.h"
 #include "song/visited.h"
 
@@ -72,12 +73,17 @@ struct SongQueryProfile {
 /// A non-null enabled `quant` switches the traversal to approximate code
 /// distances (narrower simulated loads) with an exact float rerank of the
 /// top rerank_factor * k candidates before emission.
+///
+/// A non-null `hardness` receives the query-hardness signals (entry
+/// distance, first-hop fan-out, visited/budget) — observation only, nothing
+/// is charged and the result is unchanged.
 std::vector<graph::Neighbor> SongSearchOne(
     gpusim::BlockContext& block, const graph::ProximityGraph& graph,
     const data::Dataset& base, std::span<const float> query,
     const SongParams& params, VertexId entry,
     SongSearchStats* stats = nullptr, SongQueryProfile* profile = nullptr,
-    const data::SearchQuantization* quant = nullptr);
+    const data::SearchQuantization* quant = nullptr,
+    graph::QueryHardness* hardness = nullptr);
 
 /// Batched SONG search: one thread block per query (inter-block
 /// parallelism), `block_lanes` cooperating threads per block. When

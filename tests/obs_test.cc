@@ -21,6 +21,7 @@
 #include "graph/diagnostics.h"
 #include "obs/hdr_histogram.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "song/song_search.h"
 
@@ -501,6 +502,189 @@ TEST_F(ObsTest, RegistryHdrExportsJsonAndPrometheus) {
             std::string::npos);
   EXPECT_NE(prom.find("ganns_test_obs_hdr_export_count 100"),
             std::string::npos);
+}
+
+std::uint64_t WindowCounterDelta(const WindowSample& window,
+                                 const std::string& name) {
+  for (const auto& [counter, delta] : window.counter_deltas) {
+    if (counter == name) return delta;
+  }
+  return 0;
+}
+
+const WindowSample::HdrWindow* FindHdrWindow(const WindowSample& window,
+                                             const std::string& name) {
+  for (const WindowSample::HdrWindow& hdr : window.hdr) {
+    if (hdr.name == name) return &hdr;
+  }
+  return nullptr;
+}
+
+double WindowGauge(const WindowSample& window, const std::string& name) {
+  for (const auto& [gauge, value] : window.gauges) {
+    if (gauge == name) return value;
+  }
+  return -1.0;
+}
+
+TEST_F(ObsTest, TimeSeriesWindowsAreCumulativeDeltas) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.obs.ts_counter");
+  HdrHistogram& hdr = registry.GetHdr("test.obs.ts_hdr");
+  hdr.Reset();
+
+  TimeSeriesCollector collector;
+  counter.Add(3);
+  hdr.Record(100);
+  hdr.Record(200);
+  const WindowSample first = collector.Tick();
+  // The first window deltas against zero: it sees the full cumulative value.
+  EXPECT_EQ(first.seq, 0u);
+  EXPECT_EQ(first.interval_us, 0.0);
+  EXPECT_EQ(WindowCounterDelta(first, "test.obs.ts_counter"), 3u);
+  const WindowSample::HdrWindow* window_hdr =
+      FindHdrWindow(first, "test.obs.ts_hdr");
+  ASSERT_NE(window_hdr, nullptr);
+  EXPECT_EQ(window_hdr->count, 2u);
+  EXPECT_EQ(window_hdr->total_count, 2u);
+  // Values below 256 land in exact buckets, so the quantiles are exact.
+  EXPECT_EQ(window_hdr->p50, 100u);
+  EXPECT_EQ(window_hdr->max, 200u);
+
+  counter.Add(5);
+  hdr.Record(40);
+  const WindowSample second = collector.Tick();
+  // The second window must report only what happened since the first cut —
+  // even though the underlying metrics are cumulative and never reset.
+  EXPECT_EQ(second.seq, 1u);
+  EXPECT_GT(second.interval_us, 0.0);
+  EXPECT_EQ(WindowCounterDelta(second, "test.obs.ts_counter"), 5u);
+  window_hdr = FindHdrWindow(second, "test.obs.ts_hdr");
+  ASSERT_NE(window_hdr, nullptr);
+  EXPECT_EQ(window_hdr->count, 1u);
+  EXPECT_EQ(window_hdr->total_count, 3u);
+  EXPECT_EQ(window_hdr->p50, 40u);
+  EXPECT_EQ(window_hdr->max, 40u);
+}
+
+TEST_F(ObsTest, TimeSeriesRingEvictionsAreCounted) {
+  Counter& evictions =
+      MetricsRegistry::Global().GetCounter("obs.series.overwritten");
+  const std::uint64_t evictions_before = evictions.value();
+
+  TimeSeriesOptions options;
+  options.ring_capacity = 2;
+  TimeSeriesCollector collector(options);
+  for (int i = 0; i < 5; ++i) collector.Tick();
+
+  // 5 windows through a 2-slot ring: 3 evictions, all accounted — both on
+  // the collector and mirrored into the registry (never silent).
+  EXPECT_EQ(collector.overwritten(), 3u);
+  EXPECT_EQ(evictions.value() - evictions_before, 3u);
+  const std::vector<WindowSample> windows = collector.Windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].seq, 3u);
+  EXPECT_EQ(windows[1].seq, 4u);
+}
+
+TEST_F(ObsTest, TimeSeriesDerivesSloHeadroomAndQueueSaturation) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  HdrHistogram& latency = registry.GetHdr("serve.latency_us");
+  latency.Reset();
+  registry.GetGauge("serve.queue_depth").Set(6);
+  registry.GetGauge("serve.queue_capacity").Set(8);
+
+  TimeSeriesOptions options;
+  options.slo_deadline_us = 200;
+  TimeSeriesCollector collector(options);
+  for (int i = 0; i < 10; ++i) latency.Record(180);
+  const WindowSample window = collector.Tick();
+
+  // Windowed p99 is exactly 180 (every sample is 180, below the exact-bucket
+  // limit), so headroom = 180 / 200. Saturation = depth / capacity.
+  EXPECT_DOUBLE_EQ(window.slo_headroom, 0.9);
+  EXPECT_DOUBLE_EQ(window.queue_saturation, 0.75);
+
+  // The derived signals feed back into the registry, so the *next* window's
+  // gauge set (and the cumulative Prometheus view) carries them.
+  const WindowSample next = collector.Tick();
+  EXPECT_DOUBLE_EQ(WindowGauge(next, "serve.slo_headroom"), 0.9);
+  EXPECT_DOUBLE_EQ(WindowGauge(next, "serve.queue_saturation"), 0.75);
+  // An empty window has no p99: headroom drops to 0 rather than repeating.
+  EXPECT_DOUBLE_EQ(next.slo_headroom, 0.0);
+}
+
+TEST_F(ObsTest, TimeSeriesWindowJsonIsDeterministicAndSorted) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.obs.ts_json_zz").Add(2);
+  registry.GetCounter("test.obs.ts_json_aa").Add(1);
+
+  TimeSeriesCollector collector;
+  const WindowSample window = collector.Tick();
+  const std::string json = TimeSeriesCollector::WindowJson(window);
+  EXPECT_EQ(json, TimeSeriesCollector::WindowJson(window));
+  for (const char* section :
+       {"\"counters\":{", "\"gauges\":{", "\"hdr\":{", "\"derived\":{"}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+  const std::size_t a = json.find("test.obs.ts_json_aa");
+  const std::size_t z = json.find("test.obs.ts_json_zz");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, z);
+
+  collector.Tick();
+  const std::string jsonl = collector.ToJsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_EQ(jsonl.compare(0, json.size(), json), 0);
+}
+
+// Metric writers race the background sampler; the cut windows must still
+// partition the recorded totals exactly (no sample lost or double-counted
+// across window boundaries). Also the TSan gate's coverage of the collector,
+// via the obs_concurrency_test rebuild of this file.
+TEST_F(ObsTest, TimeSeriesConcurrentWritersPartitionExactly) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.obs.ts_conc_counter");
+  HdrHistogram& hdr = registry.GetHdr("test.obs.ts_conc_hdr");
+  hdr.Reset();
+  const std::uint64_t counter_before = counter.value();
+
+  TimeSeriesOptions options;
+  options.interval_ms = 1;
+  options.ring_capacity = 1 << 16;  // no evictions: every window retained
+  TimeSeriesCollector collector(options);
+  collector.Start();
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        hdr.Record(7);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  collector.Stop();
+  collector.Tick();  // final cut picks up the tail after the last period
+
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(counter.value() - counter_before, kTotal);
+  std::uint64_t counter_sum = 0;
+  std::uint64_t hdr_sum = 0;
+  for (const WindowSample& window : collector.Windows()) {
+    counter_sum += WindowCounterDelta(window, "test.obs.ts_conc_counter");
+    if (const WindowSample::HdrWindow* w =
+            FindHdrWindow(window, "test.obs.ts_conc_hdr")) {
+      hdr_sum += w->count;
+    }
+  }
+  EXPECT_EQ(counter_sum, kTotal);
+  EXPECT_EQ(hdr_sum, kTotal);
+  EXPECT_EQ(collector.overwritten(), 0u);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "obs/hdr_histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/flight_recorder.h"
 #include "serve/micro_batcher.h"
 #include "serve/request_queue.h"
 #include "serve/serve_engine.h"
@@ -329,6 +330,24 @@ TEST(BoundedQueueTest, PushPopCloseSemantics) {
   EXPECT_EQ(queue.Pop(out), BoundedQueue<int>::PopResult::kClosed);
 }
 
+TEST(BoundedQueueTest, RejectionsAreCounted) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.dropped(), 0u);
+  EXPECT_EQ(queue.Push(1), BoundedQueue<int>::PushResult::kOk);
+  EXPECT_EQ(queue.Push(2), BoundedQueue<int>::PushResult::kOk);
+  EXPECT_EQ(queue.Push(3), BoundedQueue<int>::PushResult::kFull);
+  EXPECT_EQ(queue.Push(4), BoundedQueue<int>::PushResult::kFull);
+  EXPECT_EQ(queue.dropped(), 2u);
+
+  int out = 0;
+  EXPECT_EQ(queue.Pop(out), BoundedQueue<int>::PopResult::kItem);
+  EXPECT_EQ(queue.Push(5), BoundedQueue<int>::PushResult::kOk);
+  queue.Close();
+  // Closed is a lifecycle outcome, not an admission loss: not a drop.
+  EXPECT_EQ(queue.Push(6), BoundedQueue<int>::PushResult::kClosed);
+  EXPECT_EQ(queue.dropped(), 2u);
+}
+
 TEST(MicroBatcherTest, FlushesOnSizeCap) {
   BoundedQueue<int> queue(16);
   for (int i = 0; i < 10; ++i) ASSERT_EQ(queue.Push(i), BoundedQueue<int>::PushResult::kOk);
@@ -619,6 +638,245 @@ TEST_F(ServeTraceTest, ServeLatencyHdrMatchesOfflineQuantiles) {
   for (const auto& exemplar : exemplars) {
     ASSERT_TRUE(latency_by_id.count(exemplar.id)) << exemplar.id;
     EXPECT_EQ(latency_by_id[exemplar.id], exemplar.value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tail-based flight recorder.
+// ---------------------------------------------------------------------------
+
+/// Isolates the process-wide flight recorder: saves and restores its
+/// configuration and enabled state, and clears its rings around every test.
+class FlightRecorderTest : public ServeTraceTest {
+ protected:
+  void SetUp() override {
+    ServeTraceTest::SetUp();
+    FlightRecorder& recorder = FlightRecorder::Global();
+    was_enabled_ = recorder.enabled();
+    old_options_ = recorder.options();
+    recorder.SetEnabled(false);
+    recorder.Clear();
+  }
+
+  void TearDown() override {
+    FlightRecorder& recorder = FlightRecorder::Global();
+    recorder.SetEnabled(was_enabled_);
+    recorder.Clear();
+    recorder.Configure(old_options_);
+    ServeTraceTest::TearDown();
+  }
+
+  static FlightRequest MakeRecord(std::uint64_t id, StatusCode status,
+                                  double latency_us,
+                                  std::uint64_t deadline_us) {
+    FlightRequest record;
+    record.id = id;
+    record.status = status;
+    record.latency_us = latency_us;
+    record.deadline_us = deadline_us;
+    return record;
+  }
+
+  bool was_enabled_ = false;
+  FlightRecorderOptions old_options_;
+};
+
+TEST_F(FlightRecorderTest, ViolationRuleMatchesContract) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorderOptions options;
+  options.deadline_fraction = 0.5;
+  options.default_deadline_us = 0;
+  recorder.Configure(options);
+  recorder.SetEnabled(true);
+
+  recorder.RecordRequest(MakeRecord(1, StatusCode::kOk, 400, 1000));
+  recorder.RecordRequest(MakeRecord(2, StatusCode::kOk, 600, 1000));
+  recorder.RecordRequest(MakeRecord(3, StatusCode::kRejected, 0, 0));
+  recorder.RecordRequest(MakeRecord(4, StatusCode::kDeadlineExceeded, 0, 0));
+  // Shutdown is a lifecycle outcome, never a violation — even when slow.
+  recorder.RecordRequest(MakeRecord(5, StatusCode::kShutdown, 1e9, 1));
+  // No deadline and no default budget: served requests cannot violate.
+  recorder.RecordRequest(MakeRecord(6, StatusCode::kOk, 1e9, 0));
+
+  const FlightCounters counters = recorder.counters();
+  EXPECT_EQ(counters.recorded, 6u);
+  EXPECT_EQ(counters.violators, 3u);
+  EXPECT_EQ(counters.persisted, 3u);
+  const std::vector<FlightRequest> violators = recorder.Violators();
+  ASSERT_EQ(violators.size(), 3u);
+  EXPECT_EQ(violators[0].id, 2u);  // over the 0.5 * 1000us fraction
+  EXPECT_EQ(violators[1].id, 3u);  // rejected: always a tail event
+  EXPECT_EQ(violators[2].id, 4u);  // expired: always a tail event
+
+  // A default budget makes deadline-less served requests eligible again.
+  options.default_deadline_us = 100;
+  recorder.Configure(options);
+  recorder.RecordRequest(MakeRecord(7, StatusCode::kOk, 60, 0));
+  EXPECT_EQ(recorder.counters().violators, 4u);
+}
+
+TEST_F(FlightRecorderTest, EveryBoundedBufferCountsItsEvictions) {
+  obs::SetMetricsEnabled(true);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorderOptions options;
+  options.request_capacity = 2;
+  options.batch_capacity = 1;
+  options.deadline_fraction = 0.5;
+  recorder.Configure(options);
+  recorder.SetEnabled(true);
+
+  // 5 non-violators through a 2-slot request ring: 3 evictions.
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    recorder.RecordRequest(MakeRecord(id, StatusCode::kOk, 1, 1000));
+  }
+  // 2 batch contexts through a 1-slot batch ring: 1 eviction.
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    FlightBatch batch;
+    batch.seq = seq;
+    recorder.RecordBatch(std::move(batch));
+  }
+  // 5 violators against a persisted list capped at request_capacity = 2.
+  for (std::uint64_t id = 10; id <= 14; ++id) {
+    recorder.RecordRequest(MakeRecord(id, StatusCode::kRejected, 0, 0));
+  }
+
+  const FlightCounters counters = recorder.counters();
+  EXPECT_EQ(counters.recorded, 10u);
+  EXPECT_EQ(counters.overwritten, 8u);
+  EXPECT_EQ(counters.batches, 2u);
+  EXPECT_EQ(counters.batches_overwritten, 1u);
+  EXPECT_EQ(counters.violators, 5u);
+  EXPECT_EQ(counters.persisted, 2u);
+  EXPECT_EQ(counters.persisted_dropped, 3u);
+
+  // The evictions mirror into the registry, so the cumulative views and the
+  // time-series windows expose the loss too.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("serve.flight.overwritten").value(), 8u);
+  EXPECT_EQ(registry.GetCounter("serve.flight.batches_overwritten").value(),
+            1u);
+}
+
+// The tail path end to end: with head-sampling off and an SLO every request
+// busts, each served request must land in the flight dump with its complete
+// span tree and hardness record, retroactively flushed into the trace.
+TEST_F(FlightRecorderTest, EnginePersistsViolatorsWithSpansAndHardness) {
+  obs::SetTracingEnabled(false);  // tail-only: no head sampling anywhere
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorderOptions options;
+  options.deadline_fraction = 1e-9;
+  options.default_deadline_us = 1;
+  recorder.Configure(options);
+  recorder.SetEnabled(true);
+
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeEngine engine(index, {});
+  const auto responses = RunAll(engine, kQueries);
+  for (const auto& response : responses) {
+    ASSERT_EQ(response.status, StatusCode::kOk);
+  }
+
+  const FlightCounters counters = recorder.counters();
+  EXPECT_EQ(counters.recorded, kQueries);
+  EXPECT_EQ(counters.violators, kQueries);
+  EXPECT_EQ(counters.persisted, kQueries);
+  EXPECT_EQ(counters.batches, 1u);  // kQueries < max_batch: one batch
+
+  const std::vector<FlightRequest> violators = recorder.Violators();
+  ASSERT_EQ(violators.size(), kQueries);
+  for (const FlightRequest& violator : violators) {
+    EXPECT_GT(violator.latency_us, 0.0) << violator.id;
+    EXPECT_EQ(violator.batch_seq, 1u);
+    EXPECT_EQ(violator.batch_size, kQueries);
+    EXPECT_FALSE(violator.sampled);  // tracing off: tail-only capture
+    ASSERT_TRUE(violator.hardness_valid) << violator.id;
+    EXPECT_GT(violator.hardness.budget, 0u);
+    EXPECT_GE(violator.hardness.visited, 1u);
+    // Full journey: root + queue_wait + batch_form + shard_fanout +
+    // 2x shard_search + merge — exactly what head sampling would emit.
+    EXPECT_EQ(violator.spans.size(), 7u) << violator.id;
+    std::size_t roots = 0;
+    for (const obs::TraceEvent& span : violator.spans) {
+      if (obs::NameOf(span.name) == "serve.request") ++roots;
+    }
+    EXPECT_EQ(roots, 1u) << violator.id;
+  }
+
+  // Retroactive flush: every violator's tree is now in the trace recorder
+  // even though no request was head-sampled.
+  EXPECT_EQ(RequestTracks().size(), kQueries);
+
+  // Hardness-vs-latency exemplars: one line per ring request, all violators.
+  const std::string jsonl = recorder.HardnessJsonl();
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'),
+            static_cast<std::ptrdiff_t>(kQueries));
+  EXPECT_NE(jsonl.find("\"violator\":true"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"entry_distance\":"), std::string::npos);
+
+  // The dump carries all four sections schema_check flight validates.
+  const std::string dump = recorder.ToJson();
+  for (const char* section :
+       {"\"options\":", "\"counters\":", "\"violators\":", "\"batches\":"}) {
+    EXPECT_NE(dump.find(section), std::string::npos) << section;
+  }
+}
+
+// Head sampling and the flight recorder share one span tree per request; a
+// violator that live tracing already recorded must not be flushed again —
+// the exported trace keeps exactly one serve.request root per track.
+TEST_F(FlightRecorderTest, HeadSampledViolatorsAreNotDoubleFlushed) {
+  obs::SetTracingEnabled(true);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorderOptions options;
+  options.deadline_fraction = 1e-9;
+  options.default_deadline_us = 1;
+  recorder.Configure(options);
+  recorder.SetEnabled(true);
+
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  ServeOptions serve_options;
+  serve_options.trace_sample = 2;  // even ids head-sampled, odd ids not
+  ServeEngine engine(index, serve_options);
+  RunAll(engine, kQueries);
+
+  const auto tracks = RequestTracks();
+  ASSERT_EQ(tracks.size(), kQueries);  // sampled + tail-flushed together
+  for (const auto& [tid, events] : tracks) {
+    EXPECT_EQ(CountByName(events, "serve.request"), 1u) << "tid=" << tid;
+    EXPECT_EQ(CountByName(events, "serve.merge"), 1u) << "tid=" << tid;
+  }
+  for (const FlightRequest& violator : recorder.Violators()) {
+    EXPECT_EQ(violator.sampled, violator.id % 2 == 0) << violator.id;
+  }
+}
+
+// Flight recording must not move results: neighbors are bit-identical with
+// the recorder on and off (it observes wall time, never simulated cycles).
+TEST_F(FlightRecorderTest, RecordingDoesNotChangeResults) {
+  ShardedIndex index = ShardedIndex::Build(*base_, 2, {});
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorderOptions options;
+  options.deadline_fraction = 1e-9;
+  options.default_deadline_us = 1;
+  recorder.Configure(options);
+
+  const auto run = [&](bool enabled) {
+    recorder.SetEnabled(enabled);
+    ServeEngine engine(index, {});
+    std::vector<QueryResponse> responses = RunAll(engine, kQueries);
+    std::sort(responses.begin(), responses.end(),
+              [](const QueryResponse& a, const QueryResponse& b) {
+                return a.id < b.id;
+              });
+    return responses;
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  ASSERT_EQ(recorder.counters().persisted, kQueries);
+
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t q = 0; q < off.size(); ++q) {
+    EXPECT_EQ(off[q].neighbors, on[q].neighbors) << "q=" << q;
   }
 }
 

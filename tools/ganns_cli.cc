@@ -25,6 +25,9 @@
 //                [--json out.json] [--trace-out trace.json]
 //                [--stats-out stats.json] [--prom-out metrics.prom]
 //                [--sample 1/N]
+//                [--series-out series.jsonl] [--series-interval-ms 100]
+//                [--flight-out flight.json] [--slo-fraction 0.8]
+//                [--flight-ring 4096] [--hardness-out hardness.jsonl]
 //   ganns update --dataset SIFT1M --n 20000 [--queries 200] [--seed 1]
 //                [--shards 2] [--k 10] [--budget 256]
 //                [--inserts N] [--removes N] [--kernel ganns|song|beam]
@@ -33,6 +36,9 @@
 //                [--save prefix] [--json out.json] [--trace-out trace.json]
 //                [--stats-out stats.json] [--prom-out metrics.prom]
 //   ganns stat   <stats.json> [--metric serve.latency_us] [--quantile p99]
+//                [--watch [--iterations N] [--interval-ms 1000]]
+//   ganns top    <series.jsonl> [--rows 10] [--follow]
+//                [--iterations N] [--interval-ms 1000]
 //
 // `update` builds a sharded NSW index, applies a deterministic mixed
 // insert/remove workload through the online write paths, and reports the
@@ -56,7 +62,15 @@
 //
 // `stat` reads a --stats-out file back and prints SLO summaries; with
 // --metric and --quantile it prints a single number (scriptable, used by
-// the ctest gate to cross-check p99 against offline percentiles).
+// the ctest gate to cross-check p99 against offline percentiles); with
+// --watch it re-reads the file on an interval (a poor man's dashboard over
+// an artifact a live serve-bench keeps rewriting).
+//
+// `top` renders a --series-out time-series ring in the terminal: one row
+// per window with QPS, windowed latency percentiles, SLO headroom, queue
+// saturation, and drops. --follow re-reads and redraws on an interval;
+// --iterations bounds the number of renders (tests use --iterations 1 for
+// a single plain-text render).
 //
 // `profile` generates a synthetic corpus, builds an NSW graph with
 // GGraphCon, runs the search with full tracing + per-query profiling, and
@@ -73,10 +87,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ganns_index.h"
@@ -88,7 +104,9 @@
 #include "data/synthetic.h"
 #include "graph/diagnostics.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "serve/flight_recorder.h"
 #include "serve/serve_engine.h"
 #include "song/song_search.h"
 #include "tools/json_reader.h"
@@ -101,16 +119,20 @@ using namespace ganns;
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      // A trailing flag with no value: treat as boolean.
-      values_[argv[argc - 1] + 2] = "true";
+      // A flag followed by another --flag (or nothing) is boolean, so
+      // switches like --watch or --hnsw compose anywhere in the line.
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        values_[argv[i] + 2] = "true";
+        i += 1;
+      } else {
+        values_[argv[i] + 2] = argv[i + 1];
+        i += 2;
+      }
     }
   }
 
@@ -132,6 +154,11 @@ class Args {
   long Int(const std::string& key, long fallback) const {
     const auto value = Get(key);
     return value.has_value() ? std::atol(value->c_str()) : fallback;
+  }
+
+  double Double(const std::string& key, double fallback) const {
+    const auto value = Get(key);
+    return value.has_value() ? std::atof(value->c_str()) : fallback;
   }
 
   bool Flag(const std::string& key) const { return Get(key).has_value(); }
@@ -562,9 +589,36 @@ int CmdServeBench(const Args& args) {
   const auto trace_out = args.Get("trace-out");
   const auto stats_out = args.Get("stats-out");
   const auto prom_out = args.Get("prom-out");
+  const auto series_out = args.Get("series-out");
+  const auto flight_out = args.Get("flight-out");
+  const auto hardness_out = args.Get("hardness-out");
   if (trace_out.has_value()) obs::SetTracingEnabled(true);
-  if (stats_out.has_value() || prom_out.has_value()) {
+  if (stats_out.has_value() || prom_out.has_value() ||
+      series_out.has_value()) {
     obs::SetMetricsEnabled(true);
+  }
+  if (flight_out.has_value() || hardness_out.has_value()) {
+    serve::FlightRecorderOptions flight_options;
+    flight_options.deadline_fraction = args.Double("slo-fraction", 0.8);
+    flight_options.request_capacity =
+        static_cast<std::size_t>(args.Int("flight-ring", 4096));
+    if (deadline_us > 0) {
+      flight_options.default_deadline_us =
+          static_cast<std::uint64_t>(deadline_us);
+    }
+    serve::FlightRecorder::Global().Configure(flight_options);
+    serve::FlightRecorder::Global().SetEnabled(true);
+  }
+  std::optional<obs::TimeSeriesCollector> series;
+  if (series_out.has_value()) {
+    obs::TimeSeriesOptions series_options;
+    series_options.interval_ms = args.Int("series-interval-ms", 100);
+    if (deadline_us > 0) {
+      series_options.slo_deadline_us =
+          static_cast<std::uint64_t>(deadline_us);
+    }
+    series.emplace(series_options);
+    series->Start();
   }
 
   serve::ServeEngine engine(*index, serve_options);
@@ -601,6 +655,12 @@ int CmdServeBench(const Args& args) {
       std::chrono::duration<double>(serve::ServeClock::now() - bench_start)
           .count();
   engine.Shutdown();
+  if (series.has_value()) {
+    // Stop the sampler, then cut one final window so short runs (shorter
+    // than one interval) still export a non-empty ring.
+    series->Stop();
+    series->Tick();
+  }
 
   const serve::ServeCounters counters = engine.counters();
   const double sim_seconds = engine.total_sim_seconds();
@@ -673,6 +733,36 @@ int CmdServeBench(const Args& args) {
     }
     std::printf("wrote Prometheus metrics to %s\n", prom_out->c_str());
   }
+  if (series.has_value()) {
+    if (!series->WriteJsonl(*series_out)) {
+      std::fprintf(stderr, "failed to write %s\n", series_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu time-series windows to %s (%llu overwritten)\n",
+                series->Windows().size(), series_out->c_str(),
+                static_cast<unsigned long long>(series->overwritten()));
+  }
+  if (flight_out.has_value()) {
+    serve::FlightRecorder& recorder = serve::FlightRecorder::Global();
+    if (!recorder.WriteJson(*flight_out)) {
+      std::fprintf(stderr, "failed to write %s\n", flight_out->c_str());
+      return 1;
+    }
+    const serve::FlightCounters flight_counters = recorder.counters();
+    std::printf("wrote flight dump to %s (%llu recorded, %llu violators "
+                "persisted)\n",
+                flight_out->c_str(),
+                static_cast<unsigned long long>(flight_counters.recorded),
+                static_cast<unsigned long long>(flight_counters.persisted));
+  }
+  if (hardness_out.has_value()) {
+    if (!serve::FlightRecorder::Global().WriteHardnessJsonl(*hardness_out)) {
+      std::fprintf(stderr, "failed to write %s\n", hardness_out->c_str());
+      return 1;
+    }
+    std::printf("wrote hardness exemplars to %s\n", hardness_out->c_str());
+  }
+  serve::FlightRecorder::Global().SetEnabled(false);
   return 0;
 }
 
@@ -910,19 +1000,8 @@ int CmdUpdate(const Args& args) {
   return 0;
 }
 
-/// `ganns stat`: reads a --stats-out registry export and prints its SLO
-/// summaries. With --metric and --quantile it prints exactly one number so
-/// shell scripts (and the ctest percentile cross-check) can consume it.
-int CmdStat(int argc, char** argv) {
-  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
-    std::fprintf(stderr,
-                 "usage: ganns stat <stats.json> [--metric NAME] "
-                 "[--quantile p50|p90|p95|p99|p999]\n");
-    return 2;
-  }
-  const std::string path = argv[2];
-  const Args args(argc, argv, 3);
-
+/// One `ganns stat` pass over the stats file (the --watch loop re-runs it).
+int StatOnce(const std::string& path, const Args& args) {
   std::string error;
   const tools::JsonPtr root = tools::ParseJsonFile(path, &error);
   if (root == nullptr) {
@@ -989,10 +1068,146 @@ int CmdStat(int argc, char** argv) {
   return 0;
 }
 
+/// `ganns stat`: reads a --stats-out registry export and prints its SLO
+/// summaries. With --metric and --quantile it prints exactly one number so
+/// shell scripts (and the ctest percentile cross-check) can consume it.
+/// With --watch it re-reads the file every --interval-ms (bounded by
+/// --iterations; 0 = forever), tolerating transient parse failures while a
+/// live run rewrites the artifact.
+int CmdStat(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr,
+                 "usage: ganns stat <stats.json> [--metric NAME] "
+                 "[--quantile p50|p90|p95|p99|p999] "
+                 "[--watch [--iterations N] [--interval-ms 1000]]\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  const Args args(argc, argv, 3);
+  if (!args.Flag("watch")) return StatOnce(path, args);
+
+  const long iterations = args.Int("iterations", 0);
+  const long interval_ms = args.Int("interval-ms", 1000);
+  for (long i = 0; iterations <= 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::printf("--- %s (refresh %ld) ---\n", path.c_str(), i + 1);
+    StatOnce(path, args);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// Reads a --series-out JSONL file into one parsed window object per line.
+std::vector<tools::JsonPtr> ReadSeriesWindows(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return {};
+  }
+  std::vector<tools::JsonPtr> windows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    tools::Parser parser(line);
+    tools::JsonPtr window = parser.Parse();
+    if (window == nullptr) {
+      *error = path + ":" + std::to_string(line_no) + ": " + parser.error();
+      return {};
+    }
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+double SeriesNumber(const tools::Json& window, const char* section,
+                    const char* name) {
+  const tools::Json* object = window.Get(section);
+  if (object == nullptr || !object->Is(tools::Json::Kind::kObject)) return 0;
+  const tools::Json* value = object->Get(name);
+  return value != nullptr && value->Is(tools::Json::Kind::kNumber)
+             ? value->number
+             : 0;
+}
+
+/// Renders the last `rows` windows of the ring as a fixed-width table.
+void RenderTop(const std::vector<tools::JsonPtr>& windows, std::size_t rows) {
+  std::printf("%6s %8s %9s %8s %8s %9s %6s %9s\n", "seq", "win_ms", "qps",
+              "p50_us", "p99_us", "headroom", "qsat", "rejected");
+  const std::size_t first = windows.size() > rows ? windows.size() - rows : 0;
+  for (std::size_t i = first; i < windows.size(); ++i) {
+    const tools::Json& window = *windows[i];
+    const double interval_us =
+        window.Get("interval_us") != nullptr ? window.Get("interval_us")->number
+                                             : 0;
+    const double served = SeriesNumber(window, "counters", "serve.served");
+    const double qps = interval_us > 0 ? served / (interval_us / 1e6) : 0;
+    const tools::Json* hdr = window.Get("hdr");
+    const tools::Json* latency =
+        hdr != nullptr ? hdr->Get("serve.latency_us") : nullptr;
+    const double p50 = latency != nullptr && latency->Get("p50") != nullptr
+                           ? latency->Get("p50")->number
+                           : 0;
+    const double p99 = latency != nullptr && latency->Get("p99") != nullptr
+                           ? latency->Get("p99")->number
+                           : 0;
+    std::printf("%6.0f %8.1f %9.0f %8.0f %8.0f %9.3f %6.3f %9.0f\n",
+                window.Get("seq") != nullptr ? window.Get("seq")->number : 0,
+                interval_us / 1000.0, qps, p50, p99,
+                SeriesNumber(window, "derived", "slo_headroom"),
+                SeriesNumber(window, "derived", "queue_saturation"),
+                SeriesNumber(window, "counters", "serve.rejected"));
+  }
+  std::printf("%zu of %zu windows shown\n", windows.size() - first,
+              windows.size());
+}
+
+/// `ganns top`: live terminal view over a --series-out ring. One render by
+/// default; --follow (or --iterations N) re-reads the file every
+/// --interval-ms and redraws.
+int CmdTop(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr,
+                 "usage: ganns top <series.jsonl> [--rows 10] [--follow] "
+                 "[--iterations N] [--interval-ms 1000]\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  const Args args(argc, argv, 3);
+  const auto rows = static_cast<std::size_t>(args.Int("rows", 10));
+  const bool follow = args.Flag("follow");
+  const long iterations = args.Int("iterations", follow ? 0 : 1);
+  const long interval_ms = args.Int("interval-ms", 1000);
+
+  for (long i = 0; iterations <= 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::string error;
+    const std::vector<tools::JsonPtr> windows =
+        ReadSeriesWindows(path, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      // A single-shot render fails loudly; a live view tolerates a file
+      // mid-rewrite and tries again next interval.
+      if (iterations == 1) return 1;
+      continue;
+    }
+    if (follow) std::printf("\033[2J\033[H");  // clear + home before redraw
+    RenderTop(windows, rows);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ganns "
-               "<gen|build|search|eval|profile|serve-bench|update|stat> "
+               "<gen|build|search|eval|profile|serve-bench|update|stat|top> "
                "--flag value ...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
@@ -1004,6 +1219,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "stat") return CmdStat(argc, argv);
+  if (command == "top") return CmdTop(argc, argv);
   const Args args(argc, argv, 2);
   if (command == "gen") return CmdGen(args);
   if (command == "build") return CmdBuild(args);

@@ -56,8 +56,20 @@ class Parser {
  private:
   JsonPtr Fail(const char* message) {
     if (error_.empty()) {
+      // 1-based line/column of the failure point, so editors and humans can
+      // jump straight to it; the raw offset stays for byte-level tooling.
+      std::size_t line = 1, column = 1;
+      for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+        if (text_[i] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+      }
       std::ostringstream out;
-      out << message << " at offset " << pos_;
+      out << message << " at line " << line << " column " << column
+          << " (offset " << pos_ << ")";
       error_ = out.str();
     }
     return nullptr;

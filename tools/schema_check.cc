@@ -8,6 +8,19 @@
 //   schema_check bench   <BENCH_*.json>   bench artifact: provenance block
 //                                         plus a results/quantized row array
 //                                         (quantized rows are field-checked)
+//   schema_check prom    <metrics.prom>   Prometheus text exposition: name
+//                                         charset, TYPE declarations, label
+//                                         quoting/escaping and ordering,
+//                                         cumulative histogram buckets, and
+//                                         summary quantile lines ("--prom"
+//                                         is accepted as an alias)
+//   schema_check flight  <flight.json>    flight-recorder dump: counters,
+//                                         violator records (served
+//                                         violators must carry hardness and
+//                                         a complete span tree; terminal
+//                                         ones a root + terminal instant
+//                                         and no kernel stages), batch
+//                                         contexts
 //
 // Exit code 0 iff the file parses as JSON and matches the expected schema.
 // The JSON DOM/parser lives in tools/json_reader.h (shared with bench_diff
@@ -22,8 +35,11 @@
 // spans — the request never reached a kernel.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -349,25 +365,503 @@ int CheckBench(const Json& root) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+int ComplainLine(std::size_t line, const char* what) {
+  std::fprintf(stderr, "schema error: line %zu: %s\n", line, what);
+  return 1;
+}
+
+bool IsMetricNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || (c >= '0' && c <= '9');
+}
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty() || !IsMetricNameStart(name[0])) return false;
+  for (char c : name) {
+    if (!IsMetricNameChar(c)) return false;
+  }
+  return true;
+}
+
+/// One sample line decomposed: family name, ordered labels, numeric value.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+};
+
+const std::string* LabelValue(const PromSample& sample,
+                              const std::string& key) {
+  for (const auto& [k, v] : sample.labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Parses `name{key="value",...} number`. Returns false (with *why set) on
+/// any malformation: bad name charset, unquoted or badly escaped label
+/// values, labels out of lexicographic order, trailing garbage.
+bool ParsePromSample(const std::string& line, PromSample* sample,
+                     std::string* why) {
+  std::size_t pos = 0;
+  while (pos < line.size() && IsMetricNameChar(line[pos])) ++pos;
+  sample->name = line.substr(0, pos);
+  if (!IsValidMetricName(sample->name)) {
+    *why = "invalid metric name";
+    return false;
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::size_t key_start = pos;
+      while (pos < line.size() && IsMetricNameChar(line[pos])) ++pos;
+      const std::string key = line.substr(key_start, pos - key_start);
+      if (key.empty() || !IsValidMetricName(key)) {
+        *why = "invalid label name";
+        return false;
+      }
+      if (pos >= line.size() || line[pos] != '=') {
+        *why = "label missing '='";
+        return false;
+      }
+      ++pos;
+      if (pos >= line.size() || line[pos] != '"') {
+        *why = "label value is not quoted";
+        return false;
+      }
+      ++pos;
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        char c = line[pos++];
+        if (c == '\\') {
+          if (pos >= line.size()) {
+            *why = "bad escape in label value";
+            return false;
+          }
+          const char e = line[pos++];
+          if (e == '\\' || e == '"') {
+            c = e;
+          } else if (e == 'n') {
+            c = '\n';
+          } else {
+            *why = "bad escape in label value";
+            return false;
+          }
+        }
+        value.push_back(c);
+      }
+      if (pos >= line.size()) {
+        *why = "unterminated label value";
+        return false;
+      }
+      ++pos;  // closing quote
+      if (!sample->labels.empty() && key <= sample->labels.back().first) {
+        *why = "labels out of order";
+        return false;
+      }
+      sample->labels.emplace_back(key, std::move(value));
+      if (pos < line.size() && line[pos] == ',') {
+        ++pos;
+        continue;
+      }
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      *why = "unterminated label set";
+      return false;
+    }
+    ++pos;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    *why = "sample missing value";
+    return false;
+  }
+  ++pos;
+  const std::string text = line.substr(pos);
+  if (text == "+Inf") {
+    sample->value = 1e308;
+    return true;
+  }
+  char* end = nullptr;
+  sample->value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    *why = "sample value is not a number";
+    return false;
+  }
+  return true;
+}
+
+/// One metric family being accumulated while scanning the file.
+struct PromFamily {
+  std::string type;
+  std::size_t declared_line = 0;
+  // histogram: cumulative bucket counts in emission order (+Inf last);
+  // summary: quantile -> value in emission order.
+  std::vector<std::pair<double, double>> series;
+  bool saw_inf_bucket = false;
+  double count = -1;  // _count sample, once seen
+  bool saw_samples = false;
+};
+
+/// Strips a histogram/summary suffix, returning the owning family name if
+/// `families` declares one.
+const std::string* FamilyOf(
+    const std::map<std::string, PromFamily>& families, const std::string& name,
+    std::string* suffix) {
+  static const char* kSuffixes[] = {"_bucket", "_sum", "_count"};
+  const auto it = families.find(name);
+  if (it != families.end()) {
+    suffix->clear();
+    return &it->first;
+  }
+  for (const char* s : kSuffixes) {
+    const std::size_t len = std::strlen(s);
+    if (name.size() > len &&
+        name.compare(name.size() - len, len, s) == 0) {
+      const std::string base = name.substr(0, name.size() - len);
+      const auto base_it = families.find(base);
+      if (base_it != families.end()) {
+        *suffix = s;
+        return &base_it->first;
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Validates a Prometheus text exposition file line by line, then checks
+/// each family's invariants: histogram buckets cumulative with a +Inf bucket
+/// equal to _count, summary quantiles in [0, 1] with non-decreasing values.
+int CheckProm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::map<std::string, PromFamily> families;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash, keyword, name, type;
+      header >> hash >> keyword >> name >> type;
+      if (keyword == "HELP") continue;
+      if (keyword != "TYPE") {
+        return ComplainLine(line_no, "comment is neither # TYPE nor # HELP");
+      }
+      if (!IsValidMetricName(name)) {
+        return ComplainLine(line_no, "TYPE declares an invalid metric name");
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary") {
+        return ComplainLine(line_no, "TYPE kind is not "
+                                     "counter|gauge|histogram|summary");
+      }
+      if (families.count(name) != 0) {
+        return ComplainLine(line_no, "duplicate TYPE declaration");
+      }
+      PromFamily family;
+      family.type = type;
+      family.declared_line = line_no;
+      families.emplace(name, std::move(family));
+      continue;
+    }
+    PromSample sample;
+    std::string why;
+    if (!ParsePromSample(line, &sample, &why)) {
+      return ComplainLine(line_no, why.c_str());
+    }
+    ++samples;
+    std::string suffix;
+    const std::string* owner = FamilyOf(families, sample.name, &suffix);
+    if (owner == nullptr) {
+      return ComplainLine(line_no, "sample has no preceding TYPE family");
+    }
+    PromFamily& family = families[*owner];
+    family.saw_samples = true;
+    if (family.type == "counter" || family.type == "gauge") {
+      if (!suffix.empty()) {
+        return ComplainLine(line_no, "scalar family has a suffixed sample");
+      }
+      if (!sample.labels.empty()) {
+        return ComplainLine(line_no, "unexpected labels on a scalar family");
+      }
+      if (family.type == "counter" && sample.value < 0) {
+        return ComplainLine(line_no, "counter sample is negative");
+      }
+    } else if (family.type == "histogram") {
+      if (suffix == "_bucket") {
+        const std::string* le = LabelValue(sample, "le");
+        if (le == nullptr) {
+          return ComplainLine(line_no, "histogram bucket missing le label");
+        }
+        const double bound =
+            *le == "+Inf" ? 1e308 : std::strtod(le->c_str(), nullptr);
+        if (!family.series.empty() &&
+            (bound <= family.series.back().first ||
+             sample.value < family.series.back().second)) {
+          return ComplainLine(line_no,
+                              "histogram buckets not cumulative/ordered");
+        }
+        family.series.emplace_back(bound, sample.value);
+        if (*le == "+Inf") family.saw_inf_bucket = true;
+      } else if (suffix == "_count") {
+        family.count = sample.value;
+      } else if (suffix != "_sum") {
+        return ComplainLine(line_no, "unsuffixed sample on a histogram");
+      }
+    } else {  // summary
+      if (suffix.empty()) {
+        const std::string* quantile = LabelValue(sample, "quantile");
+        if (quantile == nullptr) {
+          return ComplainLine(line_no, "summary sample missing quantile");
+        }
+        const double q = std::strtod(quantile->c_str(), nullptr);
+        if (q < 0 || q > 1) {
+          return ComplainLine(line_no, "summary quantile outside [0, 1]");
+        }
+        if (!family.series.empty() &&
+            (q <= family.series.back().first ||
+             sample.value < family.series.back().second)) {
+          return ComplainLine(line_no,
+                              "summary quantiles not ordered/monotone");
+        }
+        family.series.emplace_back(q, sample.value);
+      } else if (suffix == "_count") {
+        family.count = sample.value;
+      } else if (suffix != "_sum") {
+        return ComplainLine(line_no, "unexpected suffix on a summary");
+      }
+    }
+  }
+  for (const auto& [name, family] : families) {
+    if (!family.saw_samples) {
+      return ComplainLine(family.declared_line, "TYPE family has no samples");
+    }
+    if (family.type == "histogram") {
+      if (!family.saw_inf_bucket) {
+        return ComplainLine(family.declared_line,
+                            "histogram missing +Inf bucket");
+      }
+      if (family.count >= 0 && !family.series.empty() &&
+          family.series.back().second != family.count) {
+        return ComplainLine(family.declared_line,
+                            "+Inf bucket != histogram count");
+      }
+    }
+    if (family.type == "summary" && family.series.empty()) {
+      return ComplainLine(family.declared_line,
+                          "summary has no quantile lines");
+    }
+  }
+  std::printf("prom ok: %zu families, %zu samples\n", families.size(),
+              samples);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder dump
+// ---------------------------------------------------------------------------
+
+/// Reduces a flight-dump span entry ({"name","tid","ts","dur"}) to the
+/// shared ServeEvent shape, treating dur == 0 as an instant.
+bool ReduceFlightSpan(const Json& node, ServeEvent* out) {
+  if (!node.Is(Json::Kind::kObject)) return false;
+  const Json* name = node.Get("name");
+  const Json* ts = node.Get("ts");
+  const Json* dur = node.Get("dur");
+  if (!IsString(name) || !IsNumber(ts) || !IsNumber(dur) ||
+      !IsNumber(node.Get("tid")) || dur->number < 0) {
+    return false;
+  }
+  out->name = name->string;
+  out->ts = ts->number;
+  out->dur = dur->number;
+  out->is_span = dur->number > 0;
+  return true;
+}
+
+int ComplainViolator(const char* what, double id) {
+  std::fprintf(stderr, "schema error: %s (violator id %.0f)\n", what, id);
+  return 1;
+}
+
+/// Validates one violator's span tree: exactly one serve.request root with
+/// everything inside it. Served (status ok) violators must carry the full
+/// journey — queue_wait, batch_form, shard_fanout, at least one
+/// shard_search, merge; terminal ones a terminal instant and no kernel
+/// stages.
+int CheckViolatorSpans(const Json& spans, const std::string& status,
+                       double id) {
+  const ServeEvent* root = nullptr;
+  std::vector<ServeEvent> events;
+  events.reserve(spans.array.size());
+  for (const JsonPtr& node : spans.array) {
+    ServeEvent event;
+    if (!ReduceFlightSpan(*node, &event)) {
+      return Complain("flight span is not {name, tid, ts, dur}");
+    }
+    events.push_back(std::move(event));
+  }
+  std::map<std::string, std::size_t> seen;
+  for (const ServeEvent& event : events) {
+    ++seen[event.name];
+    if (event.name == "serve.request") root = &event;
+  }
+  if (seen["serve.request"] != 1) {
+    return ComplainViolator("violator needs exactly one serve.request root", id);
+  }
+  const double begin = root->ts - kContainEps;
+  const double end = root->ts + root->dur + kContainEps;
+  for (const ServeEvent& event : events) {
+    if (&event == root) continue;
+    if (event.ts < begin || event.ts + event.dur > end) {
+      return ComplainViolator("flight span escapes its serve.request root", id);
+    }
+  }
+  const bool kernel_stage = seen.count("serve.shard_fanout") != 0 ||
+                            seen.count("serve.shard_search") != 0 ||
+                            seen.count("serve.merge") != 0;
+  if (status == "ok") {
+    for (const char* stage : {"serve.queue_wait", "serve.batch_form",
+                              "serve.shard_fanout", "serve.shard_search",
+                              "serve.merge"}) {
+      if (seen.count(stage) == 0) {
+        return ComplainViolator(
+            (std::string("served violator missing ") + stage).c_str(), id);
+      }
+    }
+  } else {
+    if (kernel_stage) {
+      return ComplainViolator(
+          "terminal violator carries fan-out/shard/merge spans", id);
+    }
+    if (seen.count("serve.rejected") == 0 &&
+        seen.count("serve.expired") == 0 &&
+        seen.count("serve.shutdown") == 0) {
+      return ComplainViolator("terminal violator missing terminal instant", id);
+    }
+  }
+  return 0;
+}
+
+/// Flight-recorder dump: options + non-negative counters + violator records
+/// + persisted batch contexts. Served violators must carry hardness signals
+/// and a complete span tree (the whole point of tail-based recording).
+int CheckFlight(const Json& root) {
+  if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
+  const Json* options = root.Get("options");
+  if (options == nullptr || !options->Is(Json::Kind::kObject)) {
+    return Complain("missing options object");
+  }
+  const Json* counters = root.Get("counters");
+  if (counters == nullptr || !counters->Is(Json::Kind::kObject)) {
+    return Complain("missing counters object");
+  }
+  for (const char* key : {"recorded", "batches", "violators", "persisted",
+                          "overwritten", "batches_overwritten",
+                          "persisted_dropped"}) {
+    const Json* value = counters->Get(key);
+    if (!IsNumber(value) || value->number < 0) {
+      return Complain(
+          (std::string("counters missing non-negative ") + key).c_str());
+    }
+  }
+  const Json* violators = root.Get("violators");
+  if (violators == nullptr || !violators->Is(Json::Kind::kArray)) {
+    return Complain("missing violators array");
+  }
+  std::size_t served_violators = 0;
+  for (const JsonPtr& record : violators->array) {
+    if (!record->Is(Json::Kind::kObject)) {
+      return Complain("violator is not an object");
+    }
+    const Json* status = record->Get("status");
+    if (!IsString(status)) return Complain("violator missing status");
+    for (const char* key : {"id", "latency_us", "queue_wait_us",
+                            "deadline_us", "batch_seq", "batch_size"}) {
+      if (!IsNumber(record->Get(key))) {
+        return Complain((std::string("violator missing ") + key).c_str());
+      }
+    }
+    const Json* spans = record->Get("spans");
+    if (spans == nullptr || !spans->Is(Json::Kind::kArray) ||
+        spans->array.empty()) {
+      return Complain("violator missing non-empty spans array");
+    }
+    if (status->string == "ok") {
+      ++served_violators;
+      const Json* hardness = record->Get("hardness");
+      if (hardness == nullptr || !hardness->Is(Json::Kind::kObject)) {
+        return Complain("served violator missing hardness object");
+      }
+      for (const char* key : {"entry_distance", "early_fanout", "visited",
+                              "budget", "visited_budget_ratio"}) {
+        if (!IsNumber(hardness->Get(key))) {
+          return Complain(
+              (std::string("hardness missing ") + key).c_str());
+        }
+      }
+    }
+    const int rc = CheckViolatorSpans(*spans, status->string,
+                                      record->Get("id")->number);
+    if (rc != 0) return rc;
+  }
+  const Json* batches = root.Get("batches");
+  if (batches == nullptr || !batches->Is(Json::Kind::kArray)) {
+    return Complain("missing batches array");
+  }
+  for (const JsonPtr& batch : batches->array) {
+    if (!batch->Is(Json::Kind::kObject) || !IsNumber(batch->Get("seq")) ||
+        !IsNumber(batch->Get("size")) || batch->Get("spans") == nullptr ||
+        !batch->Get("spans")->Is(Json::Kind::kArray)) {
+      return Complain("batch context is not {seq, size, spans}");
+    }
+  }
+  std::printf("flight ok: %zu violators (%zu served), %zu batch contexts\n",
+              violators->array.size(), served_violators,
+              batches->array.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3 || (std::strcmp(argv[1], "trace") != 0 &&
-                    std::strcmp(argv[1], "metrics") != 0 &&
-                    std::strcmp(argv[1], "stats") != 0 &&
-                    std::strcmp(argv[1], "bench") != 0)) {
-    std::fprintf(
-        stderr,
-        "usage: schema_check <trace|metrics|stats|bench> <file.json>\n");
+  // "--prom"/"--flight" accepted as aliases so callers can spell the mode
+  // like a flag.
+  const char* mode = argc >= 2 ? argv[1] : "";
+  if (std::strncmp(mode, "--", 2) == 0) mode += 2;
+  if (argc != 3 || (std::strcmp(mode, "trace") != 0 &&
+                    std::strcmp(mode, "metrics") != 0 &&
+                    std::strcmp(mode, "stats") != 0 &&
+                    std::strcmp(mode, "bench") != 0 &&
+                    std::strcmp(mode, "prom") != 0 &&
+                    std::strcmp(mode, "flight") != 0)) {
+    std::fprintf(stderr,
+                 "usage: schema_check <trace|metrics|stats|bench|prom|flight> "
+                 "<file>\n");
     return 2;
   }
+  if (std::strcmp(mode, "prom") == 0) return CheckProm(argv[2]);
   std::string error;
   const JsonPtr root = ganns::tools::ParseJsonFile(argv[2], &error);
   if (root == nullptr) {
     std::fprintf(stderr, "JSON parse error: %s\n", error.c_str());
     return 1;
   }
-  if (std::strcmp(argv[1], "trace") == 0) return CheckTrace(*root);
-  if (std::strcmp(argv[1], "bench") == 0) return CheckBench(*root);
-  return CheckMetrics(*root, std::strcmp(argv[1], "stats") == 0);
+  if (std::strcmp(mode, "trace") == 0) return CheckTrace(*root);
+  if (std::strcmp(mode, "bench") == 0) return CheckBench(*root);
+  if (std::strcmp(mode, "flight") == 0) return CheckFlight(*root);
+  return CheckMetrics(*root, std::strcmp(mode, "stats") == 0);
 }
