@@ -93,4 +93,13 @@ GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/quantized_sweep BENCH_quantize
 stamp_wall BENCH_quantized.json $t0
 echo
 
+# Simulated cluster serving: nodes x replicas x failure axes over one
+# sharded index, with inline bit-identity and zero-loss gates. Writes
+# BENCH_cluster.json.
+echo "===== bench/cluster_sweep ====="
+t0=$SECONDS
+GANNS_SCALE=20000 GANNS_QUERIES=200 ./build/bench/cluster_sweep BENCH_cluster.json
+stamp_wall BENCH_cluster.json $t0
+echo
+
 echo "ALL_BENCHES_DONE"

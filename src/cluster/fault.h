@@ -1,0 +1,84 @@
+#ifndef GANNS_CLUSTER_FAULT_H_
+#define GANNS_CLUSTER_FAULT_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace ganns {
+namespace cluster {
+
+/// Deterministic fault schedule for one cluster run. Scheduled faults key on
+/// the batch sequence number and message faults draw from a private seeded
+/// Rng consumed in flush order (the routing loop is single-threaded), so the
+/// same (seed, schedule, workload) replays the exact same crashes, drops,
+/// and delays — which is what makes failover testable under ctest.
+struct FaultOptions {
+  /// Crash `crash_node` just before batch `crash_at_batch` (1-based batch
+  /// sequence; < 0 disables). A crashed node silently stops responding —
+  /// the router only learns via timeouts.
+  int crash_node = -1;
+  std::uint64_t crash_at_batch = 1;
+  /// Auto-rejoin the crashed node this many batches after the crash,
+  /// reloading its shard images over the recovery channel (< 0: stays down).
+  int rejoin_after_batches = -1;
+  /// Per-transfer fault rates (applied to coalesced flushes, i.e. to whole
+  /// request transfers, the unit the wire actually carries).
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  /// Extra latency a delayed transfer pays.
+  double delay_us = 200.0;
+  std::uint64_t seed = 1;
+};
+
+/// What the injector decided for one transfer.
+struct TransferFault {
+  bool dropped = false;
+  double delay_us = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  const FaultOptions& options() const { return options_; }
+
+  /// True when the schedule crashes `node` at this batch.
+  bool CrashesAt(int node, std::uint64_t batch_seq) const {
+    return options_.crash_node == node &&
+           options_.crash_node >= 0 &&
+           batch_seq == options_.crash_at_batch;
+  }
+
+  /// True when the schedule rejoins the crashed node at this batch.
+  bool RejoinsAt(std::uint64_t batch_seq) const {
+    return options_.crash_node >= 0 && options_.rejoin_after_batches >= 0 &&
+           batch_seq == options_.crash_at_batch +
+                            static_cast<std::uint64_t>(
+                                options_.rejoin_after_batches);
+  }
+
+  /// Draws the fate of one transfer. Consumes Rng state in call order, so
+  /// callers must invoke it in a deterministic sequence (one draw pair per
+  /// flush, ascending destination order within a round).
+  TransferFault NextTransferFault() {
+    TransferFault fault;
+    if (options_.drop_rate > 0.0 && rng_.NextDouble() < options_.drop_rate) {
+      fault.dropped = true;
+    }
+    if (options_.delay_rate > 0.0 && rng_.NextDouble() < options_.delay_rate) {
+      fault.delay_us = options_.delay_us;
+    }
+    return fault;
+  }
+
+ private:
+  FaultOptions options_;
+  Rng rng_;
+};
+
+}  // namespace cluster
+}  // namespace ganns
+
+#endif  // GANNS_CLUSTER_FAULT_H_

@@ -1,0 +1,75 @@
+#ifndef GANNS_CLUSTER_TRANSPORT_H_
+#define GANNS_CLUSTER_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ganns {
+namespace cluster {
+
+/// Cost model of one node's network interface, analogous to
+/// gpusim::PcieSpec: every transfer pays a fixed per-message latency plus
+/// size / bandwidth. The defaults model a commodity 100 GbE fabric
+/// (~12.5 GB/s) with a 5 µs one-way message cost; the reload channel is the
+/// slower disk/replication path a rejoining node pulls shard images over.
+struct TransportSpec {
+  double bandwidth_gb_per_s = 12.5;
+  double latency_s = 5e-6;
+  /// Shard-image reload bandwidth for node rejoin / shard rebalance.
+  double reload_gb_per_s = 2.0;
+};
+
+/// Lifetime transfer totals of one Transport (one node's NIC).
+struct TransportCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Deterministic simulated-network clock for one node, the cluster analogue
+/// of the gpusim device timeline: Send() charges the modeled seconds of a
+/// transfer and accumulates them, so cluster QPS is a pure function of the
+/// workload, topology, and fault schedule — never of host speed. Like every
+/// simulated clock in this codebase, instrumentation observes it but never
+/// charges it.
+class Transport {
+ public:
+  explicit Transport(const TransportSpec& spec) : spec_(spec) {}
+
+  /// Modeled seconds of one `bytes`-sized message: latency + bytes/bandwidth.
+  double MessageSeconds(std::size_t bytes) const {
+    return spec_.latency_s +
+           static_cast<double>(bytes) / (spec_.bandwidth_gb_per_s * 1e9);
+  }
+
+  /// Modeled seconds to reload `bytes` of shard image over the recovery
+  /// channel (node rejoin, shard rebalance).
+  double ReloadSeconds(std::size_t bytes) const {
+    return spec_.latency_s +
+           static_cast<double>(bytes) / (spec_.reload_gb_per_s * 1e9);
+  }
+
+  /// Charges one message: advances this NIC's clock and counters, returning
+  /// the seconds charged. `extra_s` folds in fault-injected delay.
+  double Send(std::size_t bytes, double extra_s = 0.0) {
+    const double seconds = MessageSeconds(bytes) + extra_s;
+    total_seconds_ += seconds;
+    ++counters_.messages;
+    counters_.bytes += bytes;
+    return seconds;
+  }
+
+  /// Total simulated seconds charged to this NIC.
+  double total_seconds() const { return total_seconds_; }
+  const TransportCounters& counters() const { return counters_; }
+  const TransportSpec& spec() const { return spec_; }
+
+ private:
+  TransportSpec spec_;
+  double total_seconds_ = 0.0;
+  TransportCounters counters_;
+};
+
+}  // namespace cluster
+}  // namespace ganns
+
+#endif  // GANNS_CLUSTER_TRANSPORT_H_

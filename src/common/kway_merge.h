@@ -1,0 +1,59 @@
+#ifndef GANNS_COMMON_KWAY_MERGE_H_
+#define GANNS_COMMON_KWAY_MERGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ganns {
+namespace common {
+
+/// Deterministic k-way merge of pre-sorted top-k rows.
+///
+/// Inputs are per-source result rows for one query, each sorted ascending
+/// under Item's strict weak order (`operator<`), with the additional
+/// guarantee that the order is *total* over the union — for ANN rows this
+/// holds because the comparator is (dist, id) and ids are globally unique
+/// across sources (shards rebase local slots onto the global numbering
+/// before merging). The output is the best k of the union.
+///
+/// Determinism argument: a total order means no comparison ever ties, so the
+/// merged row is a pure function of the input *sets* — independent of source
+/// order, thread schedule, or batch composition. This single property is what
+/// makes sharded serving bit-identical to serial shard-at-a-time execution,
+/// and cluster serving bit-identical to single-node serving regardless of
+/// which replica answered or in how many failover rounds.
+///
+/// One cursor per source; each step takes the smallest head. Source counts
+/// are single digits (shards per process, nodes per cluster), so a linear
+/// head scan beats a heap.
+template <typename Item>
+std::vector<Item> MergeTopK(std::span<const std::vector<Item>> rows,
+                            std::size_t k) {
+  std::vector<Item> merged;
+  merged.reserve(k);
+  std::vector<std::size_t> cursor(rows.size(), 0);
+  while (merged.size() < k) {
+    std::size_t best = rows.size();
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      if (cursor[s] >= rows[s].size()) continue;
+      if (best == rows.size() ||
+          rows[s][cursor[s]] < rows[best][cursor[best]]) {
+        best = s;
+      }
+    }
+    if (best == rows.size()) break;  // every row exhausted
+    const Item& head = rows[best][cursor[best]];
+    GANNS_DCHECK(merged.empty() || merged.back() < head);
+    merged.push_back(head);
+    ++cursor[best];
+  }
+  return merged;
+}
+
+}  // namespace common
+}  // namespace ganns
+
+#endif  // GANNS_COMMON_KWAY_MERGE_H_

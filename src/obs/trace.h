@@ -1,6 +1,7 @@
 #ifndef GANNS_OBS_TRACE_H_
 #define GANNS_OBS_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -28,6 +29,16 @@ inline constexpr std::int32_t kHostPid = 1;
 /// The online serving engine: per-request span trees plus batcher/shard
 /// tracks, all on the wall-clock timeline.
 inline constexpr std::int32_t kServePid = 2;
+/// The simulated cluster: one track per node, timestamped on the cluster's
+/// *simulated* network+compute clock (microseconds, deterministic for a
+/// fixed seed and fault schedule — part of determinism claims).
+inline constexpr std::int32_t kClusterPid = 3;
+
+/// Cluster-process track layout: track n carries node n's per-batch serve
+/// spans and flush/timeout instants.
+inline constexpr std::int32_t ClusterNodeTrack(std::size_t node) {
+  return static_cast<std::int32_t>(node);
+}
 
 /// Device-process track 0 carries kernel-level spans (kernel launches,
 /// GGraphCon merge rounds, HNSW layers); tracks 1..num_sms carry per-SM

@@ -64,6 +64,20 @@ std::size_t ShardedIndex::resident_bytes_per_vector() const {
   return snap->base->dim() * sizeof(float);
 }
 
+std::size_t ShardedIndex::ShardImageBytes(std::size_t s) const {
+  const auto snap = PinSnapshot(s);
+  const graph::ProximityGraph& bottom =
+      shards_[s]->hnsw != nullptr ? shards_[s]->hnsw->layer(0) : *snap->graph;
+  const std::size_t per_vector = snap->quantizer != nullptr
+                                     ? snap->quantizer->code_bytes()
+                                     : snap->base->dim() * sizeof(float);
+  // Vector rows (or codes) for every slot, the d_max (id, dist) adjacency
+  // row per slot, and the slot -> global id map.
+  return bottom.num_vertices() *
+         (per_vector + bottom.d_max() * (sizeof(VertexId) + sizeof(float)) +
+          sizeof(VertexId));
+}
+
 const graph::ProximityGraph& ShardedIndex::shard_graph(std::size_t s) const {
   const Shard& shard = *shards_[s];
   if (shard.hnsw != nullptr) return shard.hnsw->layer(0);
@@ -217,6 +231,15 @@ double ShardedIndex::SearchShard(std::size_t s,
                                  core::SearchKernel kernel,
                                  std::span<std::vector<graph::Neighbor>> rows,
                                  std::span<graph::QueryHardness> hardness) {
+  return SearchShardReplica(s, *shards_[s]->device, queries, kernel, rows,
+                            hardness);
+}
+
+double ShardedIndex::SearchShardReplica(
+    std::size_t s, gpusim::Device& device,
+    std::span<const RoutedQuery> queries, core::SearchKernel kernel,
+    std::span<std::vector<graph::Neighbor>> rows,
+    std::span<graph::QueryHardness> hardness) {
   Shard& shard = *shards_[s];
   // Pin the shard's current epoch for the whole launch: concurrent writers
   // publish replacement snapshots but never mutate a published one, so the
@@ -233,7 +256,7 @@ double ShardedIndex::SearchShard(std::size_t s,
   const data::SearchQuantization quant = snap->Quant();
   const data::SearchQuantization* quant_ptr =
       quant.enabled() ? &quant : nullptr;
-  const gpusim::KernelStats stats = shard.device->Launch(
+  const gpusim::KernelStats stats = device.Launch(
       "serve.shard_search", static_cast<int>(queries.size()),
       options_.block_lanes, [&](gpusim::BlockContext& block) {
         const std::size_t q = static_cast<std::size_t>(block.block_id());

@@ -221,6 +221,28 @@ class ShardedIndex {
   /// float rows otherwise).
   std::size_t resident_bytes_per_vector() const;
 
+  // --- Cluster replica hooks ---
+
+  /// Runs shard s's batch as a single simulated kernel launch on a
+  /// *caller-owned* device instead of the shard's own, returning the
+  /// launch's simulated cycles and writing global-id rows into rows[q].
+  ///
+  /// This is how the cluster layer models replicas without copying data:
+  /// every replica of shard s pins the same immutable snapshot and derives
+  /// the same per-shard budget, so any replica's rows — and therefore the
+  /// cross-node merge — are bit-identical to single-node serving. Only the
+  /// device timeline (whose simulated cycles are charged) is per-replica.
+  double SearchShardReplica(std::size_t s, gpusim::Device& device,
+                            std::span<const RoutedQuery> queries,
+                            core::SearchKernel kernel,
+                            std::span<std::vector<graph::Neighbor>> rows,
+                            std::span<graph::QueryHardness> hardness = {});
+
+  /// Approximate resident bytes of shard s's serving image (vector rows or
+  /// codes plus adjacency): what a rejoining cluster replica must reload
+  /// from the shard file, and what a rebalance must copy across the wire.
+  std::size_t ShardImageBytes(std::size_t s) const;
+
  private:
   /// The reader-visible state of one shard: immutable once published.
   /// Writers build a fresh Snapshot (sharing whatever sub-state they did
@@ -288,10 +310,11 @@ class ShardedIndex {
   std::shared_ptr<const Snapshot> PinSnapshot(std::size_t s) const;
   void PublishSnapshot(std::size_t s, std::shared_ptr<const Snapshot> next);
 
-  /// Runs one shard's batch as a single simulated kernel launch, writing
-  /// global-id rows into rows[q]. Returns the launch's simulated cycles.
-  /// `hardness` (optional, one slot per query when non-empty) receives this
-  /// shard's per-query hardness signals.
+  /// Runs one shard's batch as a single simulated kernel launch on the
+  /// shard's own read device, writing global-id rows into rows[q]. Returns
+  /// the launch's simulated cycles. `hardness` (optional, one slot per query
+  /// when non-empty) receives this shard's per-query hardness signals.
+  /// Delegates to SearchShardReplica with the shard's device.
   double SearchShard(std::size_t s, std::span<const RoutedQuery> queries,
                      core::SearchKernel kernel,
                      std::span<std::vector<graph::Neighbor>> rows,

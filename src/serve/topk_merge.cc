@@ -1,33 +1,13 @@
 #include "serve/topk_merge.h"
 
-#include "common/logging.h"
+#include "common/kway_merge.h"
 
 namespace ganns {
 namespace serve {
 
 std::vector<graph::Neighbor> MergeTopK(
     std::span<const std::vector<graph::Neighbor>> shard_rows, std::size_t k) {
-  std::vector<graph::Neighbor> merged;
-  merged.reserve(k);
-  // One cursor per shard row; each step takes the smallest (dist, id) head.
-  // Shard counts are single digits, so a linear head scan beats a heap.
-  std::vector<std::size_t> cursor(shard_rows.size(), 0);
-  while (merged.size() < k) {
-    std::size_t best = shard_rows.size();
-    for (std::size_t s = 0; s < shard_rows.size(); ++s) {
-      if (cursor[s] >= shard_rows[s].size()) continue;
-      if (best == shard_rows.size() ||
-          shard_rows[s][cursor[s]] < shard_rows[best][cursor[best]]) {
-        best = s;
-      }
-    }
-    if (best == shard_rows.size()) break;  // every row exhausted
-    const graph::Neighbor& head = shard_rows[best][cursor[best]];
-    GANNS_DCHECK(merged.empty() || merged.back() < head);
-    merged.push_back(head);
-    ++cursor[best];
-  }
-  return merged;
+  return common::MergeTopK(shard_rows, k);
 }
 
 }  // namespace serve

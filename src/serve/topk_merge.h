@@ -12,16 +12,13 @@ namespace serve {
 
 /// Deterministic k-way merge of per-shard top-k rows.
 ///
-/// Inputs are the shards' result rows for one query, each sorted ascending
-/// by (dist, id) with globally disjoint id ranges (the router rebases shard
-/// ids onto the global numbering before merging). The output is the best k
-/// of the union under the same strict weak order.
-///
-/// Determinism argument: (dist, id) is a total order over the union — ids
-/// are unique across shards, so no comparison ever ties — hence the merged
-/// row is a pure function of the input *sets*, independent of shard order,
-/// thread schedule, or batch composition. This is what makes sharded serving
-/// results bit-identical to a serial shard-at-a-time execution.
+/// Thin wrapper over common::MergeTopK (common/kway_merge.h), which holds
+/// the single copy of the comparator logic and the determinism argument:
+/// (dist, id) is a total order over the union because the router rebases
+/// shard ids onto the disjoint global numbering before merging, so the
+/// merged row is a pure function of the input sets. The cluster layer's
+/// cross-node merge calls the same template, which is what makes cluster
+/// results bit-identical to single-node serving.
 std::vector<graph::Neighbor> MergeTopK(
     std::span<const std::vector<graph::Neighbor>> shard_rows, std::size_t k);
 

@@ -19,6 +19,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${GANNS_TSAN_BUILD}
           --target serve_test obs_concurrency_test common_concurrency_test
+                   cluster_test
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "TSan subbuild compile failed")
@@ -46,4 +47,14 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
                 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "obs_concurrency_test failed under TSan")
+endif()
+
+# The cluster router fans node execution out over the shared ThreadPool
+# while the routing thread owns all counters and the simulated clock — TSan
+# checks that boundary (and the per-replica device launches) for races.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_TSAN_BUILD}/tests/cluster_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cluster_test failed under TSan")
 endif()

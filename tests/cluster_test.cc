@@ -1,0 +1,491 @@
+// Tests for the simulated cluster layer (src/cluster): the transport cost
+// model, the per-destination message aggregator's flush accounting, the
+// shared k-way merge property, replica selection, bit-identity of cluster
+// serving vs single-node serving, crash/failover/rejoin/rebalance handling,
+// and same-seed determinism of a faulted run.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_router.h"
+#include "cluster/fault.h"
+#include "cluster/message_aggregator.h"
+#include "cluster/transport.h"
+#include "common/kway_merge.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "graph/beam_search.h"
+#include "serve/shard_router.h"
+
+namespace ganns {
+namespace cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+TEST(TransportTest, ChargesLatencyPlusBandwidth) {
+  TransportSpec spec;
+  spec.bandwidth_gb_per_s = 10.0;
+  spec.latency_s = 1e-6;
+  Transport transport(spec);
+
+  // 10 KB at 10 GB/s = 1 µs on the wire, plus 1 µs message latency.
+  const double seconds = transport.Send(10000);
+  EXPECT_DOUBLE_EQ(seconds, 1e-6 + 10000.0 / 10e9);
+  EXPECT_DOUBLE_EQ(transport.total_seconds(), seconds);
+  EXPECT_EQ(transport.counters().messages, 1u);
+  EXPECT_EQ(transport.counters().bytes, 10000u);
+
+  // Fault-injected delay folds into the charge.
+  const double delayed = transport.Send(10000, 5e-6);
+  EXPECT_DOUBLE_EQ(delayed, seconds + 5e-6);
+  EXPECT_DOUBLE_EQ(transport.total_seconds(), seconds + delayed);
+
+  // The reload channel is slower than the serving fabric.
+  EXPECT_GT(transport.ReloadSeconds(1 << 20),
+            transport.MessageSeconds(1 << 20));
+}
+
+// ---------------------------------------------------------------------------
+// MessageAggregator
+// ---------------------------------------------------------------------------
+
+TEST(MessageAggregatorTest, CapacityFlushFiresInline) {
+  AggregatorOptions options;
+  options.max_messages = 4;
+  options.max_bytes = 1 << 20;  // only the message cap triggers
+  std::vector<FlushRecord> flushes;
+  MessageAggregator aggregator(
+      2, options, [&](const FlushRecord& record) { flushes.push_back(record); });
+
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    aggregator.Enqueue(/*dest=*/1, /*bytes=*/100, /*tag=*/i, /*now_us=*/0.0);
+  }
+  ASSERT_EQ(flushes.size(), 1u);
+  EXPECT_EQ(flushes[0].dest, 1u);
+  EXPECT_EQ(flushes[0].messages, 4u);
+  EXPECT_EQ(flushes[0].bytes, 400u);
+  EXPECT_EQ(flushes[0].trigger, FlushTrigger::kCapacity);
+  EXPECT_EQ(flushes[0].tags, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(aggregator.PendingMessages(1), 0u);
+  EXPECT_EQ(aggregator.counters().capacity_flushes, 1u);
+}
+
+TEST(MessageAggregatorTest, ByteCapacityAlsoTriggers) {
+  AggregatorOptions options;
+  options.max_messages = 1000;
+  options.max_bytes = 250;
+  std::vector<FlushRecord> flushes;
+  MessageAggregator aggregator(
+      1, options, [&](const FlushRecord& record) { flushes.push_back(record); });
+
+  aggregator.Enqueue(0, 100, 0, 0.0);
+  aggregator.Enqueue(0, 100, 1, 0.0);
+  EXPECT_TRUE(flushes.empty());
+  aggregator.Enqueue(0, 100, 2, 0.0);  // 300 >= 250
+  ASSERT_EQ(flushes.size(), 1u);
+  EXPECT_EQ(flushes[0].messages, 3u);
+}
+
+TEST(MessageAggregatorTest, DeadlineFlushOnAdvance) {
+  AggregatorOptions options;
+  options.deadline_us = 100.0;
+  std::vector<FlushRecord> flushes;
+  MessageAggregator aggregator(
+      3, options, [&](const FlushRecord& record) { flushes.push_back(record); });
+
+  aggregator.Enqueue(2, 64, 7, /*now_us=*/10.0);
+  aggregator.AdvanceTo(50.0);  // only 40 µs old — stays buffered
+  EXPECT_TRUE(flushes.empty());
+  EXPECT_EQ(aggregator.PendingMessages(2), 1u);
+
+  aggregator.AdvanceTo(111.0);  // 101 µs old — deadline fires
+  ASSERT_EQ(flushes.size(), 1u);
+  EXPECT_EQ(flushes[0].dest, 2u);
+  EXPECT_EQ(flushes[0].trigger, FlushTrigger::kDeadline);
+  EXPECT_EQ(aggregator.counters().deadline_flushes, 1u);
+}
+
+TEST(MessageAggregatorTest, FlushAccountingInvariantHolds) {
+  AggregatorOptions options;
+  options.max_messages = 2;
+  options.deadline_us = 10.0;
+  std::size_t sink_calls = 0;
+  {
+    MessageAggregator aggregator(
+        2, options, [&](const FlushRecord&) { ++sink_calls; });
+    aggregator.Enqueue(0, 8, 0, 0.0);
+    aggregator.Enqueue(0, 8, 1, 0.0);  // capacity flush
+    aggregator.Enqueue(1, 8, 2, 0.0);
+    aggregator.AdvanceTo(100.0);  // deadline flush of dest 1
+    aggregator.Enqueue(0, 8, 3, 100.0);
+    const AggregatorCounters& counters = aggregator.counters();
+    EXPECT_EQ(counters.capacity_flushes, 1u);
+    EXPECT_EQ(counters.deadline_flushes, 1u);
+    // Destructor must drain the remaining message as a shutdown flush.
+  }
+  EXPECT_EQ(sink_calls, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared k-way merge property (common/kway_merge.h)
+// ---------------------------------------------------------------------------
+
+// Property: for rows drawn from disjoint rebased id ranges (exactly what
+// shards hand the merge), MergeTopK == sort(concatenate(rows)) truncated to
+// k, for any k and any number of rows. Randomized over seeds.
+TEST(KWayMergeTest, DisjointRangesEqualSortedConcatenation) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t num_rows = 1 + rng.NextBounded(5);
+    std::vector<std::vector<graph::Neighbor>> rows(num_rows);
+    std::vector<graph::Neighbor> all;
+    for (std::size_t s = 0; s < num_rows; ++s) {
+      const std::size_t len = rng.NextBounded(8);  // empty rows included
+      for (std::size_t i = 0; i < len; ++i) {
+        graph::Neighbor neighbor;
+        // Coarse distances force cross-row ties; disjoint id ranges (shard
+        // rebase) keep the (dist, id) order total anyway.
+        neighbor.dist = static_cast<float>(rng.NextBounded(4));
+        neighbor.id = static_cast<VertexId>(s * 1000 + i);
+        rows[s].push_back(neighbor);
+      }
+      std::sort(rows[s].begin(), rows[s].end());
+      all.insert(all.end(), rows[s].begin(), rows[s].end());
+    }
+    std::sort(all.begin(), all.end());
+    for (const std::size_t k : {std::size_t{0}, std::size_t{3},
+                                std::size_t{10}, all.size() + 5}) {
+      const auto merged = common::MergeTopK<graph::Neighbor>(rows, k);
+      const std::size_t expect = std::min(k, all.size());
+      ASSERT_EQ(merged.size(), expect) << "seed=" << seed << " k=" << k;
+      for (std::size_t i = 0; i < expect; ++i) {
+        EXPECT_EQ(merged[i], all[i]) << "seed=" << seed << " k=" << k;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection parsing
+// ---------------------------------------------------------------------------
+
+TEST(SelectionTest, NamesRoundTrip) {
+  for (const ReplicaSelection selection :
+       {ReplicaSelection::kRoundRobin, ReplicaSelection::kLeastOutstanding,
+        ReplicaSelection::kPowerOfTwoChoices}) {
+    const auto parsed = ParseSelection(SelectionName(selection));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, selection);
+  }
+  EXPECT_FALSE(ParseSelection("bogus").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ClusterIndex
+// ---------------------------------------------------------------------------
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 600;
+  static constexpr std::size_t kQueries = 24;
+  static constexpr std::size_t kK = 10;
+  static constexpr std::size_t kBudget = 128;
+  static constexpr std::size_t kShards = 3;
+  static constexpr std::size_t kBatch = 8;
+
+  void SetUp() override {
+    base_ = std::make_unique<data::Dataset>(
+        data::GenerateBase(data::PaperDataset("SIFT1M"), kN, 11));
+    queries_ = std::make_unique<data::Dataset>(
+        data::GenerateQueries(data::PaperDataset("SIFT1M"), kQueries, kN, 11));
+    index_ = std::make_unique<serve::ShardedIndex>(
+        serve::ShardedIndex::Build(*base_, kShards, {}));
+    routed_.resize(kQueries);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      routed_[q].query = queries_->Point(static_cast<VertexId>(q));
+      routed_[q].k = kK;
+      routed_[q].budget = kBudget;
+    }
+    reference_ = BatchedSearch(*index_);
+  }
+
+  /// Single-node reference rows, in kBatch-sized batches (the same batch
+  /// boundaries the cluster runs use — batching must not matter, but keeping
+  /// them equal makes the comparison airtight).
+  std::vector<std::vector<graph::Neighbor>> BatchedSearch(
+      serve::ShardedIndex& index) const {
+    std::vector<std::vector<graph::Neighbor>> rows(kQueries);
+    const std::span<const serve::RoutedQuery> all(routed_);
+    for (std::size_t q = 0; q < kQueries; q += kBatch) {
+      const std::size_t count = std::min(kBatch, kQueries - q);
+      auto batch =
+          index.SearchBatch(all.subspan(q, count), core::SearchKernel::kGanns);
+      for (std::size_t i = 0; i < count; ++i) rows[q + i] = std::move(batch[i]);
+    }
+    return rows;
+  }
+
+  std::vector<std::vector<graph::Neighbor>> RunCluster(
+      ClusterIndex& cluster) const {
+    std::vector<std::vector<graph::Neighbor>> rows(kQueries);
+    const std::span<const serve::RoutedQuery> all(routed_);
+    for (std::size_t q = 0; q < kQueries; q += kBatch) {
+      const std::size_t count = std::min(kBatch, kQueries - q);
+      auto batch = cluster.SearchBatch(all.subspan(q, count),
+                                       core::SearchKernel::kGanns);
+      for (std::size_t i = 0; i < count; ++i) rows[q + i] = std::move(batch[i]);
+    }
+    return rows;
+  }
+
+  std::unique_ptr<data::Dataset> base_;
+  std::unique_ptr<data::Dataset> queries_;
+  std::unique_ptr<serve::ShardedIndex> index_;
+  std::vector<serve::RoutedQuery> routed_;
+  std::vector<std::vector<graph::Neighbor>> reference_;
+};
+
+// The acceptance gate: with no faults, every topology and selection policy
+// returns rows bit-identical to single-node ShardedIndex serving at the same
+// budget — replicas pin the same snapshots and the (dist, id) merge is a
+// pure function of the candidate sets.
+TEST_F(ClusterTest, BitIdenticalToSingleNodeAcrossConfigs) {
+  struct Config {
+    std::size_t nodes;
+    std::size_t replication;
+    ReplicaSelection selection;
+  };
+  const Config configs[] = {
+      {2, 1, ReplicaSelection::kRoundRobin},
+      {2, 2, ReplicaSelection::kRoundRobin},
+      {3, 2, ReplicaSelection::kLeastOutstanding},
+      {4, 3, ReplicaSelection::kPowerOfTwoChoices},
+  };
+  for (const Config& config : configs) {
+    ClusterOptions options;
+    options.num_nodes = config.nodes;
+    options.replication = config.replication;
+    options.selection = config.selection;
+    ClusterIndex cluster(*index_, options);
+    const auto rows = RunCluster(cluster);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      ASSERT_EQ(rows[q], reference_[q])
+          << "nodes=" << config.nodes << " repl=" << config.replication
+          << " sel=" << SelectionName(config.selection) << " q=" << q;
+    }
+    EXPECT_EQ(cluster.counters().lost_sub_queries, 0u);
+    EXPECT_EQ(cluster.counters().served_queries, kQueries);
+    EXPECT_GT(cluster.total_sim_seconds(), 0.0);
+  }
+}
+
+TEST_F(ClusterTest, PlacementPutsReplicasOnDistinctNodes) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 3;
+  ClusterIndex cluster(*index_, options);
+  std::uint64_t hosted_total = 0;
+  for (std::size_t n = 0; n < cluster.num_nodes(); ++n) {
+    const NodeStatus status = cluster.NodeInfo(n);
+    EXPECT_TRUE(status.alive);
+    hosted_total += status.hosted_shards.size();
+  }
+  EXPECT_EQ(hosted_total, kShards * 3);
+  for (std::size_t s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.ReplicaCount(s), 3u);
+  }
+}
+
+// A mid-run crash with replication >= 2: the first post-crash batch times
+// out on the dead node, retries fail over to the surviving replica, and no
+// query loses candidates — results stay bit-identical throughout.
+TEST_F(ClusterTest, CrashWithReplicationFailsOverLosslessly) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.faults.crash_node = 1;
+  options.faults.crash_at_batch = 2;
+  ClusterIndex cluster(*index_, options);
+
+  const auto rows = RunCluster(cluster);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    ASSERT_EQ(rows[q], reference_[q]) << "q=" << q;
+  }
+  const ClusterCounters& counters = cluster.counters();
+  EXPECT_EQ(counters.crashes, 1u);
+  EXPECT_EQ(counters.lost_sub_queries, 0u);
+  EXPECT_GT(counters.timeouts, 0u);
+  EXPECT_GT(counters.failovers, 0u);
+  EXPECT_FALSE(cluster.NodeAlive(1));
+  // Health tracking must eventually stop believing in the dead node.
+  EXPECT_FALSE(cluster.NodeBelievedUp(1));
+}
+
+// Without replication a crashed node's shards have nowhere to fail over:
+// their candidates are lost (counted, never silently dropped), and the
+// merged rows for affected queries degrade instead of erroring.
+TEST_F(ClusterTest, CrashWithoutReplicationLosesShardCandidates) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 1;
+  options.faults.crash_node = 0;
+  options.faults.crash_at_batch = 2;
+  ClusterIndex cluster(*index_, options);
+
+  const auto rows = RunCluster(cluster);
+  EXPECT_GT(cluster.counters().lost_sub_queries, 0u);
+  EXPECT_EQ(cluster.counters().served_queries, kQueries);
+  ASSERT_EQ(rows.size(), kQueries);
+  bool any_diverged = false;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    if (rows[q] != reference_[q]) any_diverged = true;
+  }
+  EXPECT_TRUE(any_diverged);
+}
+
+// Same seed + same fault schedule => byte-equal results and counters. This
+// is the unit-level form of the run-twice BENCH_cluster.json ctest gate.
+TEST_F(ClusterTest, SameSeedFaultScheduleIsDeterministic) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.selection = ReplicaSelection::kPowerOfTwoChoices;
+  options.seed = 7;
+  options.faults.seed = 7;
+  options.faults.drop_rate = 0.2;
+  options.faults.delay_rate = 0.2;
+  options.faults.crash_node = 2;
+  options.faults.crash_at_batch = 2;
+  options.faults.rejoin_after_batches = 1;
+
+  ClusterIndex first(*index_, options);
+  const auto rows_a = RunCluster(first);
+  const ClusterCounters counters_a = first.counters();
+  const double sim_a = first.total_sim_seconds();
+
+  ClusterIndex second(*index_, options);
+  const auto rows_b = RunCluster(second);
+  const ClusterCounters counters_b = second.counters();
+
+  EXPECT_EQ(rows_a, rows_b);
+  EXPECT_DOUBLE_EQ(sim_a, second.total_sim_seconds());
+  EXPECT_EQ(counters_a.retries, counters_b.retries);
+  EXPECT_EQ(counters_a.failovers, counters_b.failovers);
+  EXPECT_EQ(counters_a.timeouts, counters_b.timeouts);
+  EXPECT_EQ(counters_a.dropped_transfers, counters_b.dropped_transfers);
+  EXPECT_EQ(counters_a.delayed_transfers, counters_b.delayed_transfers);
+  EXPECT_EQ(counters_a.lost_sub_queries, counters_b.lost_sub_queries);
+  EXPECT_GT(counters_a.dropped_transfers, 0u);
+  EXPECT_GT(counters_a.retries, 0u);
+}
+
+// Dropped request transfers time out and retry on another replica; with
+// replication 2 and a modest drop rate the retry path absorbs every drop.
+TEST_F(ClusterTest, DroppedTransfersRetryToIdenticalResults) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.faults.drop_rate = 0.5;
+  options.faults.seed = 3;
+  ClusterIndex cluster(*index_, options);
+
+  const auto rows = RunCluster(cluster);
+  const ClusterCounters& counters = cluster.counters();
+  EXPECT_GT(counters.dropped_transfers, 0u);
+  EXPECT_GT(counters.retries, 0u);
+  if (counters.lost_sub_queries == 0) {
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      ASSERT_EQ(rows[q], reference_[q]) << "q=" << q;
+    }
+  }
+}
+
+// Rejoin reloads the node's shard images over the recovery channel (charged
+// off the serving clock) and restores it to full health; serving afterwards
+// is lossless and bit-identical again.
+TEST_F(ClusterTest, RejoinRestoresCrashedNode) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 2;
+  ClusterIndex cluster(*index_, options);
+
+  cluster.CrashNode(1);
+  EXPECT_FALSE(cluster.NodeAlive(1));
+  const auto during = RunCluster(cluster);  // timeouts mark node 1 down
+  EXPECT_FALSE(cluster.NodeBelievedUp(1));
+  EXPECT_EQ(cluster.counters().lost_sub_queries, 0u);
+
+  cluster.RejoinNode(1);
+  EXPECT_TRUE(cluster.NodeAlive(1));
+  EXPECT_TRUE(cluster.NodeBelievedUp(1));
+  EXPECT_EQ(cluster.counters().rejoins, 1u);
+  EXPECT_GT(cluster.recovery_sim_seconds(), 0.0);
+
+  const auto after = RunCluster(cluster);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    ASSERT_EQ(during[q], reference_[q]) << "q=" << q;
+    ASSERT_EQ(after[q], reference_[q]) << "q=" << q;
+  }
+}
+
+// Rebalancing copies a replica of the hottest shard onto a new node; the
+// extra replica serves (selection can pick it) without changing results.
+TEST_F(ClusterTest, RebalanceAddsReplicaOfHotShard) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 1;
+  ClusterIndex cluster(*index_, options);
+  (void)RunCluster(cluster);
+
+  const std::size_t hot = cluster.HottestShard();
+  ASSERT_LT(hot, cluster.num_shards());
+  // With replication 1 the shard lives on exactly node (hot % 3); any other
+  // node is a valid rebalance target.
+  const std::size_t target = (hot + 1) % 3;
+  EXPECT_EQ(cluster.ReplicaCount(hot), 1u);
+  EXPECT_TRUE(cluster.RebalanceShard(hot, target));
+  EXPECT_EQ(cluster.ReplicaCount(hot), 2u);
+  EXPECT_EQ(cluster.counters().rebalances, 1u);
+  EXPECT_GT(cluster.recovery_sim_seconds(), 0.0);
+  // Re-adding on the same node is refused.
+  EXPECT_FALSE(cluster.RebalanceShard(hot, target));
+
+  const auto rows = RunCluster(cluster);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    ASSERT_EQ(rows[q], reference_[q]) << "q=" << q;
+  }
+}
+
+// The aggregator invariant holds end-to-end through a faulted cluster run,
+// and the JSON fragments expose the full counter set (spot-check: the same
+// accounting schema_check's cluster mode enforces on artifacts).
+TEST_F(ClusterTest, AggregatorAccountingSurvivesFaultedRun) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.faults.crash_node = 1;
+  options.faults.crash_at_batch = 1;
+  options.faults.rejoin_after_batches = 2;
+  ClusterIndex cluster(*index_, options);
+  (void)RunCluster(cluster);
+  cluster.Shutdown();
+
+  const AggregatorCounters& agg = cluster.aggregator_counters();
+  EXPECT_EQ(agg.capacity_flushes + agg.deadline_flushes + agg.shutdown_flushes,
+            agg.total_flushes);
+  EXPECT_GT(agg.enqueued_messages, 0u);
+  EXPECT_GT(agg.CoalescingFactor(), 1.0);  // batching actually coalesces
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace ganns

@@ -28,6 +28,18 @@
 //                [--series-out series.jsonl] [--series-interval-ms 100]
 //                [--flight-out flight.json] [--slo-fraction 0.8]
 //                [--flight-ring 4096] [--hardness-out hardness.jsonl]
+//                [--fail-on-reject]
+//   ganns cluster-bench --dataset SIFT1M --n 20000 [--queries 400] [--seed 1]
+//                [--shards 4] [--nodes 3] [--replication 2]
+//                [--selection rr|lo|p2c] [--k 10] [--budget 256]
+//                [--kernel ganns|song|beam] [--batch 16]
+//                [--crash-node N --crash-at-batch B [--rejoin-after R]]
+//                [--drop-pct P] [--delay-pct P] [--delay-us U]
+//                [--fault-seed S] [--timeout-us 1000] [--max-attempts 3]
+//                [--agg-bytes 8192] [--agg-deadline-us 100]
+//                [--verify-single-node] [--json out.json]
+//                [--trace-out trace.json] [--stats-out stats.json]
+//                [--prom-out metrics.prom]
 //   ganns update --dataset SIFT1M --n 20000 [--queries 200] [--seed 1]
 //                [--shards 2] [--k 10] [--budget 256]
 //                [--inserts N] [--removes N] [--kernel ganns|song|beam]
@@ -59,6 +71,21 @@
 // --sample); --stats-out writes the metrics registry JSON with HDR
 // latency percentiles and exemplar links; --prom-out writes the same
 // registry in Prometheus text exposition format.
+//
+// `serve-bench --fail-on-reject` propagates overload into the exit code:
+// when admission control rejected any request the run exits 1 (after
+// writing every requested artifact), instead of silently passing with a
+// degraded served count — the mode CI load gates should run in.
+//
+// `cluster-bench` builds a sharded index and serves it through the
+// simulated multi-node cluster (src/cluster): N nodes hosting shard
+// replicas, per-destination message aggregation, simulated network cost,
+// and deterministic fault injection (node crash/rejoin, dropped/delayed
+// transfers). Reports recall, simulated QPS, failover/timeout counters,
+// per-node stats, and aggregator flush accounting as JSON. With
+// --verify-single-node the run exits non-zero unless the cluster's
+// k-results are bit-identical to single-node ShardedIndex serving (the
+// expected state whenever no candidates were lost).
 //
 // `stat` reads a --stats-out file back and prints SLO summaries; with
 // --metric and --quantile it prints a single number (scriptable, used by
@@ -95,6 +122,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_router.h"
 #include "core/ganns_index.h"
 #include "core/ganns_search.h"
 #include "core/ggraphcon.h"
@@ -763,6 +791,221 @@ int CmdServeBench(const Args& args) {
     std::printf("wrote hardness exemplars to %s\n", hardness_out->c_str());
   }
   serve::FlightRecorder::Global().SetEnabled(false);
+  // Overload must be able to fail the run: every artifact above is already
+  // written, so CI gets the evidence *and* the non-zero exit.
+  if (args.Flag("fail-on-reject") && counters.rejected > 0) {
+    std::fprintf(stderr,
+                 "serve-bench: %llu request(s) rejected by admission control "
+                 "(--fail-on-reject)\n",
+                 static_cast<unsigned long long>(counters.rejected));
+    return 1;
+  }
+  return 0;
+}
+
+/// `ganns cluster-bench`: drives the simulated multi-node cluster. Builds a
+/// sharded index, wraps it in a ClusterIndex (replica placement, message
+/// aggregation, fault injection per flags), pushes the query stream through
+/// in fixed-size batches, and reports recall + simulated QPS + failure
+/// counters + per-node stats as deterministic JSON. The same batches are
+/// replayed through single-node ShardedIndex::SearchBatch to report (and
+/// with --verify-single-node, enforce) the bit-identity contract.
+int CmdClusterBench(const Args& args) {
+  const data::DatasetSpec& spec =
+      data::PaperDataset(args.Get("dataset").value_or("SIFT1M"));
+  const std::size_t n = static_cast<std::size_t>(args.Int("n", 20000));
+  const std::size_t num_queries =
+      static_cast<std::size_t>(args.Int("queries", 400));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.Int("seed", 1));
+  const std::size_t k = static_cast<std::size_t>(args.Int("k", 10));
+  const std::size_t budget = static_cast<std::size_t>(args.Int("budget", 256));
+  const std::size_t num_shards =
+      static_cast<std::size_t>(args.Int("shards", 4));
+  const std::size_t batch_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.Int("batch", 16)));
+
+  const auto trace_out = args.Get("trace-out");
+  const auto stats_out = args.Get("stats-out");
+  const auto prom_out = args.Get("prom-out");
+  if (trace_out.has_value()) obs::SetTracingEnabled(true);
+  if (stats_out.has_value() || prom_out.has_value()) {
+    obs::SetMetricsEnabled(true);
+  }
+
+  const data::Dataset base = data::GenerateBase(spec, n, seed);
+  const data::Dataset queries =
+      data::GenerateQueries(spec, num_queries, n, seed);
+
+  serve::ShardBuildOptions build_options;
+  build_options.num_groups = static_cast<int>(args.Int("groups", 64));
+  build_options.construction_kernel = ParseServeKernel(args);
+  if (build_options.construction_kernel == core::SearchKernel::kBeam) {
+    build_options.construction_kernel = core::SearchKernel::kGanns;
+  }
+  serve::ShardedIndex index =
+      serve::ShardedIndex::Build(base, num_shards, build_options);
+
+  cluster::ClusterOptions cluster_options;
+  cluster_options.num_nodes = static_cast<std::size_t>(args.Int("nodes", 3));
+  cluster_options.replication =
+      static_cast<std::size_t>(args.Int("replication", 2));
+  if (const auto name = args.Get("selection"); name.has_value()) {
+    const auto selection = cluster::ParseSelection(*name);
+    if (!selection.has_value()) {
+      std::fprintf(stderr, "unknown selection '%s' (use rr|lo|p2c)\n",
+                   name->c_str());
+      return 2;
+    }
+    cluster_options.selection = *selection;
+  }
+  cluster_options.max_attempts =
+      static_cast<std::size_t>(args.Int("max-attempts", 3));
+  cluster_options.timeout_us = args.Double("timeout-us", 1000.0);
+  cluster_options.aggregator.max_bytes =
+      static_cast<std::size_t>(args.Int("agg-bytes", 8192));
+  cluster_options.aggregator.deadline_us =
+      args.Double("agg-deadline-us", 100.0);
+  cluster_options.seed = seed;
+  cluster_options.faults.crash_node =
+      static_cast<int>(args.Int("crash-node", -1));
+  cluster_options.faults.crash_at_batch =
+      static_cast<std::uint64_t>(args.Int("crash-at-batch", 1));
+  cluster_options.faults.rejoin_after_batches =
+      static_cast<int>(args.Int("rejoin-after", -1));
+  cluster_options.faults.drop_rate = args.Double("drop-pct", 0.0) / 100.0;
+  cluster_options.faults.delay_rate = args.Double("delay-pct", 0.0) / 100.0;
+  cluster_options.faults.delay_us = args.Double("delay-us", 200.0);
+  cluster_options.faults.seed =
+      static_cast<std::uint64_t>(args.Int("fault-seed", 1));
+
+  cluster::ClusterIndex cluster_index(index, cluster_options);
+  const core::SearchKernel kernel = ParseServeKernel(args);
+
+  std::vector<serve::RoutedQuery> routed(num_queries);
+  std::vector<std::vector<float>> query_storage(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    const auto point = queries.Point(static_cast<VertexId>(q));
+    query_storage[q].assign(point.begin(), point.end());
+    routed[q].query = query_storage[q];
+    routed[q].k = k;
+    routed[q].budget = budget;
+  }
+
+  std::vector<std::vector<graph::Neighbor>> rows(num_queries);
+  for (std::size_t q = 0; q < num_queries; q += batch_size) {
+    const std::size_t count = std::min(batch_size, num_queries - q);
+    auto batch_rows = cluster_index.SearchBatch(
+        std::span<const serve::RoutedQuery>(routed).subspan(q, count), kernel);
+    for (std::size_t i = 0; i < count; ++i) {
+      rows[q + i] = std::move(batch_rows[i]);
+    }
+  }
+  cluster_index.Shutdown();
+
+  // Replay through single-node serving: the determinism contract says this
+  // matches bit-for-bit whenever the cluster lost no candidates.
+  bool identical = true;
+  for (std::size_t q = 0; q < num_queries && identical; q += batch_size) {
+    const std::size_t count = std::min(batch_size, num_queries - q);
+    const auto reference = index.SearchBatch(
+        std::span<const serve::RoutedQuery>(routed).subspan(q, count), kernel);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (rows[q + i] != reference[i]) identical = false;
+    }
+  }
+
+  std::vector<std::vector<VertexId>> ids(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (const auto& neighbor : rows[q]) ids[q].push_back(neighbor.id);
+  }
+  const data::GroundTruth truth = data::BruteForceKnn(base, queries, k);
+  const double recall = data::MeanRecall(ids, truth, k);
+  const cluster::ClusterCounters& counters = cluster_index.counters();
+  const double sim_seconds = cluster_index.total_sim_seconds();
+
+  std::string json = "{\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  \"shards\": %zu, \"nodes\": %zu, \"replication\": %zu, "
+                "\"selection\": \"%s\",\n",
+                num_shards, cluster_options.num_nodes,
+                cluster_options.replication,
+                std::string(cluster::SelectionName(cluster_options.selection))
+                    .c_str());
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"queries\": %zu, \"batch\": %zu,\n", num_queries,
+                batch_size);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"served\": %llu, \"lost\": %llu,\n",
+                static_cast<unsigned long long>(counters.served_queries),
+                static_cast<unsigned long long>(counters.lost_sub_queries));
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"failovers\": %llu, \"timeouts\": %llu,\n",
+                static_cast<unsigned long long>(counters.failovers),
+                static_cast<unsigned long long>(counters.timeouts));
+  json += line;
+  std::snprintf(line, sizeof(line), "  \"recall\": %.4f,\n", recall);
+  json += line;
+  std::snprintf(line, sizeof(line),
+                "  \"sim_qps\": %.0f, \"recovery_sim_seconds\": %.6f,\n",
+                sim_seconds > 0
+                    ? static_cast<double>(counters.served_queries) / sim_seconds
+                    : 0.0,
+                cluster_index.recovery_sim_seconds());
+  json += line;
+  std::snprintf(line, sizeof(line), "  \"identical_to_single_node\": %d,\n",
+                identical ? 1 : 0);
+  json += line;
+  json += "  \"counters\": " + cluster_index.CountersJson() + ",\n";
+  json += "  \"aggregator\": " + cluster_index.AggregatorJson() + ",\n";
+  json += "  \"node_stats\": " + cluster_index.NodesJson() + "\n}\n";
+
+  if (const auto out = args.Get("json"); out.has_value()) {
+    std::FILE* file = std::fopen(out->c_str(), "w");
+    if (file == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), file) != json.size()) {
+      if (file != nullptr) std::fclose(file);
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+    std::fclose(file);
+    std::printf("wrote %s\n", out->c_str());
+  }
+  std::fputs(json.c_str(), stdout);
+
+  if (trace_out.has_value()) {
+    if (!obs::TraceRecorder::Global().WriteJson(*trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n",
+                obs::TraceRecorder::Global().size(), trace_out->c_str());
+  }
+  if (stats_out.has_value()) {
+    if (!obs::MetricsRegistry::Global().WriteJson(*stats_out)) {
+      std::fprintf(stderr, "failed to write %s\n", stats_out->c_str());
+      return 1;
+    }
+    std::printf("wrote cluster stats to %s\n", stats_out->c_str());
+  }
+  if (prom_out.has_value()) {
+    if (!obs::MetricsRegistry::Global().WritePrometheus(*prom_out)) {
+      std::fprintf(stderr, "failed to write %s\n", prom_out->c_str());
+      return 1;
+    }
+    std::printf("wrote Prometheus metrics to %s\n", prom_out->c_str());
+  }
+
+  if (args.Flag("verify-single-node") && !identical) {
+    std::fprintf(stderr,
+                 "cluster-bench: cluster results diverged from single-node "
+                 "serving (lost=%llu)\n",
+                 static_cast<unsigned long long>(counters.lost_sub_queries));
+    return 1;
+  }
   return 0;
 }
 
@@ -1207,7 +1450,8 @@ int CmdTop(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: ganns "
-               "<gen|build|search|eval|profile|serve-bench|update|stat|top> "
+               "<gen|build|search|eval|profile|serve-bench|cluster-bench|"
+               "update|stat|top> "
                "--flag value ...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
@@ -1227,6 +1471,7 @@ int main(int argc, char** argv) {
   if (command == "eval") return CmdEval(args);
   if (command == "profile") return CmdProfile(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "cluster-bench") return CmdClusterBench(args);
   if (command == "update") return CmdUpdate(args);
   return Usage();
 }

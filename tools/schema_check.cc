@@ -14,6 +14,17 @@
 //                                         cumulative histogram buckets, and
 //                                         summary quantile lines ("--prom"
 //                                         is accepted as an alias)
+//   schema_check cluster <BENCH_cluster.json | cluster report>
+//                                         cluster serving report: headline
+//                                         counters, per-node stats
+//                                         completeness (state, served,
+//                                         timeouts, transfer bytes) and the
+//                                         aggregator flush-accounting
+//                                         invariant (capacity + deadline +
+//                                         shutdown == total_flushes); accepts
+//                                         both the bench results array and
+//                                         the single `ganns cluster-bench
+//                                         --json` report
 //   schema_check flight  <flight.json>    flight-recorder dump: counters,
 //                                         violator records (served
 //                                         violators must carry hardness and
@@ -362,6 +373,117 @@ int CheckBench(const Json& root) {
   }
   if (arrays == 0) return Complain("missing results/quantized row array");
   std::printf("bench ok: %zu rows in %zu sections\n", rows, arrays);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster reports (BENCH_cluster.json and `ganns cluster-bench --json`)
+// ---------------------------------------------------------------------------
+
+/// One cluster report row: headline counters, the aggregator's flush
+/// accounting (whose triggers must sum to total_flushes — every buffered
+/// message leaves through exactly one of capacity/deadline/shutdown), and a
+/// complete per-node stats array.
+int CheckClusterRow(const Json& row) {
+  for (const char* key : {"nodes", "replication", "served", "lost",
+                          "failovers", "timeouts"}) {
+    if (!IsNumber(row.Get(key))) {
+      return Complain((std::string("cluster row missing ") + key).c_str());
+    }
+  }
+  if (!IsString(row.Get("selection"))) {
+    return Complain("cluster row missing selection string");
+  }
+  const Json* recall = row.Get("recall");
+  if (!IsNumber(recall) || recall->number < 0 || recall->number > 1) {
+    return Complain("cluster recall outside [0, 1]");
+  }
+  const Json* sim_qps = row.Get("sim_qps");
+  if (!IsNumber(sim_qps) || sim_qps->number < 0) {
+    return Complain("cluster sim_qps missing or negative");
+  }
+
+  const Json* aggregator = row.Get("aggregator");
+  if (aggregator == nullptr || !aggregator->Is(Json::Kind::kObject)) {
+    return Complain("cluster row missing aggregator object");
+  }
+  for (const char* key :
+       {"enqueued_messages", "enqueued_bytes", "capacity_flushes",
+        "deadline_flushes", "shutdown_flushes", "total_flushes",
+        "sent_bytes", "coalescing_factor"}) {
+    const Json* value = aggregator->Get(key);
+    if (!IsNumber(value) || value->number < 0) {
+      return Complain(
+          (std::string("aggregator missing non-negative ") + key).c_str());
+    }
+  }
+  const double flush_sum = aggregator->Get("capacity_flushes")->number +
+                           aggregator->Get("deadline_flushes")->number +
+                           aggregator->Get("shutdown_flushes")->number;
+  if (flush_sum != aggregator->Get("total_flushes")->number) {
+    return Complain(
+        "aggregator flush accounting broken: capacity + deadline + shutdown "
+        "!= total_flushes");
+  }
+
+  const Json* node_stats = row.Get("node_stats");
+  if (node_stats == nullptr || !node_stats->Is(Json::Kind::kArray) ||
+      node_stats->array.empty()) {
+    return Complain("cluster row missing non-empty node_stats array");
+  }
+  if (node_stats->array.size() != row.Get("nodes")->number) {
+    return Complain("node_stats length != nodes");
+  }
+  for (const JsonPtr& node : node_stats->array) {
+    if (!node->Is(Json::Kind::kObject)) {
+      return Complain("node_stats entry is not an object");
+    }
+    for (const char* key : {"id", "served_sub_batches", "served_queries",
+                            "timeouts", "transfer_bytes"}) {
+      const Json* value = node->Get(key);
+      if (!IsNumber(value) || value->number < 0) {
+        return Complain(
+            (std::string("node_stats missing non-negative ") + key).c_str());
+      }
+    }
+    const Json* state = node->Get("state");
+    if (!IsString(state) ||
+        (state->string != "up" && state->string != "suspect" &&
+         state->string != "down")) {
+      return Complain("node_stats state is not up/suspect/down");
+    }
+    const Json* hosted = node->Get("hosted_shards");
+    if (hosted == nullptr || !hosted->Is(Json::Kind::kArray)) {
+      return Complain("node_stats missing hosted_shards array");
+    }
+  }
+  return 0;
+}
+
+/// Accepts both artifact shapes: the bench file (provenance + results row
+/// array, each row a full cluster report) and the single-report object that
+/// `ganns cluster-bench --json` writes (detected by a top-level node_stats).
+int CheckCluster(const Json& root) {
+  if (!root.Is(Json::Kind::kObject)) return Complain("root is not an object");
+  if (root.Get("node_stats") != nullptr) {
+    const int rc = CheckClusterRow(root);
+    if (rc != 0) return rc;
+    std::printf("cluster ok: 1 report\n");
+    return 0;
+  }
+  const Json* results = root.Get("results");
+  if (results == nullptr || !results->Is(Json::Kind::kArray) ||
+      results->array.empty()) {
+    return Complain("missing non-empty results array");
+  }
+  for (const JsonPtr& row : results->array) {
+    if (!row->Is(Json::Kind::kObject)) {
+      return Complain("cluster row is not an object");
+    }
+    const int rc = CheckClusterRow(*row);
+    if (rc != 0) return rc;
+  }
+  std::printf("cluster ok: %zu rows\n", results->array.size());
   return 0;
 }
 
@@ -847,10 +969,11 @@ int main(int argc, char** argv) {
                     std::strcmp(mode, "stats") != 0 &&
                     std::strcmp(mode, "bench") != 0 &&
                     std::strcmp(mode, "prom") != 0 &&
-                    std::strcmp(mode, "flight") != 0)) {
+                    std::strcmp(mode, "flight") != 0 &&
+                    std::strcmp(mode, "cluster") != 0)) {
     std::fprintf(stderr,
-                 "usage: schema_check <trace|metrics|stats|bench|prom|flight> "
-                 "<file>\n");
+                 "usage: schema_check "
+                 "<trace|metrics|stats|bench|prom|flight|cluster> <file>\n");
     return 2;
   }
   if (std::strcmp(mode, "prom") == 0) return CheckProm(argv[2]);
@@ -863,5 +986,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(mode, "trace") == 0) return CheckTrace(*root);
   if (std::strcmp(mode, "bench") == 0) return CheckBench(*root);
   if (std::strcmp(mode, "flight") == 0) return CheckFlight(*root);
+  if (std::strcmp(mode, "cluster") == 0) return CheckCluster(*root);
   return CheckMetrics(*root, std::strcmp(mode, "stats") == 0);
 }
