@@ -16,7 +16,12 @@
 //    == 1, lost == 0);
 //  * crash rows with replication >= 2 must lose zero sub-queries (failover
 //    retries absorb the node loss) — and, because surviving replicas serve
-//    the same immutable snapshots, stay bit-identical too.
+//    the same immutable snapshots, stay bit-identical too;
+//  * the observability plane (federation scrapes + alert evaluation) runs
+//    on every row and must not move a single result or sim-second — the
+//    identity gates above run with the plane on, and every row must cut at
+//    least one federated window (scrape totals are printed, not reported:
+//    the row schema matches the pre-plane baseline byte-for-byte).
 //
 // Every number in the results array is simulated or counted — no wall
 // clock — so the file is byte-identical across runs of the same build
@@ -110,6 +115,11 @@ int main(int argc, char** argv) {
       options.faults.crash_at_batch = 2;
       options.faults.rejoin_after_batches = 1;
     }
+    // The monitoring plane rides along on every row: the inline identity
+    // gates below then double as the plane's no-perturbation check.
+    options.federation.enabled = true;
+    options.federation.scrape_interval_us = 500;
+    options.federation.slo_deadline_us = 2000;
 
     cluster::ClusterIndex cluster_index(index, options);
     std::vector<std::vector<graph::Neighbor>> rows(num_queries);
@@ -143,16 +153,28 @@ int main(int argc, char** argv) {
 
     std::printf("nodes=%zu repl=%zu sel=%s fault=%s: recall@%zu=%.4f "
                 "sim_qps=%.0f failovers=%llu timeouts=%llu lost=%llu "
-                "identical=%d\n",
+                "identical=%d scrapes=%llu scrape_bytes=%llu alerts=%zu\n",
                 row.nodes, row.replication,
                 std::string(cluster::SelectionName(row.selection)).c_str(),
                 fault, kK, recall, sim_qps,
                 static_cast<unsigned long long>(counters.failovers),
                 static_cast<unsigned long long>(counters.timeouts),
                 static_cast<unsigned long long>(counters.lost_sub_queries),
-                identical ? 1 : 0);
+                identical ? 1 : 0,
+                static_cast<unsigned long long>(
+                    cluster_index.federation()->scrapes()),
+                static_cast<unsigned long long>(
+                    cluster_index.federation()->scrape_bytes()),
+                cluster_index.alerts()->events().size());
 
     // Inline contract gates (see file header).
+    if (cluster_index.federation()->scrapes() == 0) {
+      std::fprintf(stderr,
+                   "FAIL: observability plane cut no federated window "
+                   "(nodes=%zu replication=%zu)\n",
+                   row.nodes, row.replication);
+      return 1;
+    }
     if (!row.crash && (!identical || counters.lost_sub_queries != 0)) {
       std::fprintf(stderr,
                    "FAIL: no-fault cluster diverged from single-node serving "

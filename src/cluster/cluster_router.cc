@@ -105,11 +105,60 @@ ClusterIndex::ClusterIndex(serve::ShardedIndex& index,
           "node " + std::to_string(n));
     }
   }
+  if (options_.federation.enabled) {
+    federation_ =
+        std::make_unique<obs::MetricsFederation>(options_.federation);
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      Node& node = nodes_[n];
+      node.registry = std::make_unique<obs::MetricsRegistry>();
+      node.registry->GetGauge("cluster.node.hosted_shards")
+          .Set(static_cast<double>(node.hosted_shards.size()));
+      obs::NodeHooks hooks;
+      hooks.alive = [this, n] { return nodes_[n].alive; };
+      hooks.state = [this, n]() -> std::string {
+        const Node& target = nodes_[n];
+        return target.alive ? (target.believed_up ? "up" : "suspect")
+                            : "down";
+      };
+      hooks.snapshot = [this, n] { return nodes_[n].registry->Snapshot(); };
+      // Scrape traffic goes over the node's NIC like any other transfer,
+      // but its seconds are monitoring time: serving rounds only consume
+      // Send() return values, so the serving clock cannot see scrapes.
+      hooks.charge = [this, n](std::uint64_t request_bytes,
+                               std::uint64_t response_bytes) {
+        double seconds = nodes_[n].transport.Send(request_bytes);
+        if (response_bytes > 0) {
+          seconds += nodes_[n].transport.Send(response_bytes);
+        }
+        monitoring_seconds_ += seconds;
+        ControlMetric("cluster.monitor.scrape_bytes",
+                      request_bytes + response_bytes);
+      };
+      federation_->AddNode(std::move(hooks));
+    }
+    federation_->SetControl([this] { return control_registry_.Snapshot(); });
+    alerts_ = std::make_unique<obs::AlertEngine>(
+        options_.alert_rules.empty() ? obs::DefaultClusterRules()
+                                     : options_.alert_rules);
+    if (obs::TracingEnabled()) {
+      obs::TraceRecorder::Global().SetThreadName(
+          obs::kClusterPid, obs::kClusterAlertTrack, "alerts");
+    }
+  }
 }
 
 ClusterIndex::~ClusterIndex() { Shutdown(); }
 
-void ClusterIndex::Shutdown() { aggregator_.FlushAll(FlushTrigger::kShutdown); }
+void ClusterIndex::Shutdown() {
+  aggregator_.FlushAll(FlushTrigger::kShutdown);
+  if (PlaneEnabled() && !final_scrape_done_) {
+    final_scrape_done_ = true;
+    const obs::FederatedWindow window =
+        federation_->Scrape(static_cast<std::uint64_t>(clock_us_));
+    alerts_->Evaluate(window);
+    ControlMetric("cluster.monitor.scrapes", 1);
+  }
+}
 
 gpusim::Device& ClusterIndex::ReplicaDevice(std::size_t shard,
                                             std::size_t node) {
@@ -119,6 +168,43 @@ gpusim::Device& ClusterIndex::ReplicaDevice(std::size_t shard,
   GANNS_CHECK_MSG(false, "node " << node << " hosts no replica of shard "
                                  << shard);
   return *replicas_[shard][0].device;  // unreachable
+}
+
+void ClusterIndex::NodeMetric(std::size_t node, const char* name,
+                              std::uint64_t n) {
+  if (n > 0 && PlaneEnabled()) nodes_[node].registry->GetCounter(name).Add(n);
+}
+
+void ClusterIndex::ControlMetric(const char* name, std::uint64_t n) {
+  if (n > 0 && PlaneEnabled()) control_registry_.GetCounter(name).Add(n);
+}
+
+void ClusterIndex::AdvanceMonitoring() {
+  if (!PlaneEnabled()) return;
+  double saturation = 0.0;
+  for (std::size_t dest = 0; dest < nodes_.size(); ++dest) {
+    saturation = std::max(
+        saturation, static_cast<double>(aggregator_.PendingBytes(dest)) /
+                        static_cast<double>(aggregator_.options().max_bytes));
+  }
+  control_registry_.GetGauge("cluster.agg.pending_saturation").Set(saturation);
+  const std::vector<obs::FederatedWindow> windows =
+      federation_->AdvanceTo(static_cast<std::uint64_t>(clock_us_));
+  for (const obs::FederatedWindow& window : windows) {
+    alerts_->Evaluate(window);
+  }
+  ControlMetric("cluster.monitor.scrapes",
+                static_cast<std::uint64_t>(windows.size()));
+}
+
+void ClusterIndex::HealthInstant(std::size_t node, const char* name) {
+  if (!obs::TracingEnabled()) return;
+  obs::TraceEvent event;
+  event.name = obs::InternName(name);
+  event.pid = obs::kClusterPid;
+  event.tid = obs::ClusterNodeTrack(node);
+  event.ts = clock_us_;
+  obs::TraceRecorder::Global().Add(event);
 }
 
 int ClusterIndex::SelectReplica(std::size_t shard, int exclude_node,
@@ -170,7 +256,21 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
   const std::size_t num_queries = queries.size();
   ++counters_.batches;
   AddMetric("cluster.batches", 1);
+  ControlMetric("cluster.batches", 1);
   const std::uint64_t batch_seq = counters_.batches;
+  const double batch_start_us = clock_us_;
+
+  // Sampled-request flow ids: nonzero entries join the request's Perfetto
+  // flow through the aggregator and onto the answering nodes' tracks.
+  const bool tracing = obs::TracingEnabled();
+  std::vector<std::uint64_t> flow_ids(num_queries, 0);
+  if (tracing) {
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      if (queries[q].trace.sampled && queries[q].trace.trace_id != 0) {
+        flow_ids[q] = queries[q].trace.trace_id;
+      }
+    }
+  }
 
   // Scheduled faults land on the batch boundary, before routing.
   if (options_.faults.crash_node >= 0 &&
@@ -212,10 +312,12 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
       if (attempt > 0) {
         ++counters_.retries;
         AddMetric("cluster.retries", 1);
+        ControlMetric("cluster.retries", 1);
         if (last_failed_node[s] >= 0 && node != last_failed_node[s]) {
           ++counters_.failovers;
           ++batch_failovers;
           AddMetric("cluster.failovers", 1);
+          ControlMetric("cluster.failovers", 1);
         }
       }
       ++outstanding[node];
@@ -231,7 +333,7 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
       for (std::size_t q = 0; q < num_queries; ++q) {
         aggregator_.Enqueue(static_cast<std::size_t>(assigned_node[s]),
                             sub_query_bytes, static_cast<std::uint32_t>(s),
-                            clock_us_);
+                            clock_us_, flow_ids[q]);
       }
     }
     // The round's batching window closes: stragglers age past the deadline.
@@ -254,22 +356,43 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
         AddMetric("cluster.delayed_transfers", 1);
       }
       // The wire time is spent whether or not the payload survives.
-      inbound_s[flush.dest] += nodes_[flush.dest].transport.Send(
-          flush.bytes + aggregator_.options().header_bytes,
-          fault.delay_us * 1e-6);
+      const std::size_t wire_bytes =
+          flush.bytes + aggregator_.options().header_bytes;
+      const double wire_s =
+          nodes_[flush.dest].transport.Send(wire_bytes, fault.delay_us * 1e-6);
+      inbound_s[flush.dest] += wire_s;
       if (fault.dropped) {
         for (const std::uint32_t tag : flush.tags) transfer_ok[tag] = 0;
       }
-      if (obs::TracingEnabled()) {
+      NodeMetric(flush.dest, "cluster.node.recv_bytes", wire_bytes);
+      NodeMetric(flush.dest, "cluster.node.flushes", 1);
+      NodeMetric(flush.dest, "cluster.node.dropped_transfers",
+                 fault.dropped ? 1 : 0);
+      ControlMetric("cluster.flushes", 1);
+      ControlMetric("cluster.dropped_transfers", fault.dropped ? 1 : 0);
+      if (tracing) {
+        // The flush is a span covering its wire time, so sampled requests'
+        // flow steps have a slice to anchor on.
         obs::TraceEvent event;
         event.name = obs::InternName(fault.dropped ? "cluster.flush.dropped"
                                                    : "cluster.flush");
         event.pid = obs::kClusterPid;
         event.tid = obs::ClusterNodeTrack(flush.dest);
         event.ts = clock_us_;
+        event.dur = wire_s * 1e6;
         event.arg = static_cast<std::int64_t>(flush.messages);
         event.arg_name = obs::InternName("coalesced");
         obs::TraceRecorder::Global().Add(event);
+        for (const std::uint64_t flow : flush.flows) {
+          obs::TraceEvent step;
+          step.name = obs::InternName("cluster.request_flow");
+          step.pid = obs::kClusterPid;
+          step.tid = obs::ClusterNodeTrack(flush.dest);
+          step.ts = clock_us_;
+          step.flow = obs::FlowPhase::kStep;
+          step.flow_id = flow;
+          obs::TraceRecorder::Global().Add(step);
+        }
       }
     }
 
@@ -313,7 +436,13 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
               : 0.0;
       const double node_s = inbound_s[n] + compute_s[n] + response_s;
       round_s = std::max(round_s, node_s);
-      if (obs::TracingEnabled() && !node_shards[n].empty()) {
+      NodeMetric(n, "cluster.node.sent_bytes",
+                 static_cast<std::uint64_t>(response_bytes));
+      if (PlaneEnabled() && !node_shards[n].empty()) {
+        nodes_[n].registry->GetHdr("cluster.node.serve_us")
+            .Record(static_cast<std::uint64_t>(node_s * 1e6));
+      }
+      if (tracing && !node_shards[n].empty()) {
         obs::TraceEvent event;
         event.name = obs::InternName("cluster.node_serve");
         event.pid = obs::kClusterPid;
@@ -323,6 +452,20 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
         event.arg = static_cast<std::int64_t>(batch_seq);
         event.arg_name = obs::InternName("batch");
         obs::TraceRecorder::Global().Add(event);
+        // Every sampled request this node answered steps its flow through
+        // the serve span — after a failover this is the replica that ends
+        // the causal chain.
+        for (const std::uint64_t flow : flow_ids) {
+          if (flow == 0) continue;
+          obs::TraceEvent step;
+          step.name = obs::InternName("cluster.request_flow");
+          step.pid = obs::kClusterPid;
+          step.tid = obs::ClusterNodeTrack(n);
+          step.ts = round_start_us;
+          step.flow = obs::FlowPhase::kStep;
+          step.flow_id = flow;
+          obs::TraceRecorder::Global().Add(step);
+        }
       }
     }
 
@@ -338,6 +481,9 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
         shard_served[s] = 1;
         ++counters_.sub_batches;
         AddMetric("cluster.sub_batches", 1);
+        ControlMetric("cluster.sub_batches", 1);
+        NodeMetric(node, "cluster.node.sub_batches", 1);
+        NodeMetric(node, "cluster.node.served_queries", num_queries);
         nodes_[node].served_sub_batches += 1;
         nodes_[node].served_queries += num_queries;
         nodes_[node].consecutive_timeouts = 0;
@@ -347,9 +493,14 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
         ++counters_.timeouts;
         ++batch_timeouts;
         AddMetric("cluster.timeouts", 1);
+        ControlMetric("cluster.timeouts", 1);
+        NodeMetric(node, "cluster.node.timeouts", 1);
         ++nodes_[node].timeouts;
         if (++nodes_[node].consecutive_timeouts >=
             options_.timeout_threshold) {
+          if (nodes_[node].believed_up) {
+            HealthInstant(node, "cluster.node_suspect");
+          }
           nodes_[node].believed_up = false;
         }
         last_failed_node[s] = static_cast<int>(node);
@@ -380,10 +531,56 @@ std::vector<std::vector<graph::Neighbor>> ClusterIndex::SearchBatch(
         static_cast<std::uint64_t>(pending.size()) * num_queries;
     counters_.lost_sub_queries += lost;
     AddMetric("cluster.lost_sub_queries", lost);
+    ControlMetric("cluster.lost_sub_queries", lost);
   }
   counters_.served_queries += num_queries;
   AddMetric("cluster.served_queries", num_queries);
+  ControlMetric("cluster.served_queries", num_queries);
   sim_seconds_ += batch_seconds;
+  if (PlaneEnabled()) {
+    control_registry_.GetHdr("cluster.batch_us")
+        .Record(static_cast<std::uint64_t>(batch_seconds * 1e6));
+  }
+
+  // Sampled requests get a root span on their own cluster track, bracketed
+  // by the flow's start and end — everything the batch did on their behalf
+  // (flushes, node serves, the failover's answering replica) hangs off it.
+  if (tracing) {
+    for (const std::uint64_t flow : flow_ids) {
+      if (flow == 0) continue;
+      const std::int32_t track = obs::ClusterRequestTrack(flow);
+      obs::TraceEvent root;
+      root.name = obs::InternName("serve.request");
+      root.pid = obs::kClusterPid;
+      root.tid = track;
+      root.ts = batch_start_us;
+      root.dur = clock_us_ - batch_start_us;
+      root.arg = static_cast<std::int64_t>(flow);
+      root.arg_name = obs::InternName("trace_id");
+      obs::TraceRecorder::Global().Add(root);
+      obs::TraceEvent start;
+      start.name = obs::InternName("cluster.request_flow");
+      start.pid = obs::kClusterPid;
+      start.tid = track;
+      start.ts = batch_start_us;
+      start.flow = obs::FlowPhase::kStart;
+      start.flow_id = flow;
+      obs::TraceRecorder::Global().Add(start);
+      obs::TraceEvent end;
+      end.name = obs::InternName("cluster.request_flow");
+      end.pid = obs::kClusterPid;
+      end.tid = track;
+      end.ts = clock_us_;
+      end.flow = obs::FlowPhase::kEnd;
+      end.flow_id = flow;
+      obs::TraceRecorder::Global().Add(end);
+    }
+  }
+
+  // The monitoring plane catches up to the serving clock: due scrape
+  // windows are cut and the alert engine sees them, all before the next
+  // batch moves the clock again.
+  AdvanceMonitoring();
 
   if (stats != nullptr) {
     stats->sim_seconds = batch_seconds;
@@ -413,6 +610,8 @@ void ClusterIndex::CrashNode(std::size_t node) {
   nodes_[node].alive = false;
   ++counters_.crashes;
   AddMetric("cluster.crashes", 1);
+  ControlMetric("cluster.crashes", 1);
+  HealthInstant(node, "cluster.node_crash");
 }
 
 void ClusterIndex::RejoinNode(std::size_t node) {
@@ -430,6 +629,8 @@ void ClusterIndex::RejoinNode(std::size_t node) {
   target.consecutive_timeouts = 0;
   ++counters_.rejoins;
   AddMetric("cluster.rejoins", 1);
+  ControlMetric("cluster.rejoins", 1);
+  HealthInstant(node, "cluster.node_rejoin");
 }
 
 bool ClusterIndex::RebalanceShard(std::size_t shard, std::size_t to_node) {
@@ -445,6 +646,11 @@ bool ClusterIndex::RebalanceShard(std::size_t shard, std::size_t to_node) {
       index_.ShardImageBytes(shard));
   ++counters_.rebalances;
   AddMetric("cluster.rebalances", 1);
+  ControlMetric("cluster.rebalances", 1);
+  if (PlaneEnabled()) {
+    nodes_[to_node].registry->GetGauge("cluster.node.hosted_shards")
+        .Set(static_cast<double>(nodes_[to_node].hosted_shards.size()));
+  }
   return true;
 }
 

@@ -17,6 +17,9 @@
 #include "core/ganns_index.h"
 #include "gpusim/device.h"
 #include "graph/beam_search.h"
+#include "obs/alerts.h"
+#include "obs/federation.h"
+#include "obs/metrics.h"
 #include "serve/shard_router.h"
 
 namespace ganns {
@@ -55,6 +58,15 @@ struct ClusterOptions {
   int timeout_threshold = 2;
   /// Seed of the power-of-two-choices candidate draws.
   std::uint64_t seed = 1;
+  /// The observability plane. Off by default; when enabled, every node gets
+  /// a private MetricsRegistry scraped over its NIC on the federation's
+  /// simulated interval, and the alert engine evaluates each federated
+  /// window. Scrape traffic lands in transport/monitoring counters only —
+  /// results and serving sim seconds are bit-identical either way.
+  obs::FederationOptions federation;
+  /// Alert rules evaluated per federated window; empty means
+  /// obs::DefaultClusterRules().
+  std::vector<obs::AlertRule> alert_rules;
 };
 
 /// Lifetime cluster totals. All deterministic for a fixed (workload,
@@ -196,6 +208,23 @@ class ClusterIndex {
   /// Simulated seconds charged to recovery work (rejoin reloads, rebalance
   /// copies) — off the serving path.
   double recovery_sim_seconds() const { return recovery_seconds_; }
+  /// Simulated seconds charged to federation scrape traffic — also off the
+  /// serving path (the plane observes the cluster, it never stalls it).
+  double monitoring_sim_seconds() const { return monitoring_seconds_; }
+
+  /// The monitoring plane, or nullptr when options.federation.enabled is
+  /// false. Windows accumulate one per scrape interval of simulated time.
+  obs::MetricsFederation* federation() { return federation_.get(); }
+  const obs::MetricsFederation* federation() const { return federation_.get(); }
+  /// The alert engine evaluating each federated window (nullptr when the
+  /// plane is off).
+  obs::AlertEngine* alerts() { return alerts_.get(); }
+  const obs::AlertEngine* alerts() const { return alerts_.get(); }
+  /// Router-scope control registry (batch latency HDR, mirrored failure
+  /// counters) the plane scrapes locally.
+  const obs::MetricsRegistry& control_registry() const {
+    return control_registry_;
+  }
 
   /// Deterministic JSON fragments shared by `ganns cluster-bench` and
   /// bench/cluster_sweep, so every report exposes the same per-node counter
@@ -204,8 +233,10 @@ class ClusterIndex {
   std::string AggregatorJson() const;
   std::string CountersJson() const;
 
-  /// Flushes anything still buffered (kShutdown trigger). Called by the
-  /// destructor; idempotent.
+  /// Flushes anything still buffered (kShutdown trigger) and, when the
+  /// monitoring plane is on, cuts one final federated window — so even runs
+  /// shorter than a scrape interval export at least one window. Called by
+  /// the destructor; idempotent.
   void Shutdown();
 
  private:
@@ -224,6 +255,9 @@ class ClusterIndex {
     std::uint64_t timeouts = 0;
     std::vector<std::size_t> hosted_shards;
     Transport transport;
+    /// Per-node metric registry, allocated only when the federation plane
+    /// is on (the scrape target).
+    std::unique_ptr<obs::MetricsRegistry> registry;
   };
 
   /// Picks a believed-up replica node for `shard` under the configured
@@ -231,6 +265,18 @@ class ClusterIndex {
   /// alternative exists. Returns -1 when no believed-up replica remains.
   int SelectReplica(std::size_t shard, int exclude_node,
                     const std::vector<std::size_t>& outstanding);
+
+  /// True when per-node/control metric recording is on.
+  bool PlaneEnabled() const { return federation_ != nullptr; }
+  /// Adds to a counter in node `n`'s registry (no-op when the plane is off).
+  void NodeMetric(std::size_t node, const char* name, std::uint64_t n);
+  /// Adds to a control-registry counter (no-op when the plane is off).
+  void ControlMetric(const char* name, std::uint64_t n);
+  /// Publishes aggregator pending saturation, scrapes due windows at
+  /// clock_us_, and runs the alert engine over them.
+  void AdvanceMonitoring();
+  /// Emits a node-health transition instant on the node's cluster track.
+  void HealthInstant(std::size_t node, const char* name);
 
   gpusim::Device& ReplicaDevice(std::size_t shard, std::size_t node);
 
@@ -249,8 +295,16 @@ class ClusterIndex {
   std::vector<FlushRecord> round_flushes_;
   MessageAggregator aggregator_;
   ClusterCounters counters_;
+  /// Router-scope metrics the plane scrapes without a NIC charge.
+  obs::MetricsRegistry control_registry_;
+  std::unique_ptr<obs::MetricsFederation> federation_;
+  std::unique_ptr<obs::AlertEngine> alerts_;
   double sim_seconds_ = 0.0;
   double recovery_seconds_ = 0.0;
+  double monitoring_seconds_ = 0.0;
+  /// Guards the Shutdown() final scrape (Shutdown is idempotent and also
+  /// runs from the destructor).
+  bool final_scrape_done_ = false;
   /// The cluster's simulated clock (microseconds): aggregator deadlines and
   /// trace timestamps live on it.
   double clock_us_ = 0.0;

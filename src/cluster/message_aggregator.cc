@@ -1,5 +1,6 @@
 #include "cluster/message_aggregator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -19,12 +20,20 @@ MessageAggregator::MessageAggregator(std::size_t num_destinations,
 MessageAggregator::~MessageAggregator() { FlushAll(FlushTrigger::kShutdown); }
 
 void MessageAggregator::Enqueue(std::size_t dest, std::size_t bytes,
-                                std::uint32_t tag, double now_us) {
+                                std::uint32_t tag, double now_us,
+                                std::uint64_t flow_id) {
   GANNS_DCHECK(dest < buffers_.size());
   Buffer& buffer = buffers_[dest];
   if (buffer.tags.empty()) buffer.first_enqueue_us = now_us;
   buffer.bytes += bytes;
   buffer.tags.push_back(tag);
+  if (flow_id != 0) {
+    const auto it = std::lower_bound(buffer.flows.begin(), buffer.flows.end(),
+                                     flow_id);
+    if (it == buffer.flows.end() || *it != flow_id) {
+      buffer.flows.insert(it, flow_id);
+    }
+  }
   ++counters_.enqueued_messages;
   counters_.enqueued_bytes += bytes;
   if (buffer.bytes >= options_.max_bytes ||
@@ -66,8 +75,10 @@ void MessageAggregator::Flush(std::size_t dest, FlushTrigger trigger) {
   record.bytes = buffer.bytes;
   record.trigger = trigger;
   record.tags = std::move(buffer.tags);
+  record.flows = std::move(buffer.flows);
   buffer.bytes = 0;
   buffer.tags.clear();  // moved-from: make the empty state explicit
+  buffer.flows.clear();
   switch (trigger) {
     case FlushTrigger::kCapacity: ++counters_.capacity_flushes; break;
     case FlushTrigger::kDeadline: ++counters_.deadline_flushes; break;

@@ -28,6 +28,10 @@ struct FlushRecord {
   /// tags each sub-query with its shard so a dropped transfer knows which
   /// shards' requests it lost).
   std::vector<std::uint32_t> tags;
+  /// Trace-flow ids of the sampled requests whose sub-queries this flush
+  /// coalesced (nonzero ids only, deduplicated, ascending) — the hook that
+  /// lets a request's Perfetto flow pass through the aggregation boundary.
+  std::vector<std::uint64_t> flows;
 };
 
 struct AggregatorOptions {
@@ -88,9 +92,11 @@ class MessageAggregator {
 
   /// Buffers one `bytes`-sized message for `dest` at simulated time
   /// `now_us`; the destination flushes inline (kCapacity) the moment the
-  /// buffer reaches max_bytes or max_messages.
+  /// buffer reaches max_bytes or max_messages. A nonzero `flow_id` marks
+  /// the message as belonging to a sampled request's trace flow; the flush
+  /// record carries the deduplicated id set.
   void Enqueue(std::size_t dest, std::size_t bytes, std::uint32_t tag,
-               double now_us);
+               double now_us, std::uint64_t flow_id = 0);
 
   /// Advances the simulated clock: every destination whose oldest buffered
   /// message is older than deadline_us at `now_us` flushes as a deadline
@@ -114,6 +120,7 @@ class MessageAggregator {
     std::size_t bytes = 0;
     double first_enqueue_us = 0.0;
     std::vector<std::uint32_t> tags;
+    std::vector<std::uint64_t> flows;  // sorted unique nonzero flow ids
   };
 
   void Flush(std::size_t dest, FlushTrigger trigger);

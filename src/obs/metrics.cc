@@ -21,16 +21,6 @@ void AppendDouble(std::string& out, double value) {
   out += buffer;
 }
 
-struct RegistryState {
-  mutable std::mutex mutex;
-  // std::map keeps export order sorted by name; unique_ptr keeps references
-  // stable across rehashing-free inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
-  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdr;
-};
-
 /// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
 /// (the registry's dots) to '_' and prefix the project namespace.
 std::string PrometheusName(const std::string& name) {
@@ -43,12 +33,21 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
-RegistryState& State() {
-  static RegistryState* state = new RegistryState();
-  return *state;
-}
-
 }  // namespace
+
+/// Per-instance metric maps. std::map keeps export order sorted by name;
+/// unique_ptr keeps references stable across inserts, so a cached Get*
+/// reference outlives any later interning.
+struct MetricsRegistry::State {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdr;
+};
+
+MetricsRegistry::MetricsRegistry() : state_(std::make_unique<State>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
 
 Histogram::Histogram(std::span<const std::uint64_t> bounds)
     : bounds_(bounds.begin(), bounds.end()),
@@ -105,7 +104,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   auto it = state.counters.find(name);
   if (it == state.counters.end()) {
@@ -116,7 +115,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   auto it = state.gauges.find(name);
   if (it == state.gauges.end()) {
@@ -128,7 +127,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(
     std::string_view name, std::span<const std::uint64_t> bounds) {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   auto it = state.histograms.find(name);
   if (it == state.histograms.end()) {
@@ -140,7 +139,7 @@ Histogram& MetricsRegistry::GetHistogram(
 }
 
 HdrHistogram& MetricsRegistry::GetHdr(std::string_view name) {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   auto it = state.hdr.find(name);
   if (it == state.hdr.end()) {
@@ -151,7 +150,7 @@ HdrHistogram& MetricsRegistry::GetHdr(std::string_view name) {
 }
 
 void MetricsRegistry::Reset() {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   for (auto& [name, counter] : state.counters) counter->Reset();
   for (auto& [name, gauge] : state.gauges) gauge->Reset();
@@ -160,7 +159,7 @@ void MetricsRegistry::Reset() {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(state.counters.size());
@@ -179,7 +178,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   std::string out = "{\n\"counters\":{";
   bool first = true;
@@ -247,7 +246,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToPrometheus() const {
-  RegistryState& state = State();
+  State& state = *state_;
   std::lock_guard<std::mutex> lock(state.mutex);
   std::string out;
   for (const auto& [name, counter] : state.counters) {

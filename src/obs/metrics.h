@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -89,13 +90,23 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, HdrHistogram::BucketSnapshot>> hdr;
 };
 
-/// Process-wide named-metric registry. Get* interns the metric on first use
-/// and returns a reference that stays valid for the process lifetime;
-/// callers cache it in a static local so the hot path is one atomic add.
-/// ToJson() sorts by name and prints integers, so exports are byte-stable
-/// for identical recorded values.
+/// Named-metric registry. Get* interns the metric on first use and returns
+/// a reference that stays valid for the registry's lifetime; callers cache
+/// it in a static local so the hot path is one atomic add. ToJson() sorts
+/// by name and prints integers, so exports are byte-stable for identical
+/// recorded values.
+///
+/// Global() is the traditional process-wide instance; additional instances
+/// are cheap and independent — the cluster layer gives every simulated node
+/// its own registry so the federation plane can scrape per-node state.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   static MetricsRegistry& Global();
 
   Counter& GetCounter(std::string_view name);
@@ -129,6 +140,10 @@ class MetricsRegistry {
   std::string ToPrometheus() const;
 
   bool WritePrometheus(const std::string& path) const;
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 /// Copies process-level runtime counters (ThreadPool scheduling stats) into

@@ -232,7 +232,8 @@ std::string TraceRecorder::ToJson() const {
   for (const auto& [pid, pname] :
        std::map<std::int32_t, const char*>{{kDevicePid, "simulated device"},
                                            {kHostPid, "host"},
-                                           {kServePid, "serving"}}) {
+                                           {kServePid, "serving"},
+                                           {kClusterPid, "cluster"}}) {
     comma();
     out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
     out += std::to_string(pid);
@@ -242,6 +243,27 @@ std::string TraceRecorder::ToJson() const {
   }
   for (const TraceEvent& event : events) {
     comma();
+    if (event.flow != FlowPhase::kNone) {
+      // Chrome flow records: they bind to the slice enclosing (pid, tid, ts)
+      // — the sort above puts them right after their anchor span.
+      out += "{\"ph\":\"";
+      out += event.flow == FlowPhase::kStart  ? 's'
+             : event.flow == FlowPhase::kStep ? 't'
+                                              : 'f';
+      out += "\",\"id\":";
+      out += std::to_string(event.flow_id);
+      out += ",\"name\":\"";
+      AppendEscaped(out, NameOf(event.name));
+      out += "\",\"pid\":";
+      out += std::to_string(event.pid);
+      out += ",\"tid\":";
+      out += std::to_string(event.tid);
+      out += ",\"ts\":";
+      AppendDouble(out, event.ts);
+      if (event.flow == FlowPhase::kEnd) out += ",\"bp\":\"e\"";
+      out += "}";
+      continue;
+    }
     out += "{\"ph\":\"";
     out += event.dur > 0 ? 'X' : 'i';
     out += "\",\"name\":\"";

@@ -40,6 +40,21 @@ inline constexpr std::int32_t ClusterNodeTrack(std::size_t node) {
   return static_cast<std::int32_t>(node);
 }
 
+/// Sampled cluster request roots: every sampled request owns the track
+/// kClusterRequestTrackBase + (trace id mod 2^20) on kClusterPid, carrying
+/// its serve.request root span. Flow events (see TraceEvent::flow) link the
+/// root to the aggregated flushes and cluster.node_serve spans on the node
+/// tracks that answered it.
+inline constexpr std::int32_t kClusterRequestTrackBase = 1 << 20;
+inline constexpr std::int32_t ClusterRequestTrack(std::uint64_t trace_id) {
+  return kClusterRequestTrackBase +
+         static_cast<std::int32_t>(trace_id & ((1u << 20) - 1));
+}
+
+/// Alert engine firing/resolved instants (obs/alerts.h) live on one shared
+/// cluster-pid track, below the request-track window.
+inline constexpr std::int32_t kClusterAlertTrack = kClusterRequestTrackBase - 1;
+
 /// Device-process track 0 carries kernel-level spans (kernel launches,
 /// GGraphCon merge rounds, HNSW layers); tracks 1..num_sms carry per-SM
 /// block and phase spans.
@@ -59,7 +74,17 @@ inline constexpr std::int32_t ServeRequestTrack(std::uint64_t request_id) {
          static_cast<std::int32_t>(request_id & ((1u << 20) - 1));
 }
 
-/// One completed span (dur > 0) or instant event (dur == 0).
+/// Perfetto flow-event phase of a TraceEvent. kNone events export as plain
+/// "X" spans or "i" instants; the others export as Chrome flow records
+/// ("s"/"t"/"f") that draw causality arrows between the slices enclosing
+/// them — the cluster layer uses one flow per sampled request to link
+/// serve.request -> aggregated flush -> cluster.node_serve -> the retry or
+/// failover attempt that finally answered.
+enum class FlowPhase : std::uint8_t { kNone = 0, kStart, kStep, kEnd };
+
+/// One completed span (dur > 0), instant event (dur == 0), or — when
+/// flow != kNone — a flow record anchored to whatever slice encloses
+/// (pid, tid, ts).
 struct TraceEvent {
   NameId name = 0;
   std::int32_t pid = kDevicePid;
@@ -69,6 +94,10 @@ struct TraceEvent {
   /// Optional integer argument (block id, merge round, ...); kNoArg if unset.
   std::int64_t arg = kNoArg;
   NameId arg_name = 0;
+  /// Flow linkage: events with flow != kNone serialize as "s"/"t"/"f" flow
+  /// records (name + flow_id identify the chain) instead of spans/instants.
+  FlowPhase flow = FlowPhase::kNone;
+  std::uint64_t flow_id = 0;
 
   static constexpr std::int64_t kNoArg = INT64_MIN;
 };

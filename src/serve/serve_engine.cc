@@ -197,6 +197,7 @@ std::future<QueryResponse> ServeEngine::Submit(QueryRequest request) {
   // Untraced requests take the single modulo below and nothing else.
   pending.trace.sampled =
       obs::TracingEnabled() && (id % trace_sample_n_ == 0);
+  if (pending.trace.sampled) pending.trace.trace_id = id + 1;  // nonzero
   pending.trace.flight = FlightRecorder::Global().enabled();
   if (pending.trace.sampled || pending.trace.flight) {
     pending.trace.submit_us = WallSpanNow() * 1e6;
@@ -366,6 +367,7 @@ void ServeEngine::ProcessBatch(std::vector<Pending>& batch) {
     routed.query = pending.request.query;
     routed.k = pending.request.k;
     routed.budget = pending.request.budget;
+    routed.trace = pending.trace;
     queries.push_back(routed);
   }
 

@@ -72,6 +72,11 @@ struct RoutedQuery {
   std::size_t k = 10;
   /// Total visited budget; the router derives the per-shard beam width.
   std::size_t budget = 64;
+  /// Trace propagation across layers: when trace.sampled, the cluster
+  /// router emits this query's cross-node causality flow under
+  /// trace.trace_id. Defaulted (unsampled) everywhere tracing is off; never
+  /// affects routing or results.
+  TraceContext trace;
 };
 
 /// Simulated-device timing of one routed batch, plus the wall-clock stage

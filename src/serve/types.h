@@ -70,6 +70,10 @@ struct TraceContext {
   /// Submission timestamp on the obs wall-span timeline (microseconds).
   /// Stamped when sampled or flight-recorded.
   double submit_us = 0;
+  /// Stable nonzero id of a sampled request, propagated across layer
+  /// boundaries (shard routing, cluster aggregation) so downstream spans
+  /// can join the request's Perfetto flow. 0 for unsampled requests.
+  std::uint64_t trace_id = 0;
 };
 
 /// Parses a GANNS_TRACE_SAMPLE specification: "1/N" (trace every Nth

@@ -21,7 +21,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${GANNS_ASAN_BUILD}
           --target serve_test obs_concurrency_test common_concurrency_test
-                   quantize_test
+                   quantize_test cluster_test federation_test
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "ASan subbuild compile failed")
@@ -57,4 +57,21 @@ execute_process(COMMAND ${GANNS_ASAN_BUILD}/tests/quantize_test
                 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "quantize_test failed under ASan")
+endif()
+
+# The cluster layer shuttles snapshot merges across simulated nodes and the
+# monitoring plane diffs registry snapshots it does not own; both run with
+# tracing on so the flow-event and alert-instant paths allocate under ASan.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_ASAN_BUILD}/tests/cluster_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cluster_test failed under ASan")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env GANNS_TRACING=1
+                        ${GANNS_ASAN_BUILD}/tests/federation_test
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "federation_test failed under ASan")
 endif()

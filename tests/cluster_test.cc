@@ -486,6 +486,136 @@ TEST_F(ClusterTest, AggregatorAccountingSurvivesFaultedRun) {
   EXPECT_GT(agg.CoalescingFactor(), 1.0);  // batching actually coalesces
 }
 
+// ---------------------------------------------------------------------------
+// Cluster observability plane
+// ---------------------------------------------------------------------------
+
+// The plane's acceptance gate: turning federation + alerting on must not
+// move a single result row or the serving sim-clock — scrape traffic is
+// charged through the node NICs but accounted as monitoring seconds.
+TEST_F(ClusterTest, ObservabilityPlaneDoesNotPerturbServing) {
+  ClusterOptions off;
+  off.num_nodes = 3;
+  off.replication = 2;
+  ClusterIndex plain(*index_, off);
+  const auto rows_off = RunCluster(plain);
+  const double sim_off = plain.total_sim_seconds();
+  std::uint64_t wire_off = 0;
+  for (std::size_t n = 0; n < plain.num_nodes(); ++n) {
+    wire_off += plain.NodeInfo(n).transfer_bytes;
+  }
+
+  ClusterOptions on = off;
+  on.federation.enabled = true;
+  on.federation.scrape_interval_us = 100;
+  on.federation.slo_deadline_us = 500;
+  ClusterIndex monitored(*index_, on);
+  const auto rows_on = RunCluster(monitored);
+
+  EXPECT_EQ(rows_on, rows_off);
+  EXPECT_DOUBLE_EQ(monitored.total_sim_seconds(), sim_off);
+
+  ASSERT_NE(monitored.federation(), nullptr);
+  EXPECT_GT(monitored.federation()->scrapes(), 0u);
+  EXPECT_GT(monitored.federation()->scrape_bytes(), 0u);
+  EXPECT_GT(monitored.monitoring_sim_seconds(), 0.0);
+  // The scrape round trips are visible in the NIC byte counters.
+  std::uint64_t wire_on = 0;
+  for (std::size_t n = 0; n < monitored.num_nodes(); ++n) {
+    wire_on += monitored.NodeInfo(n).transfer_bytes;
+  }
+  EXPECT_GT(wire_on, wire_off);
+  EXPECT_EQ(plain.federation(), nullptr);
+  EXPECT_EQ(plain.alerts(), nullptr);
+}
+
+// Shutdown cuts one final federated window even when the run is shorter
+// than a scrape interval — no run exports zero windows.
+TEST_F(ClusterTest, ShutdownCutsFinalWindow) {
+  ClusterOptions options;
+  options.num_nodes = 2;
+  options.replication = 1;
+  options.federation.enabled = true;
+  options.federation.scrape_interval_us = 60'000'000;  // never due in-run
+  ClusterIndex cluster(*index_, options);
+  (void)RunCluster(cluster);
+  EXPECT_EQ(cluster.federation()->windows().size(), 0u);
+  cluster.Shutdown();
+  EXPECT_EQ(cluster.federation()->windows().size(), 1u);
+  cluster.Shutdown();  // idempotent: no duplicate final window
+  EXPECT_EQ(cluster.federation()->windows().size(), 1u);
+}
+
+// Run-twice determinism of every exported artifact, through a faulted run:
+// the unit-level form of the ctest byte-compare gates.
+TEST_F(ClusterTest, FederatedExportsAreDeterministicAcrossRuns) {
+  const auto run = [&] {
+    ClusterOptions options;
+    options.num_nodes = 3;
+    options.replication = 2;
+    options.seed = 5;
+    options.faults.seed = 5;
+    options.faults.drop_rate = 0.2;
+    options.faults.crash_node = 1;
+    options.faults.crash_at_batch = 1;
+    options.faults.rejoin_after_batches = 1;
+    options.federation.enabled = true;
+    options.federation.scrape_interval_us = 100;
+    options.federation.slo_deadline_us = 500;
+    ClusterIndex cluster(*index_, options);
+    (void)RunCluster(cluster);
+    cluster.Shutdown();
+    return std::make_tuple(cluster.federation()->ToJsonl(),
+                           cluster.federation()->ToPrometheus(),
+                           cluster.alerts()->ToJsonl());
+  };
+  const auto [jsonl_a, prom_a, alerts_a] = run();
+  const auto [jsonl_b, prom_b, alerts_b] = run();
+  EXPECT_EQ(jsonl_a, jsonl_b);
+  EXPECT_EQ(prom_a, prom_b);
+  EXPECT_EQ(alerts_a, alerts_b);
+  EXPECT_FALSE(jsonl_a.empty());
+  EXPECT_NE(prom_a.find("node=\"cluster\""), std::string::npos);
+}
+
+// The failure drill at unit scale: crash -> node_down fires, rejoin ->
+// node_down resolves, with the transitions on the crashed node's scope.
+TEST_F(ClusterTest, CrashAndRejoinDriveNodeDownAlert) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.replication = 2;
+  options.federation.enabled = true;
+  options.federation.scrape_interval_us = 100;
+  options.federation.slo_deadline_us = 500;
+  ClusterIndex cluster(*index_, options);
+
+  cluster.CrashNode(1);
+  (void)RunCluster(cluster);  // timeouts mark node 1 down; scrapes see it
+  const auto firing = cluster.alerts()->Firing();
+  EXPECT_NE(std::find(firing.begin(), firing.end(), "node_down"),
+            firing.end());
+
+  cluster.RejoinNode(1);
+  (void)RunCluster(cluster);
+  cluster.Shutdown();
+
+  bool fired = false;
+  bool resolved = false;
+  for (const obs::AlertEvent& event : cluster.alerts()->events()) {
+    if (event.rule != "node_down" || event.node != "1") continue;
+    if (event.firing) {
+      fired = true;
+    } else {
+      EXPECT_TRUE(fired);  // resolve must follow a firing
+      resolved = true;
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(resolved);
+  const auto after = cluster.alerts()->Firing();
+  EXPECT_EQ(std::find(after.begin(), after.end(), "node_down"), after.end());
+}
+
 }  // namespace
 }  // namespace cluster
 }  // namespace ganns

@@ -1,16 +1,19 @@
-// Unit tests for the common utilities: deterministic RNG, prefix sums, and
-// the host thread pool.
+// Unit tests for the common utilities: deterministic RNG, prefix sums, the
+// host thread pool, and the shared k-way merge's edge cases.
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/kway_merge.h"
 #include "common/prefix_sum.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "graph/beam_search.h"
 
 namespace ganns {
 namespace {
@@ -123,6 +126,60 @@ TEST(ThreadPoolTest, ResultsIndependentOfPoolSize) {
   single.ParallelFor(n, [&](std::size_t i) { a[i] = std::sqrt(i * 3.5); });
   many.ParallelFor(n, [&](std::size_t i) { b[i] = std::sqrt(i * 3.5); });
   EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// common/kway_merge.h edge cases (the randomized property lives in
+// cluster_test.cc; these pin the boundary behaviors down individually)
+// ---------------------------------------------------------------------------
+
+graph::Neighbor Nbr(float dist, VertexId id) {
+  graph::Neighbor neighbor;
+  neighbor.dist = dist;
+  neighbor.id = id;
+  return neighbor;
+}
+
+TEST(KWayMergeEdgeTest, ZeroListsYieldEmpty) {
+  const std::vector<std::vector<graph::Neighbor>> rows;
+  EXPECT_TRUE(common::MergeTopK<graph::Neighbor>(rows, 10).empty());
+  EXPECT_TRUE(common::MergeTopK<graph::Neighbor>(rows, 0).empty());
+}
+
+TEST(KWayMergeEdgeTest, AllEmptyListsYieldEmpty) {
+  const std::vector<std::vector<graph::Neighbor>> rows(4);
+  EXPECT_TRUE(common::MergeTopK<graph::Neighbor>(rows, 10).empty());
+}
+
+TEST(KWayMergeEdgeTest, SingleListPassesThroughTruncated) {
+  std::vector<std::vector<graph::Neighbor>> rows(1);
+  for (VertexId id = 0; id < 5; ++id) {
+    rows[0].push_back(Nbr(static_cast<float>(id), id));
+  }
+  EXPECT_EQ(common::MergeTopK<graph::Neighbor>(rows, 5), rows[0]);
+  EXPECT_EQ(common::MergeTopK<graph::Neighbor>(rows, 99), rows[0]);
+  const auto truncated = common::MergeTopK<graph::Neighbor>(rows, 3);
+  ASSERT_EQ(truncated.size(), 3u);
+  EXPECT_EQ(truncated[2], rows[0][2]);
+}
+
+// Equal distances across sources are the case the total-order contract
+// exists for: ids are globally unique, so (dist, id) still never ties and
+// the merged order is the ascending-id order within each distance class —
+// regardless of which source holds which id.
+TEST(KWayMergeEdgeTest, EqualDistancesBreakTiesById) {
+  std::vector<std::vector<graph::Neighbor>> rows(3);
+  rows[0] = {Nbr(1.0f, 4), Nbr(2.0f, 1)};
+  rows[1] = {Nbr(1.0f, 2), Nbr(2.0f, 5)};
+  rows[2] = {Nbr(1.0f, 0), Nbr(1.0f, 7)};
+  const auto merged = common::MergeTopK<graph::Neighbor>(rows, 6);
+  const std::vector<graph::Neighbor> expect = {Nbr(1.0f, 0), Nbr(1.0f, 2),
+                                               Nbr(1.0f, 4), Nbr(1.0f, 7),
+                                               Nbr(2.0f, 1), Nbr(2.0f, 5)};
+  EXPECT_EQ(merged, expect);
+  // Source order must not matter (pure function of the input sets).
+  std::swap(rows[0], rows[2]);
+  EXPECT_EQ(common::MergeTopK<graph::Neighbor>(rows, 6), expect);
 }
 
 }  // namespace

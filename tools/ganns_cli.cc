@@ -39,7 +39,11 @@
 //                [--agg-bytes 8192] [--agg-deadline-us 100]
 //                [--verify-single-node] [--json out.json]
 //                [--trace-out trace.json] [--stats-out stats.json]
-//                [--prom-out metrics.prom]
+//                [--prom-out metrics.prom] [--sample N]
+//                [--federation-out fed.jsonl] [--fed-prom-out fed.prom]
+//                [--alerts-out alerts.jsonl] [--federation]
+//                [--scrape-interval-us 500] [--slo-deadline-us U]
+//                [--alert-rules name:kind:...,name:kind:...]
 //   ganns update --dataset SIFT1M --n 20000 [--queries 200] [--seed 1]
 //                [--shards 2] [--k 10] [--budget 256]
 //                [--inserts N] [--removes N] [--kernel ganns|song|beam]
@@ -47,10 +51,14 @@
 //                [--host 1] [--no-auto-compact 1] [--compact 1]
 //                [--save prefix] [--json out.json] [--trace-out trace.json]
 //                [--stats-out stats.json] [--prom-out metrics.prom]
-//   ganns stat   <stats.json> [--metric serve.latency_us] [--quantile p99]
+//   ganns stat   <stats.json|cluster report|BENCH_cluster.json>
+//                [--metric serve.latency_us] [--quantile p99]
+//                [--path counters.cluster.served_queries]
 //                [--watch [--iterations N] [--interval-ms 1000]]
 //   ganns top    <series.jsonl> [--rows 10] [--follow]
 //                [--iterations N] [--interval-ms 1000]
+//   ganns cluster-top <federation.jsonl> [--alerts alerts.jsonl] [--rows 10]
+//                [--follow] [--iterations N] [--interval-ms 1000]
 //
 // `update` builds a sharded NSW index, applies a deterministic mixed
 // insert/remove workload through the online write paths, and reports the
@@ -86,6 +94,19 @@
 // --verify-single-node the run exits non-zero unless the cluster's
 // k-results are bit-identical to single-node ShardedIndex serving (the
 // expected state whenever no candidates were lost).
+//
+// Any of --federation-out / --fed-prom-out / --alerts-out (or the bare
+// --federation switch) turns on the cluster observability plane: every node
+// gets a private metrics registry scraped over its simulated NIC on a fixed
+// interval (--scrape-interval-us), the merged windows feed the deterministic
+// alert engine (default rules, or --alert-rules specs), and the artifacts
+// are the federated window JSONL (`ganns cluster-top` input), Prometheus
+// text with per-node labels, and the alert transition log. The plane is
+// charged off the serving clock and draws no randomness, so results and
+// simulated seconds are bit-identical with it on or off. --sample N stamps
+// every Nth query as a sampled request whose sub-queries join a Perfetto
+// flow across node tracks (requires --trace-out); --slo-deadline-us sets
+// the latency SLO the burn-rate alert and slo_headroom derive from.
 //
 // `stat` reads a --stats-out file back and prints SLO summaries; with
 // --metric and --quantile it prints a single number (scriptable, used by
@@ -131,6 +152,8 @@
 #include "data/quantize.h"
 #include "data/synthetic.h"
 #include "graph/diagnostics.h"
+#include "obs/alerts.h"
+#include "obs/federation.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -827,6 +850,15 @@ int CmdClusterBench(const Args& args) {
   const auto trace_out = args.Get("trace-out");
   const auto stats_out = args.Get("stats-out");
   const auto prom_out = args.Get("prom-out");
+  // Federation artifacts switch the monitoring plane on, the way --trace-out
+  // switches tracing on. --federation alone enables the plane without
+  // writing anything (the report still shows scrape traffic).
+  const auto federation_out = args.Get("federation-out");
+  const auto fed_prom_out = args.Get("fed-prom-out");
+  const auto alerts_out = args.Get("alerts-out");
+  const bool plane_on = federation_out.has_value() ||
+                        fed_prom_out.has_value() || alerts_out.has_value() ||
+                        args.Flag("federation");
   if (trace_out.has_value()) obs::SetTracingEnabled(true);
   if (stats_out.has_value() || prom_out.has_value()) {
     obs::SetMetricsEnabled(true);
@@ -877,6 +909,33 @@ int CmdClusterBench(const Args& args) {
   cluster_options.faults.delay_us = args.Double("delay-us", 200.0);
   cluster_options.faults.seed =
       static_cast<std::uint64_t>(args.Int("fault-seed", 1));
+  if (plane_on) {
+    cluster_options.federation.enabled = true;
+    // Simulated batches are O(100us), so the CLI defaults to a tighter
+    // scrape cadence than the library's 5ms.
+    cluster_options.federation.scrape_interval_us =
+        static_cast<std::uint64_t>(args.Int("scrape-interval-us", 500));
+    cluster_options.federation.slo_deadline_us =
+        static_cast<std::uint64_t>(args.Int("slo-deadline-us", 0));
+    if (const auto specs = args.Get("alert-rules"); specs.has_value()) {
+      // Comma-separated "name:kind:..." specs replacing the default rule
+      // set (see obs::ParseAlertRule for per-kind formats).
+      std::string rest = *specs;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string spec = rest.substr(0, comma);
+        rest = comma == std::string::npos ? std::string()
+                                          : rest.substr(comma + 1);
+        if (spec.empty()) continue;
+        const auto rule = obs::ParseAlertRule(spec);
+        if (!rule.has_value()) {
+          std::fprintf(stderr, "malformed alert rule '%s'\n", spec.c_str());
+          return 2;
+        }
+        cluster_options.alert_rules.push_back(*rule);
+      }
+    }
+  }
 
   cluster::ClusterIndex cluster_index(index, cluster_options);
   const core::SearchKernel kernel = ParseServeKernel(args);
@@ -889,6 +948,17 @@ int CmdClusterBench(const Args& args) {
     routed[q].query = query_storage[q];
     routed[q].k = k;
     routed[q].budget = budget;
+  }
+  // --sample N: every Nth query becomes a sampled request — its sub-queries
+  // emit child spans on the owning nodes' tracks, stitched to a
+  // serve.request root by Perfetto flow events. Requires --trace-out.
+  if (const long sample = args.Int("sample", 0);
+      sample > 0 && trace_out.has_value()) {
+    for (std::size_t q = 0; q < num_queries;
+         q += static_cast<std::size_t>(sample)) {
+      routed[q].trace.sampled = true;
+      routed[q].trace.trace_id = static_cast<std::uint64_t>(q) + 1;
+    }
   }
 
   std::vector<std::vector<graph::Neighbor>> rows(num_queries);
@@ -959,6 +1029,21 @@ int CmdClusterBench(const Args& args) {
   std::snprintf(line, sizeof(line), "  \"identical_to_single_node\": %d,\n",
                 identical ? 1 : 0);
   json += line;
+  if (plane_on && cluster_index.federation() != nullptr) {
+    const obs::MetricsFederation& federation = *cluster_index.federation();
+    std::snprintf(line, sizeof(line),
+                  "  \"federation\": {\"scrapes\": %llu, \"windows\": %zu, "
+                  "\"scrape_bytes\": %llu, \"monitoring_sim_seconds\": %.6f, "
+                  "\"alert_events\": %zu},\n",
+                  static_cast<unsigned long long>(federation.scrapes()),
+                  federation.windows().size(),
+                  static_cast<unsigned long long>(federation.scrape_bytes()),
+                  cluster_index.monitoring_sim_seconds(),
+                  cluster_index.alerts() != nullptr
+                      ? cluster_index.alerts()->events().size()
+                      : 0);
+    json += line;
+  }
   json += "  \"counters\": " + cluster_index.CountersJson() + ",\n";
   json += "  \"aggregator\": " + cluster_index.AggregatorJson() + ",\n";
   json += "  \"node_stats\": " + cluster_index.NodesJson() + "\n}\n";
@@ -997,6 +1082,34 @@ int CmdClusterBench(const Args& args) {
       return 1;
     }
     std::printf("wrote Prometheus metrics to %s\n", prom_out->c_str());
+  }
+  if (federation_out.has_value()) {
+    if (cluster_index.federation() == nullptr ||
+        !cluster_index.federation()->WriteJsonl(*federation_out)) {
+      std::fprintf(stderr, "failed to write %s\n", federation_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu federated windows to %s\n",
+                cluster_index.federation()->windows().size(),
+                federation_out->c_str());
+  }
+  if (fed_prom_out.has_value()) {
+    if (cluster_index.federation() == nullptr ||
+        !cluster_index.federation()->WritePrometheus(*fed_prom_out)) {
+      std::fprintf(stderr, "failed to write %s\n", fed_prom_out->c_str());
+      return 1;
+    }
+    std::printf("wrote federated Prometheus metrics to %s\n",
+                fed_prom_out->c_str());
+  }
+  if (alerts_out.has_value()) {
+    if (cluster_index.alerts() == nullptr ||
+        !cluster_index.alerts()->WriteJsonl(*alerts_out)) {
+      std::fprintf(stderr, "failed to write %s\n", alerts_out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu alert events to %s\n",
+                cluster_index.alerts()->events().size(), alerts_out->c_str());
   }
 
   if (args.Flag("verify-single-node") && !identical) {
@@ -1243,6 +1356,130 @@ int CmdUpdate(const Args& args) {
   return 0;
 }
 
+/// Walks a dotted path ("counters.cluster.served_queries" or
+/// "results.0.sim_qps") through a JSON document. Object keys may themselves
+/// contain dots (metric names do), so at each step the longest key prefix of
+/// the remaining path that exists in the current object wins. Array segments
+/// must be numeric indices.
+const tools::Json* ResolveDottedPath(const tools::Json& root,
+                                     const std::string& dotted) {
+  const tools::Json* node = &root;
+  std::size_t pos = 0;
+  while (pos < dotted.size()) {
+    if (node->Is(tools::Json::Kind::kObject)) {
+      // Longest-prefix match so "hdr.cluster.batch_us.p99" finds the
+      // "cluster.batch_us" key in one hop.
+      const tools::Json* next = nullptr;
+      std::size_t next_pos = 0;
+      for (std::size_t end = dotted.size();; ) {
+        const std::string key = dotted.substr(pos, end - pos);
+        if (const tools::Json* child = node->Get(key); child != nullptr) {
+          next = child;
+          next_pos = end < dotted.size() ? end + 1 : dotted.size();
+          break;
+        }
+        const std::size_t dot = dotted.rfind('.', end - 1);
+        if (dot == std::string::npos || dot <= pos) break;
+        end = dot;
+      }
+      if (next == nullptr) return nullptr;
+      node = next;
+      pos = next_pos;
+    } else if (node->Is(tools::Json::Kind::kArray)) {
+      std::size_t end = dotted.find('.', pos);
+      if (end == std::string::npos) end = dotted.size();
+      const std::string segment = dotted.substr(pos, end - pos);
+      if (segment.empty() ||
+          segment.find_first_not_of("0123456789") != std::string::npos) {
+        return nullptr;
+      }
+      const std::size_t index = std::strtoull(segment.c_str(), nullptr, 10);
+      if (index >= node->array.size()) return nullptr;
+      node = node->array[index].get();
+      pos = end < dotted.size() ? end + 1 : dotted.size();
+    } else {
+      return nullptr;
+    }
+  }
+  return node;
+}
+
+/// Prints one resolved --path node: leaf values print scriptably (one value,
+/// one line); containers list their children so the next path segment is
+/// discoverable.
+int PrintStatPath(const tools::Json& node, const std::string& dotted) {
+  switch (node.kind) {
+    case tools::Json::Kind::kNumber:
+      if (node.number == static_cast<long long>(node.number)) {
+        std::printf("%lld\n", static_cast<long long>(node.number));
+      } else {
+        std::printf("%.6f\n", node.number);
+      }
+      return 0;
+    case tools::Json::Kind::kString:
+      std::printf("%s\n", node.string.c_str());
+      return 0;
+    case tools::Json::Kind::kBool:
+      std::printf("%s\n", node.boolean ? "true" : "false");
+      return 0;
+    case tools::Json::Kind::kNull:
+      std::printf("null\n");
+      return 0;
+    case tools::Json::Kind::kArray:
+      std::printf("%s: array of %zu (index with .N)\n", dotted.c_str(),
+                  node.array.size());
+      return 0;
+    case tools::Json::Kind::kObject: {
+      std::printf("%s: object with %zu keys:", dotted.c_str(),
+                  node.object.size());
+      for (const auto& [key, value] : node.object) {
+        std::printf(" %s", key.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    }
+  }
+  return 1;
+}
+
+/// Summarizes one cluster report row (the `ganns cluster-bench --json`
+/// object or one BENCH_cluster.json results row) for `ganns stat`.
+void PrintClusterRow(const tools::Json& row) {
+  const auto num = [&](const char* key) {
+    const tools::Json* value = row.Get(key);
+    return value != nullptr && value->Is(tools::Json::Kind::kNumber)
+               ? value->number
+               : 0.0;
+  };
+  std::printf("cluster: nodes=%.0f replication=%.0f served=%.0f lost=%.0f "
+              "failovers=%.0f timeouts=%.0f recall=%.4f sim_qps=%.0f\n",
+              num("nodes"), num("replication"), num("served"), num("lost"),
+              num("failovers"), num("timeouts"), num("recall"),
+              num("sim_qps"));
+  const tools::Json* node_stats = row.Get("node_stats");
+  if (node_stats == nullptr || !node_stats->Is(tools::Json::Kind::kArray)) {
+    return;
+  }
+  for (const tools::JsonPtr& node : node_stats->array) {
+    if (!node->Is(tools::Json::Kind::kObject)) continue;
+    const auto field = [&](const char* key) {
+      const tools::Json* value = node->Get(key);
+      return value != nullptr && value->Is(tools::Json::Kind::kNumber)
+                 ? value->number
+                 : 0.0;
+    };
+    const tools::Json* state = node->Get("state");
+    std::printf("  node %.0f [%s]: served=%.0f sub_batches=%.0f "
+                "timeouts=%.0f transfer_bytes=%.0f\n",
+                field("id"),
+                state != nullptr && state->Is(tools::Json::Kind::kString)
+                    ? state->string.c_str()
+                    : "?",
+                field("served_queries"), field("served_sub_batches"),
+                field("timeouts"), field("transfer_bytes"));
+  }
+}
+
 /// One `ganns stat` pass over the stats file (the --watch loop re-runs it).
 int StatOnce(const std::string& path, const Args& args) {
   std::string error;
@@ -1251,10 +1488,38 @@ int StatOnce(const std::string& path, const Args& args) {
     std::fprintf(stderr, "JSON parse error: %s\n", error.c_str());
     return 1;
   }
+  // --path works on any JSON artifact: registry exports, cluster-bench
+  // reports, BENCH_cluster.json sweeps.
+  if (const auto dotted = args.Get("path"); dotted.has_value()) {
+    const tools::Json* node = ResolveDottedPath(*root, *dotted);
+    if (node == nullptr) {
+      std::fprintf(stderr, "path '%s' not found in %s\n", dotted->c_str(),
+                   path.c_str());
+      return 1;
+    }
+    return PrintStatPath(*node, *dotted);
+  }
   const tools::Json* hdr = root->Get("hdr");
   if (hdr == nullptr || !hdr->Is(tools::Json::Kind::kObject)) {
+    // Not a registry export — recognize the cluster report shapes before
+    // giving up: a single report (top-level node_stats) or the bench sweep
+    // (results rows each carrying node_stats).
+    if (root->Get("node_stats") != nullptr) {
+      PrintClusterRow(*root);
+      return 0;
+    }
+    const tools::Json* results = root->Get("results");
+    if (results != nullptr && results->Is(tools::Json::Kind::kArray) &&
+        !results->array.empty() &&
+        results->array.front()->Get("node_stats") != nullptr) {
+      for (const tools::JsonPtr& row : results->array) {
+        PrintClusterRow(*row);
+      }
+      return 0;
+    }
     std::fprintf(stderr, "%s has no hdr section (write it with "
-                 "`ganns serve-bench --stats-out`)\n",
+                 "`ganns serve-bench --stats-out`; for other JSON artifacts "
+                 "use --path a.b.c)\n",
                  path.c_str());
     return 1;
   }
@@ -1320,8 +1585,9 @@ int StatOnce(const std::string& path, const Args& args) {
 int CmdStat(int argc, char** argv) {
   if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
     std::fprintf(stderr,
-                 "usage: ganns stat <stats.json> [--metric NAME] "
-                 "[--quantile p50|p90|p95|p99|p999] "
+                 "usage: ganns stat <stats.json|cluster report|BENCH_*.json> "
+                 "[--metric NAME] [--quantile p50|p90|p95|p99|p999] "
+                 "[--path a.b.c] "
                  "[--watch [--iterations N] [--interval-ms 1000]]\n");
     return 2;
   }
@@ -1342,24 +1608,30 @@ int CmdStat(int argc, char** argv) {
   return 0;
 }
 
-/// Reads a --series-out JSONL file into one parsed window object per line.
+/// Reads a --series-out / --federation-out JSONL file into one parsed window
+/// object per line. With `tolerate_partial_tail` (the live-view modes), a
+/// final line that fails to parse is treated as a write in progress and
+/// dropped — the next poll re-reads the file and picks it up once complete.
+/// A malformed line anywhere else is always an error.
 std::vector<tools::JsonPtr> ReadSeriesWindows(const std::string& path,
-                                              std::string* error) {
+                                              std::string* error,
+                                              bool tolerate_partial_tail) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     *error = "cannot open " + path;
     return {};
   }
-  std::vector<tools::JsonPtr> windows;
+  std::vector<std::string> lines;
   std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    tools::Parser parser(line);
+  while (std::getline(in, line)) lines.push_back(line);
+  std::vector<tools::JsonPtr> windows;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    tools::Parser parser(lines[i]);
     tools::JsonPtr window = parser.Parse();
     if (window == nullptr) {
-      *error = path + ":" + std::to_string(line_no) + ": " + parser.error();
+      if (tolerate_partial_tail && i + 1 == lines.size()) break;
+      *error = path + ":" + std::to_string(i + 1) + ": " + parser.error();
       return {};
     }
     windows.push_back(std::move(window));
@@ -1431,8 +1703,11 @@ int CmdTop(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
     std::string error;
+    // A live view additionally tolerates a truncated final line (a window
+    // mid-append): it renders what parsed and retries the tail next poll.
     const std::vector<tools::JsonPtr> windows =
-        ReadSeriesWindows(path, &error);
+        ReadSeriesWindows(path, &error, /*tolerate_partial_tail=*/
+                          iterations != 1);
     if (!error.empty()) {
       std::fprintf(stderr, "%s\n", error.c_str());
       // A single-shot render fails loudly; a live view tolerates a file
@@ -1447,11 +1722,184 @@ int CmdTop(int argc, char** argv) {
   return 0;
 }
 
+/// Pulls a named number out of one federated window's per-node "counters" /
+/// "gauges" / "hdr.<metric>.<field>" sections (0 when absent).
+double NodeNumber(const tools::Json& node, const char* section,
+                  const char* name) {
+  const tools::Json* object = node.Get(section);
+  if (object == nullptr || !object->Is(tools::Json::Kind::kObject)) return 0;
+  const tools::Json* value = object->Get(name);
+  return value != nullptr && value->Is(tools::Json::Kind::kNumber)
+             ? value->number
+             : 0;
+}
+
+double HdrField(const tools::Json& scope, const char* metric,
+                const char* field) {
+  const tools::Json* hdr = scope.Get("hdr");
+  if (hdr == nullptr) return 0;
+  const tools::Json* entry = hdr->Get(metric);
+  if (entry == nullptr || !entry->Is(tools::Json::Kind::kObject)) return 0;
+  const tools::Json* value = entry->Get(field);
+  return value != nullptr && value->Is(tools::Json::Kind::kNumber)
+             ? value->number
+             : 0;
+}
+
+/// Renders the cluster dashboard: a trend row per federated window (cluster
+/// scope), then the latest window's per-node table, then any alerts firing
+/// as of that window.
+void RenderClusterTop(const std::vector<tools::JsonPtr>& windows,
+                      const std::vector<tools::JsonPtr>& alert_events,
+                      std::size_t rows) {
+  std::printf("%5s %9s %8s %9s %9s %9s %6s %6s %9s\n", "seq", "t_ms",
+              "win_ms", "qps", "p99_us", "headroom", "qsat", "lost",
+              "scrape_b");
+  const std::size_t first = windows.size() > rows ? windows.size() - rows : 0;
+  for (std::size_t i = first; i < windows.size(); ++i) {
+    const tools::Json& window = *windows[i];
+    const tools::Json* cluster = window.Get("cluster");
+    const double interval_us =
+        window.Get("interval_us") != nullptr
+            ? window.Get("interval_us")->number
+            : 0;
+    const double served =
+        cluster != nullptr
+            ? NodeNumber(*cluster, "counters", "cluster.served_queries")
+            : 0;
+    std::printf(
+        "%5.0f %9.2f %8.2f %9.0f %9.0f %9.3f %6.3f %6.0f %9.0f\n",
+        window.Get("seq") != nullptr ? window.Get("seq")->number : 0,
+        (window.Get("t_us") != nullptr ? window.Get("t_us")->number : 0) /
+            1000.0,
+        interval_us / 1000.0,
+        interval_us > 0 ? served / (interval_us / 1e6) : 0,
+        cluster != nullptr ? HdrField(*cluster, "cluster.batch_us", "p99") : 0,
+        SeriesNumber(window, "derived", "slo_headroom"),
+        SeriesNumber(window, "derived", "queue_saturation"),
+        cluster != nullptr
+            ? NodeNumber(*cluster, "counters", "cluster.lost_sub_queries")
+            : 0,
+        window.Get("scrape_bytes") != nullptr
+            ? window.Get("scrape_bytes")->number
+            : 0);
+  }
+  if (windows.empty()) {
+    std::printf("no federated windows yet\n");
+    return;
+  }
+
+  const tools::Json& last = *windows.back();
+  const tools::Json* nodes = last.Get("nodes");
+  if (nodes != nullptr && nodes->Is(tools::Json::Kind::kArray)) {
+    std::printf("%5s %8s %7s %9s %9s %9s %9s %9s\n", "node", "state",
+                "scrape", "served", "p99_us", "recv_b", "sent_b", "timeouts");
+    for (const tools::JsonPtr& node : nodes->array) {
+      const tools::Json* state = node->Get("state");
+      const tools::Json* scrape_ok = node->Get("scrape_ok");
+      std::printf(
+          "%5.0f %8s %7s %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+          node->Get("node") != nullptr ? node->Get("node")->number : 0,
+          state != nullptr && state->Is(tools::Json::Kind::kString)
+              ? state->string.c_str()
+              : "?",
+          scrape_ok != nullptr && scrape_ok->Is(tools::Json::Kind::kBool) &&
+                  scrape_ok->boolean
+              ? "ok"
+              : "FAIL",
+          NodeNumber(*node, "counters", "cluster.node.served_queries"),
+          HdrField(*node, "cluster.node.serve_us", "p99"),
+          NodeNumber(*node, "counters", "cluster.node.recv_bytes"),
+          NodeNumber(*node, "counters", "cluster.node.sent_bytes"),
+          NodeNumber(*node, "counters", "cluster.node.timeouts"));
+    }
+  }
+
+  // Replay the alert log up to the rendered window: a (rule, node) pair is
+  // shown iff its latest transition at or before t_us is a firing.
+  if (!alert_events.empty()) {
+    const double now_us =
+        last.Get("t_us") != nullptr ? last.Get("t_us")->number : 0;
+    std::map<std::string, bool> firing;
+    for (const tools::JsonPtr& event : alert_events) {
+      const tools::Json* t = event->Get("t_us");
+      const tools::Json* rule = event->Get("rule");
+      const tools::Json* node = event->Get("node");
+      const tools::Json* state = event->Get("state");
+      if (t == nullptr || rule == nullptr || state == nullptr ||
+          !state->Is(tools::Json::Kind::kString) || t->number > now_us) {
+        continue;
+      }
+      std::string key = rule->string;
+      if (node != nullptr && node->Is(tools::Json::Kind::kString) &&
+          !node->string.empty()) {
+        key += "(node=" + node->string + ")";
+      }
+      firing[key] = state->string == "firing";
+    }
+    std::string active;
+    for (const auto& [key, is_firing] : firing) {
+      if (!is_firing) continue;
+      if (!active.empty()) active += ", ";
+      active += key;
+    }
+    std::printf("alerts: %s\n", active.empty() ? "none" : active.c_str());
+  }
+  std::printf("%zu of %zu windows shown\n", windows.size() - first,
+              windows.size());
+}
+
+/// `ganns cluster-top`: terminal dashboard over a cluster-bench
+/// --federation-out JSONL stream (optionally joined with --alerts-out
+/// events). One render by default; --follow/--iterations re-read and redraw
+/// like `ganns top`.
+int CmdClusterTop(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr,
+                 "usage: ganns cluster-top <federation.jsonl> "
+                 "[--alerts alerts.jsonl] [--rows 10] [--follow] "
+                 "[--iterations N] [--interval-ms 1000]\n");
+    return 2;
+  }
+  const std::string path = argv[2];
+  const Args args(argc, argv, 3);
+  const auto rows = static_cast<std::size_t>(args.Int("rows", 10));
+  const bool follow = args.Flag("follow");
+  const long iterations = args.Int("iterations", follow ? 0 : 1);
+  const long interval_ms = args.Int("interval-ms", 1000);
+  const auto alerts_path = args.Get("alerts");
+
+  for (long i = 0; iterations <= 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::string error;
+    const std::vector<tools::JsonPtr> windows =
+        ReadSeriesWindows(path, &error, /*tolerate_partial_tail=*/
+                          iterations != 1);
+    std::vector<tools::JsonPtr> alert_events;
+    if (error.empty() && alerts_path.has_value()) {
+      alert_events = ReadSeriesWindows(*alerts_path, &error,
+                                       /*tolerate_partial_tail=*/
+                                       iterations != 1);
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      if (iterations == 1) return 1;
+      continue;
+    }
+    if (follow) std::printf("\033[2J\033[H");  // clear + home before redraw
+    RenderClusterTop(windows, alert_events, rows);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ganns "
                "<gen|build|search|eval|profile|serve-bench|cluster-bench|"
-               "update|stat|top> "
+               "update|stat|top|cluster-top> "
                "--flag value ...\n"
                "run with a subcommand to see its required flags\n");
   return 2;
@@ -1464,6 +1912,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "stat") return CmdStat(argc, argv);
   if (command == "top") return CmdTop(argc, argv);
+  if (command == "cluster-top") return CmdClusterTop(argc, argv);
   const Args args(argc, argv, 2);
   if (command == "gen") return CmdGen(args);
   if (command == "build") return CmdBuild(args);

@@ -25,6 +25,22 @@
 //                                         both the bench results array and
 //                                         the single `ganns cluster-bench
 //                                         --json` report
+//   schema_check federation <fed.jsonl>   federated window stream
+//                                         (`cluster-bench --federation-out`):
+//                                         monotone seq / non-decreasing time,
+//                                         per-node state + scrape_ok +
+//                                         counters/gauges/hdr sections,
+//                                         cluster roll-up and the derived
+//                                         alert inputs; failed scrapes must
+//                                         carry zero counter deltas
+//   schema_check alerts  <alerts.jsonl> [rule ...]
+//                                         alert event log (`cluster-bench
+//                                         --alerts-out`): each line a
+//                                         firing/resolved transition, with
+//                                         per-(rule,node) alternation
+//                                         starting at firing; trailing args
+//                                         name rules that must both fire and
+//                                         resolve (the failure-drill gate)
 //   schema_check flight  <flight.json>    flight-recorder dump: counters,
 //                                         violator records (served
 //                                         violators must carry hardness and
@@ -185,8 +201,18 @@ int CheckTrace(const Json& root) {
         return Complain("M event missing args.name");
       }
       continue;
+    } else if (ph->string == "s" || ph->string == "t" || ph->string == "f") {
+      // Flow events (start/step/end) stitch a request's spans across
+      // process/track boundaries; they bind by (pid, tid, ts) + id.
+      if (!IsNumber(event->Get("ts"))) {
+        return Complain("flow event missing ts");
+      }
+      if (!IsNumber(event->Get("id"))) {
+        return Complain("flow event missing id");
+      }
+      continue;
     } else {
-      return Complain("unknown event phase (expect X/i/M)");
+      return Complain("unknown event phase (expect X/i/M/s/t/f)");
     }
     if (pid->number == kServePid && tid->number >= kServeRequestTrackBase) {
       ServeEvent reduced;
@@ -620,17 +646,37 @@ bool ParsePromSample(const std::string& line, PromSample* sample,
   return true;
 }
 
-/// One metric family being accumulated while scanning the file.
-struct PromFamily {
-  std::string type;
-  std::size_t declared_line = 0;
+/// One (family, label-set) series being accumulated while scanning the
+/// file. Histogram buckets and summary quantiles restart per label set (the
+/// federated exporter emits one run per node), so the ordering invariants
+/// are tracked per set.
+struct PromSeries {
   // histogram: cumulative bucket counts in emission order (+Inf last);
   // summary: quantile -> value in emission order.
   std::vector<std::pair<double, double>> series;
   bool saw_inf_bucket = false;
   double count = -1;  // _count sample, once seen
+};
+
+/// One metric family being accumulated while scanning the file.
+struct PromFamily {
+  std::string type;
+  std::size_t declared_line = 0;
+  /// Keyed by the label signature minus the le/quantile label.
+  std::map<std::string, PromSeries> series;
   bool saw_samples = false;
 };
+
+/// The label signature identifying one series of a family: every label
+/// except the histogram/summary positional one.
+std::string SeriesKey(const PromSample& sample) {
+  std::string key;
+  for (const auto& [k, v] : sample.labels) {
+    if (k == "le" || k == "quantile") continue;
+    key += k + "=" + v + ",";
+  }
+  return key;
+}
 
 /// Strips a histogram/summary suffix, returning the owning family name if
 /// `families` declares one.
@@ -716,13 +762,14 @@ int CheckProm(const std::string& path) {
       if (!suffix.empty()) {
         return ComplainLine(line_no, "scalar family has a suffixed sample");
       }
-      if (!sample.labels.empty()) {
-        return ComplainLine(line_no, "unexpected labels on a scalar family");
-      }
+      // Labels on scalar families are fine (the federated exporter labels
+      // every sample with node="N"); the parser already validated their
+      // charset, quoting, and ordering.
       if (family.type == "counter" && sample.value < 0) {
         return ComplainLine(line_no, "counter sample is negative");
       }
     } else if (family.type == "histogram") {
+      PromSeries& series = family.series[SeriesKey(sample)];
       if (suffix == "_bucket") {
         const std::string* le = LabelValue(sample, "le");
         if (le == nullptr) {
@@ -730,20 +777,21 @@ int CheckProm(const std::string& path) {
         }
         const double bound =
             *le == "+Inf" ? 1e308 : std::strtod(le->c_str(), nullptr);
-        if (!family.series.empty() &&
-            (bound <= family.series.back().first ||
-             sample.value < family.series.back().second)) {
+        if (!series.series.empty() &&
+            (bound <= series.series.back().first ||
+             sample.value < series.series.back().second)) {
           return ComplainLine(line_no,
                               "histogram buckets not cumulative/ordered");
         }
-        family.series.emplace_back(bound, sample.value);
-        if (*le == "+Inf") family.saw_inf_bucket = true;
+        series.series.emplace_back(bound, sample.value);
+        if (*le == "+Inf") series.saw_inf_bucket = true;
       } else if (suffix == "_count") {
-        family.count = sample.value;
+        series.count = sample.value;
       } else if (suffix != "_sum") {
         return ComplainLine(line_no, "unsuffixed sample on a histogram");
       }
     } else {  // summary
+      PromSeries& series = family.series[SeriesKey(sample)];
       if (suffix.empty()) {
         const std::string* quantile = LabelValue(sample, "quantile");
         if (quantile == nullptr) {
@@ -753,15 +801,15 @@ int CheckProm(const std::string& path) {
         if (q < 0 || q > 1) {
           return ComplainLine(line_no, "summary quantile outside [0, 1]");
         }
-        if (!family.series.empty() &&
-            (q <= family.series.back().first ||
-             sample.value < family.series.back().second)) {
+        if (!series.series.empty() &&
+            (q <= series.series.back().first ||
+             sample.value < series.series.back().second)) {
           return ComplainLine(line_no,
                               "summary quantiles not ordered/monotone");
         }
-        family.series.emplace_back(q, sample.value);
+        series.series.emplace_back(q, sample.value);
       } else if (suffix == "_count") {
-        family.count = sample.value;
+        series.count = sample.value;
       } else if (suffix != "_sum") {
         return ComplainLine(line_no, "unexpected suffix on a summary");
       }
@@ -771,20 +819,22 @@ int CheckProm(const std::string& path) {
     if (!family.saw_samples) {
       return ComplainLine(family.declared_line, "TYPE family has no samples");
     }
-    if (family.type == "histogram") {
-      if (!family.saw_inf_bucket) {
-        return ComplainLine(family.declared_line,
-                            "histogram missing +Inf bucket");
+    for (const auto& [key, series] : family.series) {
+      if (family.type == "histogram") {
+        if (!series.saw_inf_bucket) {
+          return ComplainLine(family.declared_line,
+                              "histogram missing +Inf bucket");
+        }
+        if (series.count >= 0 && !series.series.empty() &&
+            series.series.back().second != series.count) {
+          return ComplainLine(family.declared_line,
+                              "+Inf bucket != histogram count");
+        }
       }
-      if (family.count >= 0 && !family.series.empty() &&
-          family.series.back().second != family.count) {
+      if (family.type == "summary" && series.series.empty()) {
         return ComplainLine(family.declared_line,
-                            "+Inf bucket != histogram count");
+                            "summary has no quantile lines");
       }
-    }
-    if (family.type == "summary" && family.series.empty()) {
-      return ComplainLine(family.declared_line,
-                          "summary has no quantile lines");
     }
   }
   std::printf("prom ok: %zu families, %zu samples\n", families.size(),
@@ -957,6 +1007,218 @@ int CheckFlight(const Json& root) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Federated windows and alert events (JSONL artifacts)
+// ---------------------------------------------------------------------------
+
+/// Parses a JSONL file: one JSON object per non-empty line. Returns false
+/// (with *why set) on the first malformed line.
+bool ReadJsonl(const std::string& path, std::vector<JsonPtr>* lines,
+               std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *why = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ganns::tools::Parser parser(line);
+    JsonPtr node = parser.Parse();
+    if (node == nullptr) {
+      *why = "line " + std::to_string(line_no) + ": " + parser.error();
+      return false;
+    }
+    lines->push_back(std::move(node));
+  }
+  return true;
+}
+
+int ComplainWindow(std::size_t index, const char* what) {
+  std::fprintf(stderr, "schema error: record %zu: %s\n", index, what);
+  return 1;
+}
+
+/// Federated window stream (`cluster-bench --federation-out`): every line a
+/// window with a monotone seq, non-decreasing simulated time, per-node
+/// sections (state, scrape_ok, counters/gauges/hdr), a cluster roll-up, and
+/// the derived alert inputs.
+int CheckFederation(const std::string& path) {
+  std::vector<JsonPtr> windows;
+  std::string why;
+  if (!ReadJsonl(path, &windows, &why)) {
+    return Complain(why.c_str());
+  }
+  if (windows.empty()) return Complain("no federated windows");
+  double prev_seq = -1;
+  double prev_t = -1;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Json& window = *windows[i];
+    if (!window.Is(Json::Kind::kObject)) {
+      return ComplainWindow(i, "window is not an object");
+    }
+    for (const char* key : {"seq", "t_us", "interval_us", "scrape_bytes"}) {
+      const Json* value = window.Get(key);
+      if (!IsNumber(value) || value->number < 0) {
+        return ComplainWindow(
+            i, (std::string("window missing non-negative ") + key).c_str());
+      }
+    }
+    if (window.Get("seq")->number <= prev_seq) {
+      return ComplainWindow(i, "seq not strictly increasing");
+    }
+    prev_seq = window.Get("seq")->number;
+    if (window.Get("t_us")->number < prev_t) {
+      return ComplainWindow(i, "t_us decreased");
+    }
+    prev_t = window.Get("t_us")->number;
+
+    const Json* nodes = window.Get("nodes");
+    if (nodes == nullptr || !nodes->Is(Json::Kind::kArray) ||
+        nodes->array.empty()) {
+      return ComplainWindow(i, "missing non-empty nodes array");
+    }
+    for (const JsonPtr& node : nodes->array) {
+      if (!node->Is(Json::Kind::kObject) || !IsNumber(node->Get("node"))) {
+        return ComplainWindow(i, "node window is not {node, ...}");
+      }
+      const Json* state = node->Get("state");
+      if (!IsString(state) ||
+          (state->string != "up" && state->string != "suspect" &&
+           state->string != "down")) {
+        return ComplainWindow(i, "node state is not up/suspect/down");
+      }
+      const Json* scrape_ok = node->Get("scrape_ok");
+      if (scrape_ok == nullptr || !scrape_ok->Is(Json::Kind::kBool)) {
+        return ComplainWindow(i, "node missing scrape_ok bool");
+      }
+      for (const char* section : {"counters", "gauges", "hdr"}) {
+        const Json* object = node->Get(section);
+        if (object == nullptr || !object->Is(Json::Kind::kObject)) {
+          return ComplainWindow(
+              i, (std::string("node missing ") + section + " object").c_str());
+        }
+      }
+      // A failed scrape answers nothing: its window must carry zero deltas.
+      if (!scrape_ok->boolean) {
+        for (const auto& [name, delta] : node->Get("counters")->object) {
+          if (!IsNumber(delta.get()) || delta->number != 0) {
+            return ComplainWindow(i, "failed scrape carries counter deltas");
+          }
+        }
+      }
+      const Json* hdr = node->Get("hdr");
+      for (const auto& [name, entry] : hdr->object) {
+        if (!entry->Is(Json::Kind::kObject) ||
+            !IsNumber(entry->Get("count")) || !IsNumber(entry->Get("p50")) ||
+            !IsNumber(entry->Get("p99")) || !IsNumber(entry->Get("max")) ||
+            !IsNumber(entry->Get("total_count"))) {
+          return ComplainWindow(
+              i, "hdr window is not {count, p50, p99, max, total_count}");
+        }
+        if (entry->Get("count")->number > 0 &&
+            (entry->Get("p50")->number > entry->Get("p99")->number ||
+             entry->Get("p99")->number > entry->Get("max")->number)) {
+          return ComplainWindow(i, "hdr window percentiles not monotone");
+        }
+      }
+    }
+
+    const Json* cluster = window.Get("cluster");
+    if (cluster == nullptr || !cluster->Is(Json::Kind::kObject) ||
+        cluster->Get("counters") == nullptr ||
+        !cluster->Get("counters")->Is(Json::Kind::kObject) ||
+        cluster->Get("hdr") == nullptr ||
+        !cluster->Get("hdr")->Is(Json::Kind::kObject)) {
+      return ComplainWindow(i, "missing cluster {counters, hdr} roll-up");
+    }
+    const Json* derived = window.Get("derived");
+    if (derived == nullptr || !derived->Is(Json::Kind::kObject) ||
+        !IsNumber(derived->Get("slo_headroom")) ||
+        !IsNumber(derived->Get("slo_samples")) ||
+        !IsNumber(derived->Get("queue_saturation"))) {
+      return ComplainWindow(
+          i, "missing derived {slo_headroom, slo_samples, queue_saturation}");
+    }
+  }
+  std::printf("federation ok: %zu windows, %zu nodes\n", windows.size(),
+              windows.front()->Get("nodes")->array.size());
+  return 0;
+}
+
+/// Alert event log (`cluster-bench --alerts-out`): every line a firing or
+/// resolved transition with non-decreasing time; per (rule, node) scope the
+/// transitions must alternate starting with a firing. Extra CLI args name
+/// rules that must both fire and resolve somewhere in the log — the drill
+/// gate's expected sequence.
+int CheckAlerts(const std::string& path,
+                const std::vector<std::string>& must_fire_and_resolve) {
+  std::vector<JsonPtr> events;
+  std::string why;
+  if (!ReadJsonl(path, &events, &why)) {
+    return Complain(why.c_str());
+  }
+  std::map<std::string, bool> firing;     // (rule, node) -> currently firing
+  std::map<std::string, int> fired;       // rule -> firings seen
+  std::map<std::string, int> resolved;    // rule -> resolutions seen
+  double prev_t = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = *events[i];
+    if (!event.Is(Json::Kind::kObject)) {
+      return ComplainWindow(i, "alert event is not an object");
+    }
+    for (const char* key : {"t_us", "seq", "value", "threshold"}) {
+      if (!IsNumber(event.Get(key))) {
+        return ComplainWindow(
+            i, (std::string("alert event missing ") + key).c_str());
+      }
+    }
+    const Json* rule = event.Get("rule");
+    const Json* node = event.Get("node");
+    const Json* state = event.Get("state");
+    if (!IsString(rule) || rule->string.empty()) {
+      return ComplainWindow(i, "alert event missing rule");
+    }
+    if (!IsString(node)) return ComplainWindow(i, "alert event missing node");
+    if (!IsString(state) ||
+        (state->string != "firing" && state->string != "resolved")) {
+      return ComplainWindow(i, "alert state is not firing/resolved");
+    }
+    if (event.Get("t_us")->number < prev_t) {
+      return ComplainWindow(i, "alert t_us decreased");
+    }
+    prev_t = event.Get("t_us")->number;
+    const std::string scope = rule->string + "\x1f" + node->string;
+    const bool now = state->string == "firing";
+    const auto it = firing.find(scope);
+    const bool was = it != firing.end() && it->second;
+    if (now == was) {
+      return ComplainWindow(
+          i, now ? "firing event for an already-firing scope"
+                 : "resolved event for a scope that was not firing");
+    }
+    firing[scope] = now;
+    ++(now ? fired : resolved)[rule->string];
+  }
+  for (const std::string& rule : must_fire_and_resolve) {
+    if (fired[rule] == 0) {
+      std::fprintf(stderr, "schema error: expected rule '%s' to fire\n",
+                   rule.c_str());
+      return 1;
+    }
+    if (resolved[rule] == 0) {
+      std::fprintf(stderr, "schema error: expected rule '%s' to resolve\n",
+                   rule.c_str());
+      return 1;
+    }
+  }
+  std::printf("alerts ok: %zu transitions, %zu rules fired\n", events.size(),
+              fired.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -964,19 +1226,31 @@ int main(int argc, char** argv) {
   // like a flag.
   const char* mode = argc >= 2 ? argv[1] : "";
   if (std::strncmp(mode, "--", 2) == 0) mode += 2;
-  if (argc != 3 || (std::strcmp(mode, "trace") != 0 &&
-                    std::strcmp(mode, "metrics") != 0 &&
-                    std::strcmp(mode, "stats") != 0 &&
-                    std::strcmp(mode, "bench") != 0 &&
-                    std::strcmp(mode, "prom") != 0 &&
-                    std::strcmp(mode, "flight") != 0 &&
-                    std::strcmp(mode, "cluster") != 0)) {
+  const bool is_alerts = std::strcmp(mode, "alerts") == 0;
+  // `alerts` takes optional trailing rule names that must fire and resolve;
+  // every other mode is exactly <mode> <file>.
+  if (argc < 3 || (argc != 3 && !is_alerts) ||
+      (!is_alerts && std::strcmp(mode, "trace") != 0 &&
+       std::strcmp(mode, "metrics") != 0 && std::strcmp(mode, "stats") != 0 &&
+       std::strcmp(mode, "bench") != 0 && std::strcmp(mode, "prom") != 0 &&
+       std::strcmp(mode, "flight") != 0 &&
+       std::strcmp(mode, "cluster") != 0 &&
+       std::strcmp(mode, "federation") != 0)) {
     std::fprintf(stderr,
                  "usage: schema_check "
-                 "<trace|metrics|stats|bench|prom|flight|cluster> <file>\n");
+                 "<trace|metrics|stats|bench|prom|flight|cluster|federation> "
+                 "<file>\n"
+                 "       schema_check alerts <alerts.jsonl> "
+                 "[rule-that-must-fire-and-resolve ...]\n");
     return 2;
   }
   if (std::strcmp(mode, "prom") == 0) return CheckProm(argv[2]);
+  if (std::strcmp(mode, "federation") == 0) return CheckFederation(argv[2]);
+  if (is_alerts) {
+    std::vector<std::string> expected;
+    for (int i = 3; i < argc; ++i) expected.emplace_back(argv[i]);
+    return CheckAlerts(argv[2], expected);
+  }
   std::string error;
   const JsonPtr root = ganns::tools::ParseJsonFile(argv[2], &error);
   if (root == nullptr) {
